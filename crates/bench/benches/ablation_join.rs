@@ -1,0 +1,52 @@
+//! E4 — common-enumeration strategies (paper §4.1, following the
+//! relational formulation of [11]): sparse·sparse dot product by merge
+//! join, hash join, and per-element binary search, across density ratios.
+//!
+//! Expected shape: merge join wins when the operands have similar sizes;
+//! search-join wins when one side is much smaller than the other (few
+//! probes into a large sorted side); hash join sits between, paying
+//! hashing overhead but O(1) probes.
+
+use bernoulli_blas::handwritten::{spdot_hash, spdot_merge};
+use bernoulli_formats::{gen, HashVec, SparseVec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Search join: enumerate the smaller sorted side, binary-search the
+/// larger.
+fn spdot_search(x: &SparseVec<f64>, y: &SparseVec<f64>) -> f64 {
+    let mut acc = 0.0;
+    for (k, &i) in x.ind.iter().enumerate() {
+        if let Some(p) = y.find(i) {
+            acc += x.values[k] * y.values[p];
+        }
+    }
+    acc
+}
+
+fn bench_join(c: &mut Criterion) {
+    let n = 1_000_000;
+    let big = 100_000;
+    let mut g = c.benchmark_group("ablation_join_spdot");
+    for small in [100usize, 1_000, 10_000, 100_000] {
+        let xa = gen::sparse_vector(n, small, 1);
+        let ya = gen::sparse_vector(n, big, 2);
+        let x = SparseVec::from_pairs(n, &xa);
+        let ys = SparseVec::from_pairs(n, &ya);
+        let yh = HashVec::from_pairs(n, &ya);
+
+        g.bench_function(BenchmarkId::new("merge", small), |b| {
+            b.iter(|| black_box(spdot_merge(black_box(&x), black_box(&ys))))
+        });
+        g.bench_function(BenchmarkId::new("hash", small), |b| {
+            b.iter(|| black_box(spdot_hash(black_box(&x), black_box(&yh))))
+        });
+        g.bench_function(BenchmarkId::new("search", small), |b| {
+            b.iter(|| black_box(spdot_search(black_box(&x), black_box(&ys))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E5 — the data-centric heuristic (paper §4.3): CSR MVM executed
+//! data-centrically (enumerate stored entries) vs iteration-centrically
+//! (enumerate the dense iteration space, random-access the matrix).
+//!
+//! Expected shape: data-centric wins by roughly the inverse fill ratio
+//! (n²/nnz), which is the whole point of the paper's restriction to
+//! data-centric dimension orders.
+
+#![allow(clippy::needless_range_loop, clippy::type_complexity)]
+use bernoulli_bench::can1072;
+use bernoulli_blas::handwritten::mvm_csr;
+use bernoulli_formats::{gen, Csr, SparseMatrix};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// The naive iteration-centric code the compiler deliberately avoids:
+/// the dense loop nest with random access (binary search per element).
+fn mvm_iteration_centric(a: &Csr<f64>, x: &[f64], y: &mut [f64]) {
+    for i in 0..a.nrows {
+        let mut acc = 0.0;
+        for (j, &xj) in x.iter().enumerate() {
+            acc += a.get(i, j) * xj;
+        }
+        y[i] += acc;
+    }
+}
+
+fn bench_order(c: &mut Criterion) {
+    // A smaller instance keeps the quadratic baseline tractable.
+    let t = gen::structurally_symmetric(512, 6 * 512, 48, 5);
+    let a = Csr::from_triplets(&t);
+    let x = gen::dense_vector(512, 3);
+
+    let mut g = c.benchmark_group("ablation_order_mvm");
+    g.bench_function("data_centric", |b| {
+        b.iter(|| {
+            let mut y = vec![0.0; 512];
+            mvm_csr(black_box(&a), &x, &mut y);
+            black_box(y);
+        })
+    });
+    g.bench_function("iteration_centric", |b| {
+        b.iter(|| {
+            let mut y = vec![0.0; 512];
+            mvm_iteration_centric(black_box(&a), &x, &mut y);
+            black_box(y);
+        })
+    });
+    g.finish();
+
+    // Also on the real evaluation matrix, but sample fewer iterations.
+    let t = can1072();
+    let a = Csr::from_triplets(&t);
+    let x = gen::dense_vector(1072, 3);
+    let mut g = c.benchmark_group("ablation_order_mvm_can1072");
+    g.sample_size(10);
+    g.bench_function("data_centric", |b| {
+        b.iter(|| {
+            let mut y = vec![0.0; 1072];
+            mvm_csr(black_box(&a), &x, &mut y);
+            black_box(y);
+        })
+    });
+    g.bench_function("iteration_centric", |b| {
+        b.iter(|| {
+            let mut y = vec![0.0; 1072];
+            mvm_iteration_centric(black_box(&a), &x, &mut y);
+            black_box(y);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_order);
+criterion_main!(benches);

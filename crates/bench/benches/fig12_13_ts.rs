@@ -1,0 +1,99 @@
+//! E1/E2 — paper Figs. 12 & 13: triangular solve on `can_1072`, formats
+//! CSR / CSC / JAD, three implementations per format:
+//!
+//! - `synth`: the Bernoulli-synthesized kernel (committed emitter output);
+//! - `nist_c`: the handwritten specialized kernel (NIST C role);
+//! - `nist_f`: the generic multi-RHS kernel invoked with k = 1 (NIST
+//!   Fortran role).
+//!
+//! Paper shape to reproduce: synth ≈ nist_c, both faster than nist_f,
+//! consistently across formats. (The paper's two machines collapse to
+//! one host; see DESIGN.md substitution 2.)
+
+use bernoulli_bench::can1072_lower;
+use bernoulli_blas::{generic_rhs, handwritten as hw, synth};
+use bernoulli_formats::{gen, Csc, Csr, Jad, Triplets};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_ts(c: &mut Criterion) {
+    let l: Triplets<f64> = can1072_lower();
+    let n = l.nrows();
+    let b0 = gen::dense_vector(n, 42);
+    let csr = Csr::from_triplets(&l);
+    let csc = Csc::from_triplets(&l);
+    let jad = Jad::from_triplets(&l);
+
+    let mut g = c.benchmark_group("fig12_13_ts_can1072");
+
+    g.bench_function(BenchmarkId::new("csr", "synth"), |bch| {
+        bch.iter(|| {
+            let mut b = b0.clone();
+            synth::ts_csr(n as i64, black_box(&csr), &mut b);
+            black_box(b);
+        })
+    });
+    g.bench_function(BenchmarkId::new("csr", "nist_c"), |bch| {
+        bch.iter(|| {
+            let mut b = b0.clone();
+            hw::ts_csr(black_box(&csr), &mut b);
+            black_box(b);
+        })
+    });
+    g.bench_function(BenchmarkId::new("csr", "nist_f"), |bch| {
+        bch.iter(|| {
+            let mut b = b0.clone();
+            generic_rhs::ts_csr_multi(black_box(&csr), &mut b, 1);
+            black_box(b);
+        })
+    });
+
+    g.bench_function(BenchmarkId::new("csc", "synth"), |bch| {
+        bch.iter(|| {
+            let mut b = b0.clone();
+            synth::ts_csc(n as i64, black_box(&csc), &mut b);
+            black_box(b);
+        })
+    });
+    g.bench_function(BenchmarkId::new("csc", "nist_c"), |bch| {
+        bch.iter(|| {
+            let mut b = b0.clone();
+            hw::ts_csc(black_box(&csc), &mut b);
+            black_box(b);
+        })
+    });
+    g.bench_function(BenchmarkId::new("csc", "nist_f"), |bch| {
+        bch.iter(|| {
+            let mut b = b0.clone();
+            generic_rhs::ts_csc_multi(black_box(&csc), &mut b, 1);
+            black_box(b);
+        })
+    });
+
+    g.bench_function(BenchmarkId::new("jad", "synth"), |bch| {
+        bch.iter(|| {
+            let mut b = b0.clone();
+            synth::ts_jad(n as i64, black_box(&jad), &mut b);
+            black_box(b);
+        })
+    });
+    g.bench_function(BenchmarkId::new("jad", "nist_c"), |bch| {
+        bch.iter(|| {
+            let mut b = b0.clone();
+            hw::ts_jad(black_box(&jad), &mut b);
+            black_box(b);
+        })
+    });
+    g.bench_function(BenchmarkId::new("jad", "nist_f"), |bch| {
+        bch.iter(|| {
+            let mut b = b0.clone();
+            generic_rhs::ts_jad_multi(black_box(&jad), &mut b, 1);
+            black_box(b);
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ts);
+criterion_main!(benches);

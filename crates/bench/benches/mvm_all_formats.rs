@@ -1,0 +1,67 @@
+//! E3 — the paper's "representative for other inputs and benchmarks"
+//! claim: MVM across all formats, synthesized vs handwritten, on the
+//! `can_1072`-like input (plus a banded input where DIA shines).
+
+use bernoulli_bench::can1072;
+use bernoulli_blas::{handwritten as hw, parallel, synth};
+use bernoulli_formats::{gen, Coo, Csc, Csr, Dia, Ell, Jad, Triplets};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_input(c: &mut Criterion, label: &str, t: &Triplets<f64>) {
+    let (m, n) = (t.nrows(), t.ncols());
+    let x = gen::dense_vector(n, 7);
+    let csr = Csr::from_triplets(t);
+    let csc = Csc::from_triplets(t);
+    let coo = Coo::from_triplets(t);
+    let dia = Dia::from_triplets(t);
+    let ell = Ell::from_triplets(t);
+    let jad = Jad::from_triplets(t);
+
+    let mut g = c.benchmark_group(format!("mvm_{label}"));
+
+    macro_rules! pair {
+        ($fmt:literal, $mat:ident, $synth:path, $hand:path) => {
+            g.bench_function(BenchmarkId::new($fmt, "synth"), |b| {
+                b.iter(|| {
+                    let mut y = vec![0.0; m];
+                    $synth(m as i64, n as i64, black_box(&$mat), &x, &mut y);
+                    black_box(y);
+                })
+            });
+            g.bench_function(BenchmarkId::new($fmt, "nist_c"), |b| {
+                b.iter(|| {
+                    let mut y = vec![0.0; m];
+                    $hand(black_box(&$mat), &x, &mut y);
+                    black_box(y);
+                })
+            });
+        };
+    }
+
+    pair!("csr", csr, synth::mvm_csr, hw::mvm_csr);
+    pair!("csc", csc, synth::mvm_csc, hw::mvm_csc);
+    pair!("coo", coo, synth::mvm_coo, hw::mvm_coo);
+    pair!("dia", dia, synth::mvm_dia, hw::mvm_dia);
+    pair!("ell", ell, synth::mvm_ell, hw::mvm_ell);
+    pair!("jad", jad, synth::mvm_jad, hw::mvm_jad);
+
+    // Parallel extension (CSR, 4 threads).
+    g.bench_function(BenchmarkId::new("csr", "parallel4"), |b| {
+        b.iter(|| {
+            let mut y = vec![0.0; m];
+            parallel::par_mvm_csr(black_box(&csr), &x, &mut y, 4);
+            black_box(y);
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_mvm(c: &mut Criterion) {
+    bench_input(c, "can1072", &can1072());
+    bench_input(c, "banded1000", &gen::banded(1000, 8, 17));
+}
+
+criterion_group!(benches, bench_mvm);
+criterion_main!(benches);

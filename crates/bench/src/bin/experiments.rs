@@ -1,0 +1,356 @@
+//! Experiment driver: prints the paper-style tables recorded in
+//! EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p bernoulli-bench --bin experiments -- [all|fig12|mvm|join|order|costmodel]`
+
+#![allow(clippy::needless_range_loop, clippy::type_complexity)]
+use bernoulli_bench::*;
+use bernoulli_blas::handwritten::{spdot_hash, spdot_merge};
+use bernoulli_blas::{generic_rhs, handwritten as hw, kernels, parallel, synth};
+use bernoulli_formats::{gen, Coo, Csc, Csr, Dia, Ell, HashVec, Jad, SparseMatrix, SparseVec};
+use bernoulli_synth::{run_plan, synthesize_all, ExecEnv, SynthOptions};
+use std::hint::black_box;
+
+const REPS: usize = 12;
+const ROUNDS: usize = 8;
+
+/// Noise-robust timing for the comparison tables.
+fn timeit(f: impl FnMut()) -> f64 {
+    time_best_of(ROUNDS, REPS, f)
+}
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match what.as_str() {
+        "fig12" => fig12(),
+        "mvm" => mvm(),
+        "join" => join(),
+        "order" => order(),
+        "costmodel" => costmodel(),
+        "all" => {
+            fig12();
+            mvm();
+            join();
+            order();
+            costmodel();
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// E1/E2 — Figs. 12/13: TS on can_1072, CSR/CSC/JAD ×
+/// {synth, nist_c, nist_f}.
+fn fig12() {
+    println!("== E1/E2 (Figs. 12-13): triangular solve, can_1072-like, MFLOP/s ==");
+    let l = can1072_lower();
+    let n = l.nrows();
+    let nnz = l.nnz();
+    let b0 = gen::dense_vector(n, 42);
+    let flops = ts_flops(nnz);
+
+    let csr = Csr::from_triplets(&l);
+    let csc = Csc::from_triplets(&l);
+    let jad = Jad::from_triplets(&l);
+
+    let mut rows = Vec::new();
+    rows.push((
+        "csr",
+        vec![
+            ("synth".to_string(), {
+                let t = timeit(|| {
+                    let mut b = b0.clone();
+                    synth::ts_csr(n as i64, black_box(&csr), &mut b);
+                    black_box(b);
+                });
+                mflops(flops, t)
+            }),
+            ("nist_c".to_string(), {
+                let t = timeit(|| {
+                    let mut b = b0.clone();
+                    hw::ts_csr(black_box(&csr), &mut b);
+                    black_box(b);
+                });
+                mflops(flops, t)
+            }),
+            ("nist_f".to_string(), {
+                let t = timeit(|| {
+                    let mut b = b0.clone();
+                    generic_rhs::ts_csr_multi(black_box(&csr), &mut b, 1);
+                    black_box(b);
+                });
+                mflops(flops, t)
+            }),
+        ],
+    ));
+    rows.push((
+        "csc",
+        vec![
+            ("synth".to_string(), {
+                let t = timeit(|| {
+                    let mut b = b0.clone();
+                    synth::ts_csc(n as i64, black_box(&csc), &mut b);
+                    black_box(b);
+                });
+                mflops(flops, t)
+            }),
+            ("nist_c".to_string(), {
+                let t = timeit(|| {
+                    let mut b = b0.clone();
+                    hw::ts_csc(black_box(&csc), &mut b);
+                    black_box(b);
+                });
+                mflops(flops, t)
+            }),
+            ("nist_f".to_string(), {
+                let t = timeit(|| {
+                    let mut b = b0.clone();
+                    generic_rhs::ts_csc_multi(black_box(&csc), &mut b, 1);
+                    black_box(b);
+                });
+                mflops(flops, t)
+            }),
+        ],
+    ));
+    rows.push((
+        "jad",
+        vec![
+            ("synth".to_string(), {
+                let t = timeit(|| {
+                    let mut b = b0.clone();
+                    synth::ts_jad(n as i64, black_box(&jad), &mut b);
+                    black_box(b);
+                });
+                mflops(flops, t)
+            }),
+            ("nist_c".to_string(), {
+                let t = timeit(|| {
+                    let mut b = b0.clone();
+                    hw::ts_jad(black_box(&jad), &mut b);
+                    black_box(b);
+                });
+                mflops(flops, t)
+            }),
+            ("nist_f".to_string(), {
+                let t = timeit(|| {
+                    let mut b = b0.clone();
+                    generic_rhs::ts_jad_multi(black_box(&jad), &mut b, 1);
+                    black_box(b);
+                });
+                mflops(flops, t)
+            }),
+        ],
+    ));
+    for (fmt, cells) in rows {
+        print_row(&format!("ts/{fmt}"), &cells);
+    }
+    println!();
+}
+
+/// E3 — MVM across formats on several inputs.
+fn mvm() {
+    println!("== E3: MVM across formats, MFLOP/s (synth | nist_c) ==");
+    let mut inputs = vec![("can1072", can1072())];
+    inputs.extend(extra_inputs());
+    for (label, t) in inputs {
+        let (m, n) = (t.nrows(), t.ncols());
+        let nnz = t.nnz();
+        let flops = mvm_flops(nnz);
+        let x = gen::dense_vector(n, 7);
+        let csr = Csr::from_triplets(&t);
+        let csc = Csc::from_triplets(&t);
+        let coo = Coo::from_triplets(&t);
+        let dia = Dia::from_triplets(&t);
+        let ell = Ell::from_triplets(&t);
+        let jad = Jad::from_triplets(&t);
+        // DIA stores padding; account its own nnz for fairness notes.
+        let dia_nnz = bernoulli_formats::SparseMatrix::nnz(&dia);
+
+        macro_rules! cell {
+            ($synth:path, $hand:path, $mat:ident) => {{
+                let ts = timeit(|| {
+                    let mut y = vec![0.0; m];
+                    $synth(m as i64, n as i64, black_box(&$mat), &x, &mut y);
+                    black_box(y);
+                });
+                let th = timeit(|| {
+                    let mut y = vec![0.0; m];
+                    $hand(black_box(&$mat), &x, &mut y);
+                    black_box(y);
+                });
+                (mflops(flops, ts), mflops(flops, th))
+            }};
+        }
+
+        let (s1, h1) = cell!(synth::mvm_csr, hw::mvm_csr, csr);
+        let (s2, h2) = cell!(synth::mvm_csc, hw::mvm_csc, csc);
+        let (s3, h3) = cell!(synth::mvm_coo, hw::mvm_coo, coo);
+        let (s4, h4) = cell!(synth::mvm_dia, hw::mvm_dia, dia);
+        let (s5, h5) = cell!(synth::mvm_ell, hw::mvm_ell, ell);
+        let (s6, h6) = cell!(synth::mvm_jad, hw::mvm_jad, jad);
+        let tp = timeit(|| {
+            let mut y = vec![0.0; m];
+            parallel::par_mvm_csr(black_box(&csr), &x, &mut y, 4);
+            black_box(y);
+        });
+
+        println!(
+            "{label:<14} nnz={nnz} (dia stores {dia_nnz})\n  csr {s1:8.1} | {h1:8.1}   csc {s2:8.1} | {h2:8.1}   coo {s3:8.1} | {h3:8.1}\n  dia {s4:8.1} | {h4:8.1}   ell {s5:8.1} | {h5:8.1}   jad {s6:8.1} | {h6:8.1}\n  csr-parallel(4): {:8.1}",
+            mflops(flops, tp)
+        );
+    }
+    println!();
+}
+
+/// E4 — join strategies for the sparse dot product.
+fn join() {
+    println!("== E4: sparse dot join strategies, time per op (us) ==");
+    let n = 1_000_000;
+    let big = 100_000;
+    let ya = gen::sparse_vector(n, big, 2);
+    let ys = SparseVec::from_pairs(n, &ya);
+    let yh = HashVec::from_pairs(n, &ya);
+    for small in [100usize, 1_000, 10_000, 100_000] {
+        let xa = gen::sparse_vector(n, small, 1);
+        let x = SparseVec::from_pairs(n, &xa);
+        let tm = timeit(|| {
+            black_box(spdot_merge(black_box(&x), black_box(&ys)));
+        });
+        let th = timeit(|| {
+            black_box(spdot_hash(black_box(&x), black_box(&yh)));
+        });
+        let tsearch = timeit(|| {
+            let mut acc = 0.0;
+            for (k, &i) in x.ind.iter().enumerate() {
+                if let Some(p) = ys.find(i) {
+                    acc += x.values[k] * ys.values[p];
+                }
+            }
+            black_box(acc);
+        });
+        println!(
+            "|x|={small:<8} merge={:10.1}  hash={:10.1}  search={:10.1}",
+            tm * 1e6,
+            th * 1e6,
+            tsearch * 1e6
+        );
+    }
+    println!();
+}
+
+/// E5 — data-centric vs iteration-centric.
+fn order() {
+    println!("== E5: data-centric vs iteration-centric CSR MVM ==");
+    let t = can1072();
+    let a = Csr::from_triplets(&t);
+    let x = gen::dense_vector(1072, 3);
+    let td = timeit(|| {
+        let mut y = vec![0.0; 1072];
+        hw::mvm_csr(black_box(&a), &x, &mut y);
+        black_box(y);
+    });
+    let ti = time_median(5, || {
+        let mut y = vec![0.0; 1072];
+        for i in 0..a.nrows {
+            let mut acc = 0.0;
+            for (j, &xj) in x.iter().enumerate() {
+                acc += a.get(i, j) * xj;
+            }
+            y[i] += acc;
+        }
+        black_box(y);
+    });
+    println!(
+        "data-centric {:.1} us, iteration-centric {:.1} us, speedup {:.0}x (fill ratio n^2/nnz = {:.0})",
+        td * 1e6,
+        ti * 1e6,
+        ti / td,
+        (1072.0 * 1072.0) / t.nnz() as f64
+    );
+    println!();
+}
+
+/// E6 — cost-model validation: estimated cost rank vs measured runtime
+/// rank over all legal candidates (TS/JAD).
+fn costmodel() {
+    println!("== E6: cost model validation (TS on JAD, all candidates) ==");
+    let spec = kernels::ts();
+    let view = bernoulli_blas::synth::view_for("ts", "jad");
+    let stats = bernoulli_synth::WorkloadStats::default()
+        .with_param("N", 400.0)
+        .with_matrix("L", 400.0, 400.0, 2600.0);
+    let opts = SynthOptions {
+        stats,
+        keep: 64,
+        ..SynthOptions::default()
+    };
+    let (cands, examined, _) = synthesize_all(&spec, &[("L", view)], &opts).unwrap();
+    println!("candidates: {} (examined {examined})", cands.len());
+
+    let t = gen::structurally_symmetric(400, 2600, 16, 9).lower_triangle_full_diag(1.0);
+    let jad = Jad::from_triplets(&t);
+    let b0 = gen::dense_vector(400, 4);
+
+    let mut measured: Vec<(usize, f64, f64)> = Vec::new();
+    for (i, cand) in cands.iter().enumerate() {
+        let time = time_median(5, || {
+            let mut env = ExecEnv::new();
+            env.set_param("N", 400);
+            env.bind_vec("b", b0.clone());
+            env.bind_sparse("L", &jad);
+            run_plan(&cand.plan, &mut env).unwrap();
+            black_box(env.take_vec("b"));
+        });
+        measured.push((i, cand.cost, time));
+    }
+    // Spearman rank correlation between cost and time.
+    let rho = spearman(
+        &measured.iter().map(|m| m.1).collect::<Vec<_>>(),
+        &measured.iter().map(|m| m.2).collect::<Vec<_>>(),
+    );
+    for (i, cost, time) in &measured {
+        println!("  cand {i:>2}: est cost {cost:>12.0}  measured {:>9.1} us", time * 1e6);
+    }
+    println!("Spearman rank correlation (cost vs time): {rho:.2}");
+    println!();
+}
+
+fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    // Fractional (average) ranks for ties, so equal-cost candidates do
+    // not penalize the correlation by arbitrary ordering.
+    let rank = |v: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).unwrap());
+        let mut r = vec![0.0; v.len()];
+        let mut pos = 0;
+        while pos < idx.len() {
+            let mut end = pos;
+            while end + 1 < idx.len() && v[idx[end + 1]] == v[idx[pos]] {
+                end += 1;
+            }
+            let avg = (pos + end) as f64 / 2.0;
+            for &i in &idx[pos..=end] {
+                r[i] = avg;
+            }
+            pos = end + 1;
+        }
+        r
+    };
+    let (ra, rb) = (rank(a), rank(b));
+    let n = a.len() as f64;
+    if n < 2.0 {
+        return 1.0;
+    }
+    let mean = (n - 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..a.len() {
+        num += (ra[i] - mean) * (rb[i] - mean);
+        da += (ra[i] - mean).powi(2);
+        db += (rb[i] - mean).powi(2);
+    }
+    num / (da.sqrt() * db.sqrt()).max(1e-12)
+}

@@ -1,0 +1,135 @@
+//! Micro-probe: isolate the cost difference between generated and
+//! handwritten TS/CSR loop structures (dev tool).
+#![allow(clippy::needless_range_loop, clippy::type_complexity)]
+use bernoulli_bench::{can1072_lower, time_median};
+use bernoulli_formats::{gen, Csr};
+use std::hint::black_box;
+
+fn synth_style(l: &Csr<f64>, b: &mut [f64]) {
+    for v0 in 0..l.nrows as i64 {
+        let p0_0 = v0 as usize;
+        let mut acc = b[v0 as usize];
+        for p in l.rowptr[p0_0]..l.rowptr[p0_0 + 1] {
+            let v1 = l.colind[p] as i64;
+            if (v1 - v0) == 0 {
+                acc /= l.values[p];
+            }
+            if (v0 - v1 - 1) >= 0 {
+                acc -= l.values[p] * b[v1 as usize];
+            }
+        }
+        b[v0 as usize] = acc;
+    }
+}
+
+fn synth_else(l: &Csr<f64>, b: &mut [f64]) {
+    for v0 in 0..l.nrows as i64 {
+        let p0_0 = v0 as usize;
+        let mut acc = b[v0 as usize];
+        for p in l.rowptr[p0_0]..l.rowptr[p0_0 + 1] {
+            let v1 = l.colind[p] as i64;
+            if v0 - v1 > 0 {
+                acc -= l.values[p] * b[v1 as usize];
+            } else if v1 == v0 {
+                acc /= l.values[p];
+            }
+        }
+        b[v0 as usize] = acc;
+    }
+}
+
+fn lib_style_cmp(l: &Csr<f64>, b: &mut [f64]) {
+    // Exact generated structure, but guards as comparisons.
+    for v0 in 0..l.nrows as i64 {
+        let p0_0 = v0 as usize;
+        let mut acc__ = b[v0 as usize];
+        let mut pivot__ = 0.0f64;
+        let mut has_pivot__ = false;
+        for p0_1 in l.rowptr[p0_0]..l.rowptr[p0_0 + 1] {
+            let v1 = l.colind[p0_1] as i64;
+            if v0 > v1 {
+                acc__ -= l.values[p0_1] * b[v1 as usize];
+            } else if v1 == v0 {
+                pivot__ = l.values[p0_1];
+                has_pivot__ = true;
+            }
+        }
+        if has_pivot__ {
+            acc__ /= pivot__;
+        }
+        b[v0 as usize] = acc__;
+    }
+}
+
+fn lib_style_sub(l: &Csr<f64>, b: &mut [f64]) {
+    // Exact generated structure (sub-and-test guards).
+    for v0 in 0..l.nrows as i64 {
+        let p0_0 = v0 as usize;
+        let mut acc__ = b[v0 as usize];
+        let mut pivot__ = 0.0f64;
+        let mut has_pivot__ = false;
+        for p0_1 in l.rowptr[p0_0]..l.rowptr[p0_0 + 1] {
+            let v1 = l.colind[p0_1] as i64;
+            if (v0 - v1 - 1) >= 0 {
+                acc__ -= l.values[p0_1] * b[v1 as usize];
+            } else if (v1 - v0) == 0 {
+                pivot__ = l.values[p0_1];
+                has_pivot__ = true;
+            }
+        }
+        if has_pivot__ {
+            acc__ /= pivot__;
+        }
+        b[v0 as usize] = acc__;
+    }
+}
+
+fn hw_style(l: &Csr<f64>, b: &mut [f64]) {
+    for i in 0..l.nrows {
+        let mut acc = b[i];
+        let mut diag = 0.0;
+        for p in l.rowptr[i]..l.rowptr[i + 1] {
+            let c = l.colind[p];
+            if c < i {
+                acc -= l.values[p] * b[c];
+            } else if c == i {
+                diag = l.values[p];
+            }
+        }
+        b[i] = acc / diag;
+    }
+}
+
+fn main() {
+    let t = can1072_lower();
+    let l = Csr::from_triplets(&t);
+    let b0 = gen::dense_vector(1072, 42);
+    let flops = 2.0 * t.nnz() as f64;
+    let kernels: Vec<(&str, fn(&Csr<f64>, &mut [f64]))> = vec![
+        ("synth_style", synth_style),
+        ("synth_else", synth_else),
+        ("lib_cmp", lib_style_cmp),
+        ("lib_sub", lib_style_sub),
+        ("hw_style", hw_style),
+        ("lib_synth", |l, b| bernoulli_blas::synth::ts_csr(l.nrows as i64, l, b)),
+        ("lib_hw", |l, b| bernoulli_blas::handwritten::ts_csr(l, b)),
+    ];
+    // Interleave rounds and keep the best (min time) per kernel to fight
+    // noisy-neighbor variance.
+    let mut best = vec![f64::INFINITY; kernels.len()];
+    for _round in 0..12 {
+        for (k, (_, f)) in kernels.iter().enumerate() {
+            let tm = time_median(20, || {
+                let mut b = b0.clone();
+                f(black_box(&l), &mut b);
+                black_box(b);
+            });
+            if tm < best[k] {
+                best[k] = tm;
+            }
+        }
+    }
+    for ((name, _), tm) in kernels.iter().zip(&best) {
+        println!("{name:<12} {:8.1} MFLOP/s", flops / tm / 1e6);
+    }
+}

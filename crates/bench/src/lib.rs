@@ -1,0 +1,125 @@
+//! Benchmark harness: workloads, timing, and paper-style reporting
+//! (paper §5).
+//!
+//! The Criterion benches under `benches/` regenerate the paper's figures;
+//! the `experiments` binary prints the same data as compact MFLOP/s
+//! tables for EXPERIMENTS.md.
+
+#![allow(clippy::needless_range_loop)]
+use bernoulli_formats::{gen, Triplets};
+use std::time::Instant;
+
+/// The evaluation input: the synthetic stand-in for Harwell–Boeing
+/// `can_1072` (see DESIGN.md substitution 1) — or, when the environment
+/// variable `CAN1072_MTX` points at a Matrix Market file of the real
+/// matrix, that file (pattern entries get unit values; the diagonal is
+/// made structurally full for the TS operand, as the NIST drivers do).
+pub fn can1072() -> Triplets<f64> {
+    if let Ok(path) = std::env::var("CAN1072_MTX") {
+        let file = std::fs::File::open(&path)
+            .unwrap_or_else(|e| panic!("CAN1072_MTX={path}: {e}"));
+        let t = bernoulli_formats::io::read_matrix_market(std::io::BufReader::new(file))
+            .unwrap_or_else(|e| panic!("CAN1072_MTX={path}: {e}"));
+        eprintln!(
+            "using real matrix from {path}: {}x{} nnz={}",
+            t.nrows(),
+            t.ncols(),
+            t.nnz()
+        );
+        return t;
+    }
+    gen::can_1072_like()
+}
+
+/// Lower triangle (full diagonal) of [`can1072`] — the TS operand.
+pub fn can1072_lower() -> Triplets<f64> {
+    can1072().lower_triangle_full_diag(1.0)
+}
+
+/// Secondary inputs for the "representative for other inputs" claim (E3).
+pub fn extra_inputs() -> Vec<(&'static str, Triplets<f64>)> {
+    vec![
+        ("poisson2d_32", gen::poisson2d(32)),
+        ("banded_1000_b8", gen::banded(1000, 8, 17)),
+        ("random_1000", gen::random_sparse(1000, 1000, 12000, 23)),
+    ]
+}
+
+/// Median-of-runs wall time for `f`, in seconds, with a warmup run.
+pub fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Best (minimum) of `rounds` medians — robust against noisy-neighbor
+/// interference; use for cross-implementation comparisons.
+pub fn time_best_of(rounds: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t = time_median(reps, &mut f);
+        if t < best {
+            best = t;
+        }
+    }
+    best
+}
+
+/// MFLOP/s for a kernel performing `flops` floating point operations.
+pub fn mflops(flops: f64, seconds: f64) -> f64 {
+    flops / seconds / 1e6
+}
+
+/// Useful FLOP counts: MVM does 2·nnz, TS does 2·nnz (one mul+sub per
+/// off-diagonal entry, one divide per row; we follow the standard 2·nnz
+/// accounting the sparse BLAS literature uses).
+pub fn mvm_flops(nnz: usize) -> f64 {
+    2.0 * nnz as f64
+}
+
+/// TS FLOP count (same 2·nnz convention).
+pub fn ts_flops(nnz: usize) -> f64 {
+    2.0 * nnz as f64
+}
+
+/// Prints one table row: label + MFLOP/s figures.
+pub fn print_row(label: &str, cells: &[(String, f64)]) {
+    print!("{label:<28}");
+    for (name, v) in cells {
+        print!(" {name}={v:8.1}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_materialize() {
+        let t = can1072();
+        assert_eq!(t.nrows(), 1072);
+        let l = can1072_lower();
+        assert!(l.nnz() >= 1072);
+        assert_eq!(extra_inputs().len(), 3);
+    }
+
+    #[test]
+    fn timing_is_positive() {
+        let s = time_median(3, || {
+            let mut acc = 0.0f64;
+            for i in 0..1000 {
+                acc += (i as f64).sqrt();
+            }
+            std::hint::black_box(acc);
+        });
+        assert!(s > 0.0);
+        assert!(mflops(1e6, s) > 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Dense kernels, for cross-checking and small-matrix baselines.
+
+use bernoulli_formats::{Dense, Scalar};
+
+/// `y += A·x`.
+pub fn mvm_dense<T: Scalar>(a: &Dense<T>, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), a.ncols, "x length");
+    assert_eq!(y.len(), a.nrows, "y length");
+    for i in 0..a.nrows {
+        let mut acc = T::ZERO;
+        let row = &a.data[i * a.ncols..(i + 1) * a.ncols];
+        for (j, &v) in row.iter().enumerate() {
+            acc += v * x[j];
+        }
+        y[i] += acc;
+    }
+}
+
+/// Lower triangular solve in place.
+pub fn ts_dense<T: Scalar>(l: &Dense<T>, b: &mut [T]) {
+    assert_eq!(l.nrows, l.ncols, "square");
+    assert_eq!(b.len(), l.nrows, "b length");
+    for i in 0..l.nrows {
+        let mut acc = b[i];
+        for j in 0..i {
+            acc -= l.data[i * l.ncols + j] * b[j];
+        }
+        b[i] = acc / l.data[i * l.ncols + i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handwritten::testutil::*;
+    use bernoulli_formats::Dense;
+
+    #[test]
+    fn mvm_matches_reference() {
+        let (t, x) = workload();
+        let a = Dense::from_triplets(&t);
+        let mut y = vec![0.0; t.nrows()];
+        mvm_dense(&a, &x, &mut y);
+        assert_close(&y, &ref_mvm(&t, &x));
+    }
+
+    #[test]
+    fn ts_matches_reference() {
+        let (t, b0) = tri_workload();
+        let l = Dense::from_triplets(&t);
+        let mut b = b0.clone();
+        ts_dense(&l, &mut b);
+        assert_close(&b, &ref_ts(&t, &b0));
+    }
+}

@@ -1,0 +1,160 @@
+//! Any-to-any format conversion through [`Triplets`].
+
+use crate::scalar::Scalar;
+use crate::{Coo, Csc, Csr, Dense, Dia, DiagSplit, Ell, Jad, Triplets};
+
+/// Names of all matrix formats with universal conversion support.
+pub const FORMAT_NAMES: &[&str] = &["dense", "coo", "csr", "csc", "dia", "ell", "jad", "diagsplit"];
+
+/// A dynamically-chosen matrix format (conversion and experiment-harness
+/// convenience; kernels always work with the concrete types).
+#[derive(Clone, Debug)]
+pub enum AnyFormat<T: Scalar = f64> {
+    Dense(Dense<T>),
+    Coo(Coo<T>),
+    Csr(Csr<T>),
+    Csc(Csc<T>),
+    Dia(Dia<T>),
+    Ell(Ell<T>),
+    Jad(Jad<T>),
+    DiagSplit(DiagSplit<T>),
+}
+
+impl<T: Scalar> AnyFormat<T> {
+    /// Converts triplets into the named format.
+    ///
+    /// # Panics
+    /// Panics on an unknown format name, or if the format's constraints
+    /// are violated (e.g. `diagsplit` on a non-square matrix).
+    pub fn from_triplets(name: &str, t: &Triplets<T>) -> AnyFormat<T> {
+        match name {
+            "dense" => AnyFormat::Dense(Dense::from_triplets(t)),
+            "coo" => AnyFormat::Coo(Coo::from_triplets(t)),
+            "csr" => AnyFormat::Csr(Csr::from_triplets(t)),
+            "csc" => AnyFormat::Csc(Csc::from_triplets(t)),
+            "dia" => AnyFormat::Dia(Dia::from_triplets(t)),
+            "ell" => AnyFormat::Ell(Ell::from_triplets(t)),
+            "jad" => AnyFormat::Jad(Jad::from_triplets(t)),
+            "diagsplit" => AnyFormat::DiagSplit(DiagSplit::from_triplets(t)),
+            other => panic!("unknown format {other:?}"),
+        }
+    }
+
+    /// Converts back to triplets.
+    pub fn to_triplets(&self) -> Triplets<T> {
+        match self {
+            AnyFormat::Dense(m) => m.to_triplets(),
+            AnyFormat::Coo(m) => m.to_triplets(),
+            AnyFormat::Csr(m) => m.to_triplets(),
+            AnyFormat::Csc(m) => m.to_triplets(),
+            AnyFormat::Dia(m) => m.to_triplets(),
+            AnyFormat::Ell(m) => m.to_triplets(),
+            AnyFormat::Jad(m) => m.to_triplets(),
+            AnyFormat::DiagSplit(m) => m.to_triplets(),
+        }
+    }
+
+    /// The format name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnyFormat::Dense(_) => "dense",
+            AnyFormat::Coo(_) => "coo",
+            AnyFormat::Csr(_) => "csr",
+            AnyFormat::Csc(_) => "csc",
+            AnyFormat::Dia(_) => "dia",
+            AnyFormat::Ell(_) => "ell",
+            AnyFormat::Jad(_) => "jad",
+            AnyFormat::DiagSplit(_) => "diagsplit",
+        }
+    }
+}
+
+impl AnyFormat<f64> {
+    /// Borrows the dynamic low-level API.
+    pub fn as_view(&self) -> &dyn crate::SparseView {
+        match self {
+            AnyFormat::Dense(m) => m,
+            AnyFormat::Coo(m) => m,
+            AnyFormat::Csr(m) => m,
+            AnyFormat::Csc(m) => m,
+            AnyFormat::Dia(m) => m,
+            AnyFormat::Ell(m) => m,
+            AnyFormat::Jad(m) => m,
+            AnyFormat::DiagSplit(m) => m,
+        }
+    }
+
+    /// Mutably borrows the dynamic low-level API.
+    pub fn as_view_mut(&mut self) -> &mut dyn crate::SparseView {
+        match self {
+            AnyFormat::Dense(m) => m,
+            AnyFormat::Coo(m) => m,
+            AnyFormat::Csr(m) => m,
+            AnyFormat::Csc(m) => m,
+            AnyFormat::Dia(m) => m,
+            AnyFormat::Ell(m) => m,
+            AnyFormat::Jad(m) => m,
+            AnyFormat::DiagSplit(m) => m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Triplets<f64> {
+        Triplets::from_entries(
+            4,
+            4,
+            &[
+                (0, 0, 2.0),
+                (1, 1, 3.0),
+                (2, 2, 4.0),
+                (3, 3, 5.0),
+                (1, 0, -1.0),
+                (3, 1, 6.0),
+                (0, 2, 7.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn all_formats_roundtrip_values() {
+        let t = sample();
+        for &name in FORMAT_NAMES {
+            let f = AnyFormat::from_triplets(name, &t);
+            assert_eq!(f.name(), name);
+            let back = f.to_triplets();
+            // DIA and DiagSplit add structural zeros; compare by value.
+            for r in 0..4 {
+                for c in 0..4 {
+                    assert_eq!(back.get(r, c), t.get(r, c), "{name} ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_format_random_access_agrees() {
+        let t = sample();
+        let formats: Vec<AnyFormat<f64>> = FORMAT_NAMES
+            .iter()
+            .map(|&n| AnyFormat::from_triplets(n, &t))
+            .collect();
+        for r in 0..4 {
+            for c in 0..4 {
+                let expect = t.get(r, c);
+                for f in &formats {
+                    assert_eq!(f.as_view().get(r, c), expect, "{} ({r},{c})", f.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown format")]
+    fn unknown_format_panics() {
+        let _ = AnyFormat::<f64>::from_triplets("bsr", &sample());
+    }
+}

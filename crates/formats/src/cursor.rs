@@ -1,0 +1,278 @@
+//! Runtime level cursors: the executable half of the low-level API.
+//!
+//! The paper implements enumeration through a C++ class hierarchy
+//! (`term_nesting`, `increasing_iterator`, `interval_iterator`, …) whose
+//! methods are resolved statically via the Barton–Nackman trick. The plan
+//! *interpreter* in `bernoulli-synth` instead needs a dynamic interface,
+//! provided here; the statically-dispatched equivalent is what the code
+//! *emitter* produces (specialized Rust per format, like the paper's
+//! Fig. 9).
+//!
+//! A format exposes one or more [`Chain`](crate::view::Chain)s (linearized
+//! access paths). Within a chain, every nesting level supports:
+//!
+//! - `cursor`/`advance`: enumerate the keys stored at this level beneath a
+//!   parent position, forward or (for interval levels) backward;
+//! - `search`: find the child position for a given key, per the level's
+//!   [`SearchKind`](crate::view::SearchKind);
+//! - at the innermost level, `value_at`/`set_value_at` read and write the
+//!   stored scalar.
+//!
+//! Positions are opaque `usize` tokens whose meaning is format-private
+//! (e.g. for CSR, the level-0 position is a row number and the level-1
+//! position is an index into `colind`/`values`).
+
+use crate::view::FormatView;
+use crate::SparseMatrix;
+
+/// Opaque per-format position token.
+pub type Position = usize;
+
+/// Keys bound by one cursor step (one per attribute of the level).
+pub type KeyTuple = Vec<i64>;
+
+/// Enumeration state for one level of one chain.
+///
+/// The generic walk is: `let mut cur = view.cursor(chain, level, pos, rev);`
+/// then `while view.advance(&mut cur) { use cur.keys / cur.pos }`.
+#[derive(Clone, Debug)]
+pub struct ChainCursor {
+    /// Chain id (as assigned by [`FormatView::alternatives`]).
+    pub chain: usize,
+    /// Level within the chain.
+    pub level: usize,
+    /// Parent position this cursor enumerates under.
+    pub parent: Position,
+    /// Raw iteration index (format-private meaning).
+    pub idx: i64,
+    /// Exclusive end of the raw index range (for forward traversal).
+    pub end: i64,
+    /// Traverse in decreasing key order (supported on interval levels).
+    pub reverse: bool,
+    /// Keys of the current entry (valid after a successful `advance`).
+    pub keys: KeyTuple,
+    /// Child position of the current entry (valid after `advance`).
+    pub pos: Position,
+    /// Whether `advance` has been called at least once.
+    pub started: bool,
+}
+
+impl ChainCursor {
+    /// Creates a cursor over the raw index range `lo..hi`.
+    pub fn over_range(chain: usize, level: usize, parent: Position, lo: i64, hi: i64, reverse: bool) -> ChainCursor {
+        ChainCursor {
+            chain,
+            level,
+            parent,
+            idx: if reverse { hi } else { lo - 1 },
+            end: if reverse { lo } else { hi },
+            reverse,
+            keys: Vec::new(),
+            pos: 0,
+            started: false,
+        }
+    }
+
+    /// Steps the raw index; returns `false` when the range is exhausted.
+    /// Format `advance` implementations call this and then fill
+    /// `keys`/`pos` from `idx`.
+    pub fn step(&mut self) -> bool {
+        self.started = true;
+        if self.reverse {
+            self.idx -= 1;
+            self.idx >= self.end
+        } else {
+            self.idx += 1;
+            self.idx < self.end
+        }
+    }
+}
+
+/// The dynamic low-level API implemented by every format (at `f64`).
+///
+/// Chain and level numbering must agree with the format's
+/// [`FormatView::alternatives`] output.
+pub trait SparseView: SparseMatrix {
+    /// The index-structure description of this format instance.
+    fn format_view(&self) -> FormatView;
+
+    /// Opens a cursor over `level` of `chain` beneath `parent`.
+    ///
+    /// # Panics
+    /// Panics if `reverse` is requested on a level that does not support
+    /// it (non-interval levels), or on invalid chain/level.
+    fn cursor(&self, chain: usize, level: usize, parent: Position, reverse: bool) -> ChainCursor;
+
+    /// Advances the cursor, filling `keys` and `pos`. Returns `false` at
+    /// the end of the level.
+    fn advance(&self, cur: &mut ChainCursor) -> bool;
+
+    /// Searches `level` of `chain` beneath `parent` for `keys`; returns
+    /// the child position if the keys are stored.
+    ///
+    /// Supported per the level's [`SearchKind`](crate::view::SearchKind);
+    /// `SearchKind::None` levels panic.
+    fn search(&self, chain: usize, level: usize, parent: Position, keys: &[i64]) -> Option<Position>;
+
+    /// Reads the stored value at a leaf position of `chain`.
+    fn value_at(&self, chain: usize, pos: Position) -> f64;
+
+    /// Writes the stored value at a leaf position of `chain`.
+    fn set_value_at(&mut self, chain: usize, pos: Position, v: f64);
+
+    /// Applies a named permutation table: `table[x]`.
+    ///
+    /// Only formats whose view contains a `perm` production implement
+    /// this; others panic.
+    fn perm_apply(&self, table: &str, x: i64) -> i64 {
+        panic!("format has no permutation table named {table:?} (apply {x})");
+    }
+
+    /// Applies the inverse of a named permutation table.
+    fn perm_unapply(&self, table: &str, x: i64) -> i64 {
+        panic!("format has no permutation table named {table:?} (unapply {x})");
+    }
+}
+
+/// Walks an entire chain recursively, invoking `f` with the stored
+/// attribute keys (outermost-level first) and the value. Utility for
+/// tests and for the view-conformance checker.
+pub fn walk_chain(view: &dyn SparseView, chain: usize, f: &mut dyn FnMut(&[i64], f64)) {
+    let fv = view.format_view();
+    let nlevels = fv
+        .alternatives()
+        .into_iter()
+        .flatten()
+        .find(|c| c.id == chain)
+        .map(|c| c.levels.len())
+        .expect("chain id in range");
+    let mut keys: Vec<i64> = Vec::new();
+    walk_rec(view, chain, 0, nlevels, 0, &mut keys, f);
+}
+
+fn walk_rec(
+    view: &dyn SparseView,
+    chain: usize,
+    level: usize,
+    nlevels: usize,
+    parent: Position,
+    keys: &mut Vec<i64>,
+    f: &mut dyn FnMut(&[i64], f64),
+) {
+    if level == nlevels {
+        f(keys, view.value_at(chain, parent));
+        return;
+    }
+    let mut cur = view.cursor(chain, level, parent, false);
+    while view.advance(&mut cur) {
+        let depth = keys.len();
+        keys.extend_from_slice(&cur.keys);
+        walk_rec(view, chain, level + 1, nlevels, cur.pos, keys, f);
+        keys.truncate(depth);
+    }
+}
+
+/// Checks that a format's view description is *faithful*: enumerating
+/// every chain of the given alternative visits exactly the stored entries
+/// of the matrix, with coordinates that, after applying the chain's `fwd`
+/// transforms, agree with random access. Returns an error description on
+/// the first mismatch.
+///
+/// This is the executable contract between the format implementor and the
+/// compiler (property P2 of DESIGN.md).
+pub fn check_view_conformance(view: &dyn SparseView, alternative: usize) -> Result<(), String> {
+    use std::collections::HashMap;
+    let fv = view.format_view();
+    let alts = fv.alternatives();
+    let alt = alts
+        .get(alternative)
+        .ok_or_else(|| format!("alternative {alternative} out of range"))?;
+
+    let mut seen: HashMap<(i64, i64), f64> = HashMap::new();
+    for chain in alt {
+        let stored: Vec<String> = chain.stored_attrs().iter().map(|s| s.to_string()).collect();
+        let mut err: Option<String> = None;
+        walk_chain(view, chain.id, &mut |keys, v| {
+            if err.is_some() {
+                return;
+            }
+            // Bind stored attrs, then run fwd transforms to dense coords.
+            let mut env: HashMap<&str, i64> = HashMap::new();
+            for (a, &k) in stored.iter().zip(keys) {
+                env.insert(a.as_str(), k);
+            }
+            for t in &chain.fwd {
+                let val = match t {
+                    crate::view::Transform::Affine { terms, cst, .. } => {
+                        let mut acc = *cst;
+                        for (a, c) in terms {
+                            let Some(&x) = env.get(a.as_str()) else {
+                                err = Some(format!("transform input {a} unbound"));
+                                return;
+                            };
+                            acc += c * x;
+                        }
+                        acc
+                    }
+                    crate::view::Transform::PermApply { table, input, .. } => {
+                        let Some(&x) = env.get(input.as_str()) else {
+                            err = Some(format!("perm input {input} unbound"));
+                            return;
+                        };
+                        view.perm_apply(table, x)
+                    }
+                    crate::view::Transform::PermUnapply { table, input, .. } => {
+                        let Some(&x) = env.get(input.as_str()) else {
+                            err = Some(format!("perm input {input} unbound"));
+                            return;
+                        };
+                        view.perm_unapply(table, x)
+                    }
+                };
+                env.insert(
+                    match t {
+                        crate::view::Transform::Affine { out, .. }
+                        | crate::view::Transform::PermApply { out, .. }
+                        | crate::view::Transform::PermUnapply { out, .. } => out.as_str(),
+                    },
+                    val,
+                );
+            }
+            let dense: Vec<i64> = fv
+                .dense_attrs
+                .iter()
+                .map(|a| *env.get(a.as_str()).unwrap_or(&i64::MIN))
+                .collect();
+            if dense.contains(&i64::MIN) {
+                err = Some(format!("dense attrs unbound after transforms: {env:?}"));
+                return;
+            }
+            let (r, c) = (dense[0], *dense.get(1).unwrap_or(&0));
+            if r < 0 || c < 0 || r as usize >= view.nrows() || c as usize >= view.ncols() {
+                err = Some(format!("coordinates out of range: ({r}, {c})"));
+                return;
+            }
+            let expect = view.get(r as usize, c as usize);
+            if expect != v {
+                err = Some(format!(
+                    "value mismatch at ({r}, {c}): random access {expect}, enumeration {v}"
+                ));
+                return;
+            }
+            if seen.insert((r, c), v).is_some() {
+                err = Some(format!("entry ({r}, {c}) enumerated twice"));
+            }
+        });
+        if let Some(e) = err {
+            return Err(format!("chain {}: {e}", chain.id));
+        }
+    }
+    let nnz = view.nnz();
+    if seen.len() != nnz {
+        return Err(format!(
+            "alternative {alternative} enumerated {} entries, nnz is {nnz}",
+            seen.len()
+        ));
+    }
+    Ok(())
+}

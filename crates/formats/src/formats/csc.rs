@@ -1,0 +1,262 @@
+//! Compressed Sparse Column storage — the `c -> r -> v` view.
+//!
+//! CSC is the transpose of CSR: indexed access to columns, ordered
+//! enumeration of the rows within each column.
+
+use crate::scalar::Scalar;
+use crate::view::{detect_properties, FormatView, Order, SearchKind, ViewExpr};
+use crate::{ChainCursor, Position, SparseMatrix, SparseView, Triplets};
+
+/// Compressed Sparse Column matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csc<T: Scalar = f64> {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// `colptr[c]..colptr[c+1]` indexes the entries of column `c`
+    /// (`len == ncols + 1`).
+    pub colptr: Vec<usize>,
+    /// Row index of each stored entry, sorted within each column.
+    pub rowind: Vec<usize>,
+    /// Value of each stored entry.
+    pub values: Vec<T>,
+}
+
+impl<T: Scalar> Csc<T> {
+    /// Builds from triplets.
+    pub fn from_triplets(t: &Triplets<T>) -> Csc<T> {
+        // Sort column-major via the transpose ordering.
+        let mut entries: Vec<(usize, usize, T)> = {
+            let mut tt = t.clone();
+            tt.normalize();
+            tt.entries().to_vec()
+        };
+        entries.sort_by_key(|&(r, c, _)| (c, r));
+        let mut colptr = vec![0usize; t.ncols() + 1];
+        for &(_, c, _) in &entries {
+            colptr[c + 1] += 1;
+        }
+        for c in 0..t.ncols() {
+            colptr[c + 1] += colptr[c];
+        }
+        Csc {
+            nrows: t.nrows(),
+            ncols: t.ncols(),
+            colptr,
+            rowind: entries.iter().map(|&(r, _, _)| r).collect(),
+            values: entries.iter().map(|&(_, _, v)| v).collect(),
+        }
+    }
+
+    /// Converts back to triplets.
+    pub fn to_triplets(&self) -> Triplets<T> {
+        let mut t = Triplets::new(self.nrows, self.ncols);
+        for c in 0..self.ncols {
+            for i in self.col_range(c) {
+                t.push(self.rowind[i], c, self.values[i]);
+            }
+        }
+        t.normalize();
+        t
+    }
+
+    /// The half-open storage range of column `c`.
+    pub fn col_range(&self, c: usize) -> std::ops::Range<usize> {
+        self.colptr[c]..self.colptr[c + 1]
+    }
+
+    /// Binary-searches column `c` for row `r`.
+    pub fn find(&self, r: usize, c: usize) -> Option<usize> {
+        let rng = self.col_range(c);
+        self.rowind[rng.clone()]
+            .binary_search(&r)
+            .ok()
+            .map(|k| rng.start + k)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+}
+
+impl SparseMatrix for Csc<f64> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+    fn get(&self, r: usize, c: usize) -> f64 {
+        self.find(r, c).map_or(0.0, |i| self.values[i])
+    }
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        let i = self
+            .find(r, c)
+            .unwrap_or_else(|| panic!("({r},{c}) is not a stored position"));
+        self.values[i] = v;
+    }
+    fn entries(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for c in 0..self.ncols {
+            for i in self.col_range(c) {
+                out.push((self.rowind[i], c, self.values[i]));
+            }
+        }
+        out
+    }
+}
+
+/// The CSC index structure: `c -> r -> v`.
+pub fn csc_format_view() -> FormatView {
+    FormatView {
+        name: "csc".into(),
+        dense_attrs: vec!["r".into(), "c".into()],
+        expr: ViewExpr::interval(
+            "c",
+            ViewExpr::level("r", Order::Increasing, SearchKind::Sorted, ViewExpr::Value),
+        ),
+        bounds: vec![],
+        guarantees: vec![],
+    }
+}
+
+impl SparseView for Csc<f64> {
+    fn format_view(&self) -> FormatView {
+        let mut v = csc_format_view();
+        let (b, g) = detect_properties(&self.entries(), self.nrows, self.ncols);
+        v.bounds = b;
+        v.guarantees = g;
+        v
+    }
+
+    fn cursor(&self, chain: usize, level: usize, parent: Position, reverse: bool) -> ChainCursor {
+        assert_eq!(chain, 0);
+        match level {
+            0 => ChainCursor::over_range(chain, 0, parent, 0, self.ncols as i64, reverse),
+            1 => {
+                assert!(!reverse, "csc row level enumerates forward only");
+                let rng = self.col_range(parent);
+                ChainCursor::over_range(chain, 1, parent, rng.start as i64, rng.end as i64, false)
+            }
+            _ => panic!("csc has 2 levels"),
+        }
+    }
+
+    fn advance(&self, cur: &mut ChainCursor) -> bool {
+        if !cur.step() {
+            return false;
+        }
+        match cur.level {
+            0 => {
+                cur.keys = vec![cur.idx];
+                cur.pos = cur.idx as usize;
+            }
+            1 => {
+                cur.keys = vec![self.rowind[cur.idx as usize] as i64];
+                cur.pos = cur.idx as usize;
+            }
+            _ => unreachable!(),
+        }
+        true
+    }
+
+    fn search(&self, chain: usize, level: usize, parent: Position, keys: &[i64]) -> Option<Position> {
+        assert_eq!(chain, 0);
+        let k = keys[0];
+        if k < 0 {
+            return None;
+        }
+        match level {
+            0 => (k < self.ncols as i64).then_some(k as usize),
+            1 => self.find(k as usize, parent),
+            _ => panic!("csc has 2 levels"),
+        }
+    }
+
+    fn value_at(&self, _chain: usize, pos: Position) -> f64 {
+        self.values[pos]
+    }
+
+    fn set_value_at(&mut self, _chain: usize, pos: Position, v: f64) {
+        self.values[pos] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::check_view_conformance;
+    use crate::Csr;
+
+    fn sample_triplets() -> Triplets<f64> {
+        Triplets::from_entries(
+            4,
+            4,
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 1, 4.0),
+                (2, 2, 5.0),
+                (3, 0, 6.0),
+                (3, 3, 7.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn layout() {
+        let a = Csc::from_triplets(&sample_triplets());
+        assert_eq!(a.colptr, vec![0, 2, 4, 6, 7]);
+        assert_eq!(a.rowind, vec![0, 3, 1, 2, 0, 2, 3]);
+    }
+
+    #[test]
+    fn agrees_with_csr() {
+        let t = sample_triplets();
+        let csc = Csc::from_triplets(&t);
+        let csr = Csr::from_triplets(&t);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(csc.get(r, c), csr.get(r, c), "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn triplet_roundtrip() {
+        let t = sample_triplets();
+        assert_eq!(Csc::from_triplets(&t).to_triplets(), t);
+    }
+
+    #[test]
+    fn view_conformance() {
+        check_view_conformance(&Csc::from_triplets(&sample_triplets()), 0).unwrap();
+    }
+
+    #[test]
+    fn search_and_set() {
+        let mut a = Csc::from_triplets(&sample_triplets());
+        let p = a.search(0, 1, 2, &[2]).unwrap(); // column 2, row 2
+        assert_eq!(a.value_at(0, p), 5.0);
+        a.set(2, 2, 50.0);
+        assert_eq!(a.value_at(0, p), 50.0);
+        assert_eq!(a.search(0, 1, 2, &[3]), None);
+    }
+
+    #[test]
+    fn row_cursor_sorted_within_column() {
+        let a = Csc::from_triplets(&sample_triplets());
+        let mut cur = a.cursor(0, 1, 0, false);
+        let mut rows = Vec::new();
+        while a.advance(&mut cur) {
+            rows.push(cur.keys[0]);
+        }
+        assert_eq!(rows, vec![0, 3]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Compressed Sparse Row storage — the `r -> c -> v` view.
+//!
+//! CSR permits indexed access to rows (the `r` level is a full interval
+//! with O(1) access) and ordered enumeration of the columns within each
+//! row; columns of the whole matrix cannot be accessed directly (paper
+//! §1, Fig. 1).
+
+use crate::scalar::Scalar;
+use crate::view::{detect_properties, FormatView, Order, SearchKind, ViewExpr};
+use crate::{ChainCursor, Position, SparseMatrix, SparseView, Triplets};
+
+/// Compressed Sparse Row matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr<T: Scalar = f64> {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// `rowptr[r]..rowptr[r+1]` indexes the entries of row `r`
+    /// (`len == nrows + 1`).
+    pub rowptr: Vec<usize>,
+    /// Column index of each stored entry, sorted within each row.
+    pub colind: Vec<usize>,
+    /// Value of each stored entry.
+    pub values: Vec<T>,
+}
+
+impl<T: Scalar> Csr<T> {
+    /// Builds from (normalized or not) triplets.
+    pub fn from_triplets(t: &Triplets<T>) -> Csr<T> {
+        let mut t = t.clone();
+        t.normalize();
+        let mut rowptr = vec![0usize; t.nrows() + 1];
+        for &(r, _, _) in t.entries() {
+            rowptr[r + 1] += 1;
+        }
+        for r in 0..t.nrows() {
+            rowptr[r + 1] += rowptr[r];
+        }
+        let colind = t.entries().iter().map(|&(_, c, _)| c).collect();
+        let values = t.entries().iter().map(|&(_, _, v)| v).collect();
+        Csr {
+            nrows: t.nrows(),
+            ncols: t.ncols(),
+            rowptr,
+            colind,
+            values,
+        }
+    }
+
+    /// Converts back to triplets.
+    pub fn to_triplets(&self) -> Triplets<T> {
+        let mut t = Triplets::new(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            for i in self.rowptr[r]..self.rowptr[r + 1] {
+                t.push(r, self.colind[i], self.values[i]);
+            }
+        }
+        t.normalize();
+        t
+    }
+
+    /// The half-open storage range of row `r`.
+    pub fn row_range(&self, r: usize) -> std::ops::Range<usize> {
+        self.rowptr[r]..self.rowptr[r + 1]
+    }
+
+    /// Binary-searches row `r` for column `c`; returns the storage index.
+    pub fn find(&self, r: usize, c: usize) -> Option<usize> {
+        let rng = self.row_range(r);
+        self.colind[rng.clone()]
+            .binary_search(&c)
+            .ok()
+            .map(|k| rng.start + k)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+}
+
+impl SparseMatrix for Csr<f64> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+    fn get(&self, r: usize, c: usize) -> f64 {
+        self.find(r, c).map_or(0.0, |i| self.values[i])
+    }
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        let i = self
+            .find(r, c)
+            .unwrap_or_else(|| panic!("({r},{c}) is not a stored position"));
+        self.values[i] = v;
+    }
+    fn entries(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for r in 0..self.nrows {
+            for i in self.row_range(r) {
+                out.push((r, self.colind[i], self.values[i]));
+            }
+        }
+        out
+    }
+}
+
+/// The CSR index structure: `r -> c -> v`, `r` an interval with direct
+/// access, `c` increasing with binary search.
+pub fn csr_format_view() -> FormatView {
+    FormatView {
+        name: "csr".into(),
+        dense_attrs: vec!["r".into(), "c".into()],
+        expr: ViewExpr::interval(
+            "r",
+            ViewExpr::level("c", Order::Increasing, SearchKind::Sorted, ViewExpr::Value),
+        ),
+        bounds: vec![],
+        guarantees: vec![],
+    }
+}
+
+impl SparseView for Csr<f64> {
+    fn format_view(&self) -> FormatView {
+        let mut v = csr_format_view();
+        let (b, g) = detect_properties(&self.entries(), self.nrows, self.ncols);
+        v.bounds = b;
+        v.guarantees = g;
+        v
+    }
+
+    fn cursor(&self, chain: usize, level: usize, parent: Position, reverse: bool) -> ChainCursor {
+        assert_eq!(chain, 0);
+        match level {
+            0 => ChainCursor::over_range(chain, 0, parent, 0, self.nrows as i64, reverse),
+            1 => {
+                assert!(!reverse, "csr column level enumerates forward only");
+                let rng = self.row_range(parent);
+                ChainCursor::over_range(chain, 1, parent, rng.start as i64, rng.end as i64, false)
+            }
+            _ => panic!("csr has 2 levels"),
+        }
+    }
+
+    fn advance(&self, cur: &mut ChainCursor) -> bool {
+        if !cur.step() {
+            return false;
+        }
+        match cur.level {
+            0 => {
+                cur.keys = vec![cur.idx];
+                cur.pos = cur.idx as usize;
+            }
+            1 => {
+                cur.keys = vec![self.colind[cur.idx as usize] as i64];
+                cur.pos = cur.idx as usize;
+            }
+            _ => unreachable!(),
+        }
+        true
+    }
+
+    fn search(&self, chain: usize, level: usize, parent: Position, keys: &[i64]) -> Option<Position> {
+        assert_eq!(chain, 0);
+        let k = keys[0];
+        if k < 0 {
+            return None;
+        }
+        match level {
+            0 => (k < self.nrows as i64).then_some(k as usize),
+            1 => self.find(parent, k as usize),
+            _ => panic!("csr has 2 levels"),
+        }
+    }
+
+    fn value_at(&self, _chain: usize, pos: Position) -> f64 {
+        self.values[pos]
+    }
+
+    fn set_value_at(&mut self, _chain: usize, pos: Position, v: f64) {
+        self.values[pos] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::check_view_conformance;
+
+    fn sample() -> Csr<f64> {
+        // The paper's Fig. 1 example matrix:
+        //   [a 0 b 0]
+        //   [0 c 0 0]
+        //   [0 d e 0]
+        //   [f 0 0 g]
+        Csr::from_triplets(&Triplets::from_entries(
+            4,
+            4,
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 1, 4.0),
+                (2, 2, 5.0),
+                (3, 0, 6.0),
+                (3, 3, 7.0),
+            ],
+        ))
+    }
+
+    #[test]
+    fn layout_matches_fig1() {
+        let a = sample();
+        assert_eq!(a.rowptr, vec![0, 2, 3, 5, 7]);
+        assert_eq!(a.colind, vec![0, 2, 1, 1, 2, 0, 3]);
+        assert_eq!(a.nnz(), 7);
+    }
+
+    #[test]
+    fn random_access() {
+        let a = sample();
+        assert_eq!(a.get(0, 2), 2.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.get(3, 3), 7.0);
+    }
+
+    #[test]
+    fn set_stored() {
+        let mut a = sample();
+        a.set(2, 1, 9.0);
+        assert_eq!(a.get(2, 1), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a stored position")]
+    fn set_unstored_panics() {
+        let mut a = sample();
+        a.set(0, 1, 9.0);
+    }
+
+    #[test]
+    fn triplet_roundtrip() {
+        let a = sample();
+        assert_eq!(Csr::from_triplets(&a.to_triplets()), a);
+    }
+
+    #[test]
+    fn view_conformance() {
+        check_view_conformance(&sample(), 0).unwrap();
+    }
+
+    #[test]
+    fn column_cursor_sorted() {
+        let a = sample();
+        let mut cur = a.cursor(0, 1, 2, false);
+        let mut cols = Vec::new();
+        while a.advance(&mut cur) {
+            cols.push(cur.keys[0]);
+        }
+        assert_eq!(cols, vec![1, 2]);
+    }
+
+    #[test]
+    fn search_levels() {
+        let a = sample();
+        assert_eq!(a.search(0, 0, 0, &[2]), Some(2));
+        assert_eq!(a.search(0, 0, 0, &[4]), None);
+        let p = a.search(0, 1, 3, &[3]).unwrap();
+        assert_eq!(a.value_at(0, p), 7.0);
+        assert_eq!(a.search(0, 1, 3, &[1]), None);
+    }
+
+    #[test]
+    fn empty_rows() {
+        let a = Csr::<f64>::from_triplets(&Triplets::from_entries(3, 3, &[(1, 1, 1.0)]));
+        assert_eq!(a.rowptr, vec![0, 0, 1, 1]);
+        assert_eq!(a.get(0, 0), 0.0);
+        check_view_conformance(&a, 0).unwrap();
+    }
+}

@@ -1,0 +1,276 @@
+//! ELLPACK storage — `r -> c -> v` with a fixed number of slots per row.
+//!
+//! Every row stores exactly `width` (column, value) slots; shorter rows
+//! are padded with a sentinel column. Column indices are kept sorted
+//! within each row, and the per-row fill `rowlen` makes binary search
+//! possible despite the padding.
+
+use crate::scalar::Scalar;
+use crate::view::{detect_properties, FormatView, Order, SearchKind, ViewExpr};
+use crate::{ChainCursor, Position, SparseMatrix, SparseView, Triplets};
+
+/// Sentinel column index marking a padding slot.
+pub const ELL_PAD: i64 = -1;
+
+/// ELLPACK / ITPACK matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ell<T: Scalar = f64> {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Slots per row (the maximum row fill).
+    pub width: usize,
+    /// Column index per slot, row-major `colind[r * width + s]`;
+    /// [`ELL_PAD`] in padding slots.
+    pub colind: Vec<i64>,
+    /// Value per slot (zero in padding slots).
+    pub values: Vec<T>,
+    /// Stored entries in each row (`rowlen[r] <= width`).
+    pub rowlen: Vec<usize>,
+}
+
+impl<T: Scalar> Ell<T> {
+    /// Builds from triplets.
+    pub fn from_triplets(t: &Triplets<T>) -> Ell<T> {
+        let mut t = t.clone();
+        t.normalize();
+        let rowlen = t.row_counts();
+        let width = rowlen.iter().copied().max().unwrap_or(0);
+        let mut colind = vec![ELL_PAD; t.nrows() * width];
+        let mut values = vec![T::ZERO; t.nrows() * width];
+        let mut fill = vec![0usize; t.nrows()];
+        for &(r, c, v) in t.entries() {
+            let s = fill[r];
+            colind[r * width + s] = c as i64;
+            values[r * width + s] = v;
+            fill[r] += 1;
+        }
+        Ell {
+            nrows: t.nrows(),
+            ncols: t.ncols(),
+            width,
+            colind,
+            values,
+            rowlen,
+        }
+    }
+
+    /// Converts back to triplets.
+    pub fn to_triplets(&self) -> Triplets<T> {
+        let mut t = Triplets::new(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            for s in 0..self.rowlen[r] {
+                t.push(
+                    r,
+                    self.colind[r * self.width + s] as usize,
+                    self.values[r * self.width + s],
+                );
+            }
+        }
+        t.normalize();
+        t
+    }
+
+    /// Binary search for `(r, c)` within the sorted, filled prefix of the
+    /// row.
+    pub fn find(&self, r: usize, c: usize) -> Option<usize> {
+        let base = r * self.width;
+        let row = &self.colind[base..base + self.rowlen[r]];
+        row.binary_search(&(c as i64)).ok().map(|s| base + s)
+    }
+
+    /// Number of stored entries (padding excluded).
+    pub fn nnz(&self) -> usize {
+        self.rowlen.iter().sum()
+    }
+}
+
+impl SparseMatrix for Ell<f64> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn nnz(&self) -> usize {
+        self.rowlen.iter().sum()
+    }
+    fn get(&self, r: usize, c: usize) -> f64 {
+        self.find(r, c).map_or(0.0, |i| self.values[i])
+    }
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        let i = self
+            .find(r, c)
+            .unwrap_or_else(|| panic!("({r},{c}) is not a stored position"));
+        self.values[i] = v;
+    }
+    fn entries(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for r in 0..self.nrows {
+            for s in 0..self.rowlen[r] {
+                out.push((
+                    r,
+                    self.colind[r * self.width + s] as usize,
+                    self.values[r * self.width + s],
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The ELL index structure: `r -> c -> v` like CSR, but the column level
+/// enumerates a fixed-width padded slot array.
+pub fn ell_format_view() -> FormatView {
+    FormatView {
+        name: "ell".into(),
+        dense_attrs: vec!["r".into(), "c".into()],
+        expr: ViewExpr::interval(
+            "r",
+            ViewExpr::level("c", Order::Increasing, SearchKind::Sorted, ViewExpr::Value),
+        ),
+        bounds: vec![],
+        guarantees: vec![],
+    }
+}
+
+impl SparseView for Ell<f64> {
+    fn format_view(&self) -> FormatView {
+        let mut v = ell_format_view();
+        let (b, g) = detect_properties(&self.entries(), self.nrows, self.ncols);
+        v.bounds = b;
+        v.guarantees = g;
+        v
+    }
+
+    fn cursor(&self, chain: usize, level: usize, parent: Position, reverse: bool) -> ChainCursor {
+        assert_eq!(chain, 0);
+        match level {
+            0 => ChainCursor::over_range(chain, 0, parent, 0, self.nrows as i64, reverse),
+            1 => {
+                assert!(!reverse, "ell column level enumerates forward only");
+                let base = (parent * self.width) as i64;
+                ChainCursor::over_range(
+                    chain,
+                    1,
+                    parent,
+                    base,
+                    base + self.rowlen[parent] as i64,
+                    false,
+                )
+            }
+            _ => panic!("ell has 2 levels"),
+        }
+    }
+
+    fn advance(&self, cur: &mut ChainCursor) -> bool {
+        if !cur.step() {
+            return false;
+        }
+        match cur.level {
+            0 => {
+                cur.keys = vec![cur.idx];
+                cur.pos = cur.idx as usize;
+            }
+            1 => {
+                cur.keys = vec![self.colind[cur.idx as usize]];
+                cur.pos = cur.idx as usize;
+            }
+            _ => unreachable!(),
+        }
+        true
+    }
+
+    fn search(&self, chain: usize, level: usize, parent: Position, keys: &[i64]) -> Option<Position> {
+        assert_eq!(chain, 0);
+        let k = keys[0];
+        if k < 0 {
+            return None;
+        }
+        match level {
+            0 => (k < self.nrows as i64).then_some(k as usize),
+            1 => self.find(parent, k as usize),
+            _ => panic!("ell has 2 levels"),
+        }
+    }
+
+    fn value_at(&self, _chain: usize, pos: Position) -> f64 {
+        self.values[pos]
+    }
+
+    fn set_value_at(&mut self, _chain: usize, pos: Position, v: f64) {
+        self.values[pos] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::check_view_conformance;
+
+    fn sample() -> Triplets<f64> {
+        Triplets::from_entries(
+            3,
+            4,
+            &[(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0), (2, 3, 6.0)],
+        )
+    }
+
+    #[test]
+    fn layout() {
+        let a = Ell::from_triplets(&sample());
+        assert_eq!(a.width, 3);
+        assert_eq!(a.rowlen, vec![2, 1, 3]);
+        assert_eq!(a.nnz(), 6);
+        assert_eq!(&a.colind[0..3], &[0, 3, ELL_PAD]);
+        assert_eq!(&a.colind[3..6], &[1, ELL_PAD, ELL_PAD]);
+        assert_eq!(&a.colind[6..9], &[0, 2, 3]);
+    }
+
+    #[test]
+    fn random_access() {
+        let a = Ell::from_triplets(&sample());
+        assert_eq!(a.get(0, 3), 2.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        assert_eq!(Ell::from_triplets(&t).to_triplets(), t);
+    }
+
+    #[test]
+    fn view_conformance() {
+        check_view_conformance(&Ell::from_triplets(&sample()), 0).unwrap();
+    }
+
+    #[test]
+    fn padding_skipped_by_cursor() {
+        let a = Ell::from_triplets(&sample());
+        let mut cur = a.cursor(0, 1, 1, false);
+        let mut cols = Vec::new();
+        while a.advance(&mut cur) {
+            cols.push(cur.keys[0]);
+        }
+        assert_eq!(cols, vec![1]);
+    }
+
+    #[test]
+    fn search() {
+        let a = Ell::from_triplets(&sample());
+        let p = a.search(0, 1, 2, &[2]).unwrap();
+        assert_eq!(a.value_at(0, p), 5.0);
+        assert!(a.search(0, 1, 2, &[1]).is_none());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Ell::<f64>::from_triplets(&Triplets::new(2, 2));
+        assert_eq!(a.width, 0);
+        assert_eq!(a.nnz(), 0);
+        check_view_conformance(&a, 0).unwrap();
+    }
+}

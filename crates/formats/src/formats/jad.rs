@@ -1,0 +1,449 @@
+//! Jagged Diagonal storage — the
+//! `perm{iperm[rr] |-> r : (<rr,c> -> v) ⊕ (rr -> c -> v)}` view.
+//!
+//! Construction (paper Appendix A, Fig. 14): compress each row (dropping
+//! zeros, keeping original column indices), sort the compressed rows by
+//! decreasing fill (recording the permutation `iperm`), then store the
+//! *columns* of the compressed-and-sorted matrix — the "jagged diagonals"
+//! — contiguously. `dptr[d]` marks where diagonal `d` starts.
+//!
+//! Two perspectives (`⊕`):
+//! - **flat**: enumerate `(rr, c)` pairs in storage order, walking the
+//!   long diagonals — the fast path for MVM;
+//! - **hierarchical**: random access to permuted row `rr`, then the `d`-th
+//!   element of the row sits at `dptr[d] + rr` — the path triangular solve
+//!   needs.
+//!
+//! One deliberate improvement over the paper's reference code: the paper's
+//! `term_perm_vector::unapply` does a linear scan; we precompute the
+//! inverse permutation (`iperm_inv`) for O(1) un-mapping, which is what a
+//! production implementation would do.
+
+use crate::scalar::Scalar;
+use crate::view::{detect_properties, FormatView, Order, SearchKind, ViewExpr};
+use crate::{ChainCursor, Position, SparseMatrix, SparseView, Triplets};
+
+/// Jagged Diagonal matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Jad<T: Scalar = f64> {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// `iperm[rr]` = original row index of permuted row `rr`.
+    pub iperm: Vec<usize>,
+    /// `iperm_inv[r]` = permuted index of original row `r`.
+    pub iperm_inv: Vec<usize>,
+    /// Start of each jagged diagonal in `colind`/`values`
+    /// (`len == ndiags + 1`).
+    pub dptr: Vec<usize>,
+    /// Column index of each stored entry, diagonal-major: the `d`-th
+    /// element of permuted row `rr` is at `dptr[d] + rr`.
+    pub colind: Vec<usize>,
+    /// Values, same layout as `colind`.
+    pub values: Vec<T>,
+    /// Stored entries in each *permuted* row (non-increasing in `rr`).
+    pub rowlen: Vec<usize>,
+}
+
+impl<T: Scalar> Jad<T> {
+    /// Builds from triplets.
+    pub fn from_triplets(t: &Triplets<T>) -> Jad<T> {
+        let mut t = t.clone();
+        t.normalize();
+        let m = t.nrows();
+        // Compress rows: per-row (col, value) lists, already column-sorted.
+        let mut rows: Vec<Vec<(usize, T)>> = vec![Vec::new(); m];
+        for &(r, c, v) in t.entries() {
+            rows[r].push((c, v));
+        }
+        // Sort rows by decreasing fill; stable so equal-fill rows keep
+        // their original relative order (deterministic layout).
+        let mut iperm: Vec<usize> = (0..m).collect();
+        iperm.sort_by_key(|&r| std::cmp::Reverse(rows[r].len()));
+        let mut iperm_inv = vec![0usize; m];
+        for (rr, &r) in iperm.iter().enumerate() {
+            iperm_inv[r] = rr;
+        }
+        let rowlen: Vec<usize> = iperm.iter().map(|&r| rows[r].len()).collect();
+        let nd = rowlen.first().copied().unwrap_or(0);
+        // dptr[d+1] - dptr[d] = number of rows with fill > d.
+        let mut dptr = Vec::with_capacity(nd + 1);
+        dptr.push(0usize);
+        for d in 0..nd {
+            let cnt = rowlen.partition_point(|&len| len > d);
+            dptr.push(dptr.last().unwrap() + cnt);
+        }
+        let nnz = *dptr.last().unwrap();
+        let mut colind = vec![0usize; nnz];
+        let mut values = vec![T::ZERO; nnz];
+        for rr in 0..m {
+            let r = iperm[rr];
+            for (d, &(c, v)) in rows[r].iter().enumerate() {
+                colind[dptr[d] + rr] = c;
+                values[dptr[d] + rr] = v;
+            }
+        }
+        Jad {
+            nrows: m,
+            ncols: t.ncols(),
+            iperm,
+            iperm_inv,
+            dptr,
+            colind,
+            values,
+            rowlen,
+        }
+    }
+
+    /// Converts back to triplets.
+    pub fn to_triplets(&self) -> Triplets<T> {
+        let mut t = Triplets::new(self.nrows, self.ncols);
+        for rr in 0..self.nrows {
+            let r = self.iperm[rr];
+            for d in 0..self.rowlen[rr] {
+                let jj = self.dptr[d] + rr;
+                t.push(r, self.colind[jj], self.values[jj]);
+            }
+        }
+        t.normalize();
+        t
+    }
+
+    /// Number of jagged diagonals.
+    pub fn ndiags(&self) -> usize {
+        self.dptr.len() - 1
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Storage index of `(r, c)` (binary search over the row's diagonals,
+    /// exploiting that column indices increase along a row).
+    pub fn find(&self, r: usize, c: usize) -> Option<usize> {
+        let rr = self.iperm_inv[r];
+        let len = self.rowlen[rr];
+        let (mut lo, mut hi) = (0usize, len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let jj = self.dptr[mid] + rr;
+            match self.colind[jj].cmp(&c) {
+                std::cmp::Ordering::Equal => return Some(jj),
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        None
+    }
+
+    /// Binary search within *permuted* row `rr` for column `c`.
+    pub fn find_in_row(&self, rr: usize, c: usize) -> Option<usize> {
+        let (mut lo, mut hi) = (0usize, self.rowlen[rr]);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let jj = self.dptr[mid] + rr;
+            match self.colind[jj].cmp(&c) {
+                std::cmp::Ordering::Equal => return Some(jj),
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        None
+    }
+
+    /// The diagonal `d` containing flat index `jj` (binary search over
+    /// `dptr`).
+    fn diag_of(&self, jj: usize) -> usize {
+        debug_assert!(jj < self.nnz());
+        self.dptr.partition_point(|&p| p <= jj) - 1
+    }
+}
+
+impl SparseMatrix for Jad<f64> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+    fn get(&self, r: usize, c: usize) -> f64 {
+        self.find(r, c).map_or(0.0, |i| self.values[i])
+    }
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        let i = self
+            .find(r, c)
+            .unwrap_or_else(|| panic!("({r},{c}) is not a stored position"));
+        self.values[i] = v;
+    }
+    fn entries(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for rr in 0..self.nrows {
+            let r = self.iperm[rr];
+            for d in 0..self.rowlen[rr] {
+                let jj = self.dptr[d] + rr;
+                out.push((r, self.colind[jj], self.values[jj]));
+            }
+        }
+        out
+    }
+}
+
+/// The JAD index structure (paper §2 / Appendix A.2):
+/// `perm{iperm[rr] |-> r : (<rr, c> -> v) ⊕ (rr -> c -> v)}`.
+///
+/// Chain 0 is the flat (diagonal-walking) perspective; chain 1 is the
+/// hierarchical (row-indexed) perspective.
+pub fn jad_format_view() -> FormatView {
+    let flat = ViewExpr::coupled(
+        &["rr", "c"],
+        Order::Unordered,
+        SearchKind::None,
+        ViewExpr::Value,
+    );
+    let hier = ViewExpr::interval(
+        "rr",
+        ViewExpr::level("c", Order::Increasing, SearchKind::Sorted, ViewExpr::Value),
+    );
+    FormatView {
+        name: "jad".into(),
+        dense_attrs: vec!["r".into(), "c".into()],
+        expr: ViewExpr::Perm {
+            table: "iperm".into(),
+            input: "rr".into(),
+            out: "r".into(),
+            child: Box::new(ViewExpr::Persp(Box::new(flat), Box::new(hier))),
+        },
+        bounds: vec![],
+        guarantees: vec![],
+    }
+}
+
+impl SparseView for Jad<f64> {
+    fn format_view(&self) -> FormatView {
+        let mut v = jad_format_view();
+        let (b, g) = detect_properties(&self.entries(), self.nrows, self.ncols);
+        v.bounds = b;
+        v.guarantees = g;
+        v
+    }
+
+    fn cursor(&self, chain: usize, level: usize, parent: Position, reverse: bool) -> ChainCursor {
+        assert!(!reverse || (chain == 1 && level == 0), "only the jad row level reverses");
+        match (chain, level) {
+            // Flat: one coupled level over all entries in diagonal order.
+            (0, 0) => ChainCursor::over_range(0, 0, parent, 0, self.nnz() as i64, false),
+            // Hier: permuted rows, then the row's diagonals.
+            (1, 0) => ChainCursor::over_range(1, 0, parent, 0, self.nrows as i64, reverse),
+            (1, 1) => ChainCursor::over_range(1, 1, parent, 0, self.rowlen[parent] as i64, false),
+            _ => panic!("jad chain/level out of range: ({chain},{level})"),
+        }
+    }
+
+    fn advance(&self, cur: &mut ChainCursor) -> bool {
+        if !cur.step() {
+            return false;
+        }
+        match (cur.chain, cur.level) {
+            (0, 0) => {
+                let jj = cur.idx as usize;
+                let d = self.diag_of(jj);
+                cur.keys = vec![(jj - self.dptr[d]) as i64, self.colind[jj] as i64];
+                cur.pos = jj;
+            }
+            (1, 0) => {
+                cur.keys = vec![cur.idx];
+                cur.pos = cur.idx as usize;
+            }
+            (1, 1) => {
+                let jj = self.dptr[cur.idx as usize] + cur.parent;
+                cur.keys = vec![self.colind[jj] as i64];
+                cur.pos = jj;
+            }
+            _ => unreachable!(),
+        }
+        true
+    }
+
+    fn search(&self, chain: usize, level: usize, parent: Position, keys: &[i64]) -> Option<Position> {
+        match (chain, level) {
+            (1, 0) => {
+                let k = keys[0];
+                (k >= 0 && k < self.nrows as i64).then_some(k as usize)
+            }
+            (1, 1) => {
+                let c = keys[0];
+                if c < 0 {
+                    return None;
+                }
+                // Binary search over the row's diagonals.
+                let rr = parent;
+                let (mut lo, mut hi) = (0usize, self.rowlen[rr]);
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    let jj = self.dptr[mid] + rr;
+                    match (self.colind[jj] as i64).cmp(&c) {
+                        std::cmp::Ordering::Equal => return Some(jj),
+                        std::cmp::Ordering::Less => lo = mid + 1,
+                        std::cmp::Ordering::Greater => hi = mid,
+                    }
+                }
+                None
+            }
+            (0, 0) => panic!("jad flat perspective does not support search"),
+            _ => panic!("jad chain/level out of range"),
+        }
+    }
+
+    fn value_at(&self, _chain: usize, pos: Position) -> f64 {
+        self.values[pos]
+    }
+
+    fn set_value_at(&mut self, _chain: usize, pos: Position, v: f64) {
+        self.values[pos] = v;
+    }
+
+    fn perm_apply(&self, table: &str, x: i64) -> i64 {
+        assert_eq!(table, "iperm", "jad has a single permutation table");
+        self.iperm[x as usize] as i64
+    }
+
+    fn perm_unapply(&self, table: &str, x: i64) -> i64 {
+        assert_eq!(table, "iperm", "jad has a single permutation table");
+        self.iperm_inv[x as usize] as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::check_view_conformance;
+
+    /// The matrix of the paper's Fig. 14(a):
+    /// ```text
+    ///   [a 0 b 0]        row fills: 2, 1, 2, 3
+    ///   [0 c 0 0]
+    ///   [0 d e 0]
+    ///   [f 0 g h]
+    /// ```
+    fn fig14() -> Triplets<f64> {
+        Triplets::from_entries(
+            4,
+            4,
+            &[
+                (0, 0, 1.0), // a
+                (0, 2, 2.0), // b
+                (1, 1, 3.0), // c
+                (2, 1, 4.0), // d
+                (2, 2, 5.0), // e
+                (3, 0, 6.0), // f
+                (3, 2, 7.0), // g
+                (3, 3, 8.0), // h
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_matches_fig14() {
+        let a = Jad::from_triplets(&fig14());
+        // Row 3 has 3 entries -> first after sorting; rows 0 and 2 have 2
+        // (stable: 0 before 2); row 1 has 1 -> last.
+        assert_eq!(a.iperm, vec![3, 0, 2, 1]);
+        assert_eq!(a.iperm_inv, vec![1, 3, 2, 0]);
+        assert_eq!(a.rowlen, vec![3, 2, 2, 1]);
+        assert_eq!(a.ndiags(), 3);
+        // Diagonal 0 has 4 entries, diagonal 1 has 3, diagonal 2 has 1.
+        assert_eq!(a.dptr, vec![0, 4, 7, 8]);
+        // Diagonal 0: first entries of rows [3,0,2,1] = f,a,d,c.
+        assert_eq!(a.colind[0..4], [0, 0, 1, 1]);
+        assert_eq!(a.values[0..4], [6.0, 1.0, 4.0, 3.0]);
+        // Diagonal 1: second entries of rows [3,0,2] = g,b,e.
+        assert_eq!(a.colind[4..7], [2, 2, 2]);
+        assert_eq!(a.values[4..7], [7.0, 2.0, 5.0]);
+        // Diagonal 2: third entry of row 3 = h.
+        assert_eq!(a.colind[7], 3);
+        assert_eq!(a.values[7], 8.0);
+    }
+
+    #[test]
+    fn random_access() {
+        let a = Jad::from_triplets(&fig14());
+        assert_eq!(a.get(3, 2), 7.0);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = fig14();
+        assert_eq!(Jad::from_triplets(&t).to_triplets(), t);
+    }
+
+    #[test]
+    fn both_perspectives_conform() {
+        let a = Jad::from_triplets(&fig14());
+        check_view_conformance(&a, 0).unwrap(); // flat
+        check_view_conformance(&a, 1).unwrap(); // hierarchical
+    }
+
+    #[test]
+    fn flat_cursor_walks_diagonals() {
+        let a = Jad::from_triplets(&fig14());
+        let mut cur = a.cursor(0, 0, 0, false);
+        let mut seen = Vec::new();
+        while a.advance(&mut cur) {
+            seen.push((cur.keys[0], cur.keys[1]));
+        }
+        // (rr, c) pairs in storage order: diagonal 0 rr=0..4, then diag 1...
+        assert_eq!(
+            seen,
+            vec![(0, 0), (1, 0), (2, 1), (3, 1), (0, 2), (1, 2), (2, 2), (0, 3)]
+        );
+    }
+
+    #[test]
+    fn hier_row_access() {
+        let a = Jad::from_triplets(&fig14());
+        // Original row 3 is permuted row 0.
+        let rr = a.perm_unapply("iperm", 3) as usize;
+        assert_eq!(rr, 0);
+        let mut cur = a.cursor(1, 1, rr, false);
+        let mut row = Vec::new();
+        while a.advance(&mut cur) {
+            row.push((cur.keys[0], a.value_at(1, cur.pos)));
+        }
+        assert_eq!(row, vec![(0, 6.0), (2, 7.0), (3, 8.0)]);
+    }
+
+    #[test]
+    fn hier_search_by_column() {
+        let a = Jad::from_triplets(&fig14());
+        let rr = a.iperm_inv[3];
+        let p = a.search(1, 1, rr, &[3]).unwrap();
+        assert_eq!(a.value_at(1, p), 8.0);
+        assert!(a.search(1, 1, rr, &[1]).is_none());
+    }
+
+    #[test]
+    fn triangular_properties_detected() {
+        let l = fig14().lower_triangle_full_diag(1.0);
+        let a = Jad::from_triplets(&l);
+        let v = a.format_view();
+        assert!(v.has_full_diagonal());
+        assert!(!v.bounds.is_empty()); // r >= c detected
+    }
+
+    #[test]
+    fn perm_tables() {
+        let a = Jad::from_triplets(&fig14());
+        for rr in 0..4 {
+            let r = a.perm_apply("iperm", rr);
+            assert_eq!(a.perm_unapply("iperm", r), rr);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Concrete storage formats.
+//!
+//! Every format provides:
+//! - storage with **public fields** (the code emitter generates Rust that
+//!   indexes them directly, like the paper's Fig. 9 instantiated code);
+//! - `from_triplets` / `to_triplets` conversions;
+//! - the high-level API ([`crate::SparseMatrix`]);
+//! - the low-level API ([`crate::SparseView`]) with a
+//!   [`crate::view::FormatView`] index-structure description.
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod dia;
+pub mod diagsplit;
+pub mod ell;
+pub mod jad;
+pub mod sky;
+pub mod sparsevec;

@@ -1,0 +1,294 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates on `can_1072` from the Harwell–Boeing collection.
+//! That file is not redistributable inside this repository, so
+//! [`can_1072_like`] synthesizes a deterministic matrix matching the
+//! characteristics that matter for TS/MVM performance: order 1072,
+//! ≈12444 stored entries, structural symmetry, a full diagonal, and a
+//! comparable nonzeros-per-row profile. The remaining generators produce
+//! the standard workload families (uniform random, banded, 2-D Poisson)
+//! used by the extended experiments.
+
+use crate::Triplets;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniformly random sparse matrix with exactly `nnz` distinct stored
+/// positions (values in `[-1, 1)`).
+pub fn random_sparse(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> Triplets<f64> {
+    assert!(nnz <= nrows * ncols, "requested more entries than positions");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(nnz * 2);
+    let mut t = Triplets::new(nrows, ncols);
+    while seen.len() < nnz {
+        let r = rng.gen_range(0..nrows);
+        let c = rng.gen_range(0..ncols);
+        if seen.insert((r, c)) {
+            t.push(r, c, rng.gen_range(-1.0..1.0));
+        }
+    }
+    t.normalize();
+    t
+}
+
+/// Dense band: all entries with `|r - c| <= bandwidth` stored, random
+/// values, diagonally dominant. The natural DIA workload.
+pub fn banded(n: usize, bandwidth: usize, seed: u64) -> Triplets<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Triplets::new(n, n);
+    for r in 0..n {
+        let lo = r.saturating_sub(bandwidth);
+        let hi = (r + bandwidth + 1).min(n);
+        for c in lo..hi {
+            let v = if r == c {
+                2.0 * (bandwidth as f64 + 1.0)
+            } else {
+                rng.gen_range(-1.0..1.0)
+            };
+            t.push(r, c, v);
+        }
+    }
+    t.normalize();
+    t
+}
+
+/// Tridiagonal `[-1, 2, -1]` matrix (1-D Laplacian).
+pub fn tridiagonal(n: usize) -> Triplets<f64> {
+    let mut t = Triplets::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 2.0);
+        if i > 0 {
+            t.push(i, i - 1, -1.0);
+        }
+        if i + 1 < n {
+            t.push(i, i + 1, -1.0);
+        }
+    }
+    t.normalize();
+    t
+}
+
+/// 5-point-stencil discretization of the 2-D Poisson equation on a
+/// `k × k` grid (an SPD matrix of order `k²`).
+pub fn poisson2d(k: usize) -> Triplets<f64> {
+    let n = k * k;
+    let mut t = Triplets::new(n, n);
+    let idx = |i: usize, j: usize| i * k + j;
+    for i in 0..k {
+        for j in 0..k {
+            let p = idx(i, j);
+            t.push(p, p, 4.0);
+            if i > 0 {
+                t.push(p, idx(i - 1, j), -1.0);
+            }
+            if i + 1 < k {
+                t.push(p, idx(i + 1, j), -1.0);
+            }
+            if j > 0 {
+                t.push(p, idx(i, j - 1), -1.0);
+            }
+            if j + 1 < k {
+                t.push(p, idx(i, j + 1), -1.0);
+            }
+        }
+    }
+    t.normalize();
+    t
+}
+
+/// Deterministic substitute for the Harwell–Boeing matrix `can_1072`
+/// (order 1072, 12444 stored entries, structurally symmetric pattern,
+/// full diagonal; see DESIGN.md substitution 1).
+///
+/// Values are chosen diagonally dominant so that the lower triangle is a
+/// well-conditioned triangular-solve operand and CG converges on the full
+/// matrix.
+pub fn can_1072_like() -> Triplets<f64> {
+    structurally_symmetric(1072, 12444, 96, 0xCAA1_1072)
+}
+
+/// Structurally symmetric sparse matrix of order `n` with (approximately,
+/// within one pair of) `nnz` stored entries, band-concentrated pattern
+/// with maximum expected offset `spread`, full diagonal, diagonally
+/// dominant values.
+pub fn structurally_symmetric(n: usize, nnz: usize, spread: usize, seed: u64) -> Triplets<f64> {
+    assert!(nnz >= n, "need at least the diagonal");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let target_offdiag_pairs = (nnz - n) / 2;
+    while pairs.len() < target_offdiag_pairs {
+        let r = rng.gen_range(0..n);
+        // Offsets concentrate near the diagonal (sum of two uniforms →
+        // triangular distribution), mimicking a FEM-style connectivity.
+        let off = 1 + (rng.gen_range(0..spread) + rng.gen_range(0..spread)) / 2;
+        if r + off >= n {
+            continue;
+        }
+        let (a, b) = (r + off, r);
+        if seen.insert((a, b)) {
+            pairs.push((a, b));
+        }
+    }
+    let mut t = Triplets::new(n, n);
+    let mut degree = vec![0usize; n];
+    for &(a, b) in &pairs {
+        let v = rng.gen_range(-1.0..-0.05);
+        t.push(a, b, v);
+        t.push(b, a, v);
+        degree[a] += 1;
+        degree[b] += 1;
+    }
+    for (i, &d) in degree.iter().enumerate() {
+        t.push(i, i, d as f64 + 1.0);
+    }
+    t.normalize();
+    t
+}
+
+/// A deterministic dense vector with entries in `[-1, 1)`.
+pub fn dense_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// A deterministic sparse vector: `nnz` distinct (index, value) pairs.
+pub fn sparse_vector(n: usize, nnz: usize, seed: u64) -> Vec<(usize, f64)> {
+    assert!(nnz <= n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(nnz);
+    while out.len() < nnz {
+        let i = rng.gen_range(0..n);
+        if seen.insert(i) {
+            out.push((i, rng.gen_range(-1.0..1.0)));
+        }
+    }
+    out
+}
+
+/// Summary statistics of a pattern, for EXPERIMENTS.md reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternStats {
+    pub nrows: usize,
+    pub ncols: usize,
+    pub nnz: usize,
+    pub min_row: usize,
+    pub max_row: usize,
+    pub avg_row: f64,
+    /// max |r - c| over stored entries.
+    pub bandwidth: usize,
+    pub structurally_symmetric: bool,
+}
+
+/// Computes [`PatternStats`] for a triplet matrix.
+pub fn pattern_stats(t: &Triplets<f64>) -> PatternStats {
+    let counts = t.row_counts();
+    let positions: std::collections::HashSet<(usize, usize)> =
+        t.entries().iter().map(|&(r, c, _)| (r, c)).collect();
+    PatternStats {
+        nrows: t.nrows(),
+        ncols: t.ncols(),
+        nnz: t.nnz(),
+        min_row: counts.iter().copied().min().unwrap_or(0),
+        max_row: counts.iter().copied().max().unwrap_or(0),
+        avg_row: t.nnz() as f64 / t.nrows().max(1) as f64,
+        bandwidth: t
+            .entries()
+            .iter()
+            .map(|&(r, c, _)| r.abs_diff(c))
+            .max()
+            .unwrap_or(0),
+        structurally_symmetric: t
+            .entries()
+            .iter()
+            .all(|&(r, c, _)| positions.contains(&(c, r))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_sparse_exact_nnz() {
+        let t = random_sparse(50, 40, 200, 1);
+        assert_eq!(t.nnz(), 200);
+        assert_eq!(t.nrows(), 50);
+        // Deterministic for a fixed seed.
+        assert_eq!(t, random_sparse(50, 40, 200, 1));
+        assert_ne!(t, random_sparse(50, 40, 200, 2));
+    }
+
+    #[test]
+    fn banded_pattern() {
+        let t = banded(10, 2, 3);
+        let s = pattern_stats(&t);
+        assert_eq!(s.bandwidth, 2);
+        assert!(s.structurally_symmetric);
+        for &(r, c, _) in t.entries() {
+            assert!(r.abs_diff(c) <= 2);
+        }
+    }
+
+    #[test]
+    fn poisson_is_symmetric_with_4s() {
+        let t = poisson2d(4);
+        assert_eq!(t.nrows(), 16);
+        let s = pattern_stats(&t);
+        assert!(s.structurally_symmetric);
+        assert_eq!(t.get(5, 5), 4.0);
+        assert_eq!(t.get(5, 4), -1.0);
+        assert_eq!(t.get(0, 3), 0.0);
+    }
+
+    #[test]
+    fn can_1072_like_matches_target_shape() {
+        let t = can_1072_like();
+        let s = pattern_stats(&t);
+        assert_eq!(s.nrows, 1072);
+        assert_eq!(s.ncols, 1072);
+        // Within a pair of the Harwell–Boeing count (12444).
+        assert!(
+            (s.nnz as i64 - 12444).abs() <= 2,
+            "nnz = {}",
+            s.nnz
+        );
+        assert!(s.structurally_symmetric);
+        // Full diagonal present.
+        for i in 0..1072 {
+            assert!(t.get(i, i) != 0.0, "diagonal hole at {i}");
+        }
+        // Deterministic.
+        assert_eq!(t.nnz(), can_1072_like().nnz());
+    }
+
+    #[test]
+    fn lower_triangle_is_solvable() {
+        let t = can_1072_like();
+        let l = t.lower_triangle_full_diag(1.0);
+        for i in 0..1072 {
+            assert!(l.get(i, i) != 0.0);
+        }
+        for &(r, c, _) in l.entries() {
+            assert!(r >= c);
+        }
+    }
+
+    #[test]
+    fn sparse_vector_distinct() {
+        let v = sparse_vector(100, 30, 9);
+        assert_eq!(v.len(), 30);
+        let mut idx: Vec<usize> = v.iter().map(|&(i, _)| i).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), 30);
+    }
+
+    #[test]
+    fn tridiagonal_stats() {
+        let t = tridiagonal(5);
+        assert_eq!(t.nnz(), 13);
+        assert_eq!(pattern_stats(&t).bandwidth, 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Minimal scalar abstraction for matrix element types.
+//!
+//! The paper's generic programming system is templated over a `BASE`
+//! element type; we mirror that with a small trait so formats and
+//! handwritten kernels can be instantiated at `f32` or `f64` without
+//! pulling in an external numerics crate.
+
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Element types storable in sparse matrices.
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Lossy conversion from `f64` (for generators and tests).
+    fn from_f64(x: f64) -> Self;
+    /// Lossy conversion to `f64` (for error norms and reporting).
+    fn to_f64(self) -> f64;
+}
+
+impl Scalar for f64 {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+    fn from_f64(x: f64) -> f64 {
+        x
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: f32 = 0.0;
+    const ONE: f32 = 1.0;
+    fn from_f64(x: f64) -> f32 {
+        x as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_sum<T: Scalar>(xs: &[T]) -> T {
+        let mut acc = T::ZERO;
+        for &x in xs {
+            acc += x;
+        }
+        acc
+    }
+
+    #[test]
+    fn works_for_f64_and_f32() {
+        assert_eq!(generic_sum(&[1.0f64, 2.0, 3.0]), 6.0);
+        assert_eq!(generic_sum(&[1.0f32, 2.0, 3.0]), 6.0);
+        assert_eq!(f64::from_f64(2.5), 2.5);
+        assert_eq!(2.5f32.to_f64(), 2.5);
+        assert_eq!(f64::ONE + f64::ZERO, 1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests: every format round-trips through triplets, agrees with
+//! every other format on random access, and enumerates exactly its stored
+//! entries via its declared view (DESIGN.md property P2).
+
+use bernoulli_formats::convert::{AnyFormat, FORMAT_NAMES};
+use bernoulli_formats::cursor::check_view_conformance;
+use bernoulli_formats::Triplets;
+use proptest::prelude::*;
+
+/// Random square matrix as a set of distinct entries.
+fn arb_matrix(n: usize, max_nnz: usize) -> impl Strategy<Value = Triplets<f64>> {
+    proptest::collection::btree_set((0..n, 0..n), 0..=max_nnz).prop_map(move |pos| {
+        let entries: Vec<(usize, usize, f64)> = pos
+            .into_iter()
+            .enumerate()
+            .map(|(k, (r, c))| (r, c, (k as f64 + 1.0) * 0.5))
+            .collect();
+        Triplets::from_entries(n, n, &entries)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn formats_agree_on_random_access(t in arb_matrix(8, 24)) {
+        let views: Vec<AnyFormat<f64>> = FORMAT_NAMES
+            .iter()
+            .map(|&n| AnyFormat::from_triplets(n, &t))
+            .collect();
+        for r in 0..8 {
+            for c in 0..8 {
+                let expect = t.get(r, c);
+                for f in &views {
+                    prop_assert_eq!(f.as_view().get(r, c), expect, "{} at ({},{})", f.name(), r, c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_views_conform(t in arb_matrix(7, 20)) {
+        for &name in FORMAT_NAMES {
+            let f = AnyFormat::from_triplets(name, &t);
+            let v = f.as_view();
+            let nalts = v.format_view().alternatives().len();
+            for alt in 0..nalts {
+                if let Err(e) = check_view_conformance(v, alt) {
+                    prop_assert!(false, "{name} alternative {alt}: {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triplet_roundtrip_preserves_values(t in arb_matrix(6, 18)) {
+        for &name in FORMAT_NAMES {
+            let f = AnyFormat::from_triplets(name, &t);
+            let back = f.to_triplets();
+            for r in 0..6 {
+                for c in 0..6 {
+                    prop_assert_eq!(back.get(r, c), t.get(r, c), "{}", name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_then_get_through_any_format(t in arb_matrix(6, 18)) {
+        // Overwrite each stored entry via the high-level API and read it back.
+        for &name in FORMAT_NAMES {
+            let mut f = AnyFormat::from_triplets(name, &t);
+            let entries = f.as_view().entries();
+            let view = f.as_view_mut();
+            for (k, (r, c, _)) in entries.iter().enumerate() {
+                view.set(*r, *c, 1000.0 + k as f64);
+            }
+            for (k, (r, c, _)) in entries.iter().enumerate() {
+                prop_assert_eq!(view.get(*r, *c), 1000.0 + k as f64, "{}", name);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(t in arb_matrix(9, 30)) {
+        let mut buf = Vec::new();
+        bernoulli_formats::io::write_matrix_market(&t, &mut buf).unwrap();
+        let back = bernoulli_formats::io::read_matrix_market(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, t);
+    }
+}
+
+/// JAD with many equal-fill rows still lays out deterministically and
+/// conforms — a regression guard for the stable-sort requirement.
+#[test]
+fn jad_equal_fill_rows() {
+    let mut t = Triplets::new(6, 6);
+    for i in 0..6usize {
+        t.push(i, i, 1.0 + i as f64);
+    }
+    t.normalize();
+    let a = bernoulli_formats::Jad::from_triplets(&t);
+    assert_eq!(a.iperm, vec![0, 1, 2, 3, 4, 5]);
+    check_view_conformance(&a, 0).unwrap();
+    check_view_conformance(&a, 1).unwrap();
+}
+
+/// The generators produce matrices all formats can hold.
+#[test]
+fn generators_feed_all_formats() {
+    use bernoulli_formats::gen;
+    let inputs = [
+        gen::tridiagonal(12),
+        gen::poisson2d(4),
+        gen::banded(10, 2, 5),
+        gen::random_sparse(10, 10, 25, 5),
+    ];
+    for t in &inputs {
+        for &name in FORMAT_NAMES {
+            let f = AnyFormat::from_triplets(name, t);
+            assert_eq!(f.as_view().get(1, 1), t.get(1, 1), "{name}");
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! The reference dense executor.
+//!
+//! Runs a [`Program`] literally, with every matrix accessed through the
+//! high-level (random-access) API. This is the semantics the synthesized
+//! sparse code must reproduce — every integration test compares a plan's
+//! output against this executor.
+
+use crate::ast::*;
+use crate::expr::AffineExpr;
+use bernoulli_formats::SparseMatrix;
+use std::collections::HashMap;
+
+/// Execution environment: parameter values, dense vectors, and matrices
+/// (any [`SparseMatrix`] implementor — including genuinely dense ones).
+#[derive(Default)]
+pub struct DenseEnv<'m> {
+    pub params: HashMap<String, i64>,
+    pub vectors: HashMap<String, Vec<f64>>,
+    pub matrices: HashMap<String, &'m dyn SparseMatrix>,
+}
+
+impl<'m> DenseEnv<'m> {
+    /// Creates an empty environment.
+    pub fn new() -> DenseEnv<'m> {
+        DenseEnv::default()
+    }
+
+    /// Binds a size parameter.
+    pub fn param(mut self, name: &str, v: i64) -> Self {
+        self.params.insert(name.to_string(), v);
+        self
+    }
+
+    /// Binds a dense vector (moved in; fetch results with
+    /// [`DenseEnv::take_vector`]).
+    pub fn vector(mut self, name: &str, v: Vec<f64>) -> Self {
+        self.vectors.insert(name.to_string(), v);
+        self
+    }
+
+    /// Binds a matrix by reference.
+    pub fn matrix(mut self, name: &str, m: &'m dyn SparseMatrix) -> Self {
+        self.matrices.insert(name.to_string(), m);
+        self
+    }
+
+    /// Removes and returns a vector (typically an output).
+    pub fn take_vector(&mut self, name: &str) -> Vec<f64> {
+        self.vectors
+            .remove(name)
+            .unwrap_or_else(|| panic!("vector {name:?} not bound"))
+    }
+}
+
+/// Errors surfaced by the executor.
+#[derive(Debug, PartialEq)]
+pub struct ExecError(pub String);
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "execution error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Runs the program to completion against the environment.
+///
+/// Matrix writes are not supported (the BLAS kernels of the paper never
+/// write into a sparse operand; results land in dense vectors).
+pub fn run_dense(p: &Program, env: &mut DenseEnv) -> Result<(), ExecError> {
+    // Check all declared arrays are bound and sized consistently.
+    let mut ivars: HashMap<String, i64> = env.params.clone();
+    for a in &p.arrays {
+        match a.kind {
+            ArrayKind::Vector => {
+                let v = env
+                    .vectors
+                    .get(&a.name)
+                    .ok_or_else(|| ExecError(format!("vector {:?} not bound", a.name)))?;
+                let want = a.dims[0].eval(&ivars);
+                if v.len() as i64 != want {
+                    return Err(ExecError(format!(
+                        "vector {:?} has length {}, declared {}",
+                        a.name,
+                        v.len(),
+                        want
+                    )));
+                }
+            }
+            ArrayKind::Matrix => {
+                let m = env
+                    .matrices
+                    .get(&a.name)
+                    .ok_or_else(|| ExecError(format!("matrix {:?} not bound", a.name)))?;
+                let (wr, wc) = (a.dims[0].eval(&ivars), a.dims[1].eval(&ivars));
+                if (m.nrows() as i64, m.ncols() as i64) != (wr, wc) {
+                    return Err(ExecError(format!(
+                        "matrix {:?} is {}x{}, declared {}x{}",
+                        a.name,
+                        m.nrows(),
+                        m.ncols(),
+                        wr,
+                        wc
+                    )));
+                }
+            }
+        }
+    }
+    run_nodes(&p.body, &mut ivars, env)
+}
+
+fn run_nodes(
+    nodes: &[Node],
+    ivars: &mut HashMap<String, i64>,
+    env: &mut DenseEnv,
+) -> Result<(), ExecError> {
+    for n in nodes {
+        match n {
+            Node::Loop(l) => {
+                let lo = l.lo.eval(ivars);
+                let hi = l.hi.eval(ivars);
+                for v in lo..hi {
+                    ivars.insert(l.var.clone(), v);
+                    run_nodes(&l.body, ivars, env)?;
+                }
+                ivars.remove(&l.var);
+            }
+            Node::Stmt(s) => {
+                let value = eval_value(&s.rhs, ivars, env)?;
+                write_ref(&s.lhs, value, ivars, env)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_ref(r: &LhsRef, ivars: &HashMap<String, i64>, env: &DenseEnv) -> Result<f64, ExecError> {
+    let idxs: Vec<i64> = r.idxs.iter().map(|e| e.eval(ivars)).collect();
+    if let Some(v) = env.vectors.get(&r.array) {
+        let i = idxs[0];
+        if idxs.len() != 1 || i < 0 || i as usize >= v.len() {
+            return Err(ExecError(format!("bad vector access {r} at {idxs:?}")));
+        }
+        return Ok(v[i as usize]);
+    }
+    if let Some(m) = env.matrices.get(&r.array) {
+        if idxs.len() != 2 {
+            return Err(ExecError(format!("matrix {r} needs 2 indices")));
+        }
+        let (i, j) = (idxs[0], idxs[1]);
+        if i < 0 || j < 0 || i as usize >= m.nrows() || j as usize >= m.ncols() {
+            return Err(ExecError(format!("matrix access {r} out of range at ({i},{j})")));
+        }
+        return Ok(m.get(i as usize, j as usize));
+    }
+    Err(ExecError(format!("array {:?} not bound", r.array)))
+}
+
+fn write_ref(
+    r: &LhsRef,
+    value: f64,
+    ivars: &HashMap<String, i64>,
+    env: &mut DenseEnv,
+) -> Result<(), ExecError> {
+    let idxs: Vec<i64> = r.idxs.iter().map(|e| e.eval(ivars)).collect();
+    if let Some(v) = env.vectors.get_mut(&r.array) {
+        let i = idxs[0];
+        if idxs.len() != 1 || i < 0 || i as usize >= v.len() {
+            return Err(ExecError(format!("bad vector write {r} at {idxs:?}")));
+        }
+        v[i as usize] = value;
+        return Ok(());
+    }
+    if env.matrices.contains_key(&r.array) {
+        return Err(ExecError(format!(
+            "matrix {:?} is read-only in the reference executor",
+            r.array
+        )));
+    }
+    Err(ExecError(format!("array {:?} not bound", r.array)))
+}
+
+fn eval_value(
+    e: &ValueExpr,
+    ivars: &HashMap<String, i64>,
+    env: &DenseEnv,
+) -> Result<f64, ExecError> {
+    Ok(match e {
+        ValueExpr::Const(c) => *c,
+        ValueExpr::Read(r) => read_ref(r, ivars, env)?,
+        ValueExpr::Add(a, b) => eval_value(a, ivars, env)? + eval_value(b, ivars, env)?,
+        ValueExpr::Sub(a, b) => eval_value(a, ivars, env)? - eval_value(b, ivars, env)?,
+        ValueExpr::Mul(a, b) => eval_value(a, ivars, env)? * eval_value(b, ivars, env)?,
+        ValueExpr::Div(a, b) => eval_value(a, ivars, env)? / eval_value(b, ivars, env)?,
+        ValueExpr::Neg(a) => -eval_value(a, ivars, env)?,
+    })
+}
+
+/// Evaluates an [`AffineExpr`] in a plain parameter map — a convenience
+/// re-export for harness code.
+pub fn eval_affine(e: &AffineExpr, env: &HashMap<String, i64>) -> i64 {
+    e.eval(env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use bernoulli_formats::{Dense, Triplets};
+
+    const TS: &str = r#"
+        program ts(N) {
+          in matrix L[N][N];
+          inout vector b[N];
+          for j in 0..N {
+            b[j] = b[j] / L[j][j];
+            for i in j+1..N {
+              b[i] = b[i] - L[i][j] * b[j];
+            }
+          }
+        }
+    "#;
+
+    #[test]
+    fn triangular_solve_reference() {
+        let p = parse_program(TS).unwrap();
+        // L = [[2,0],[1,4]]; solve L y = b with b = [4, 6]:
+        // y0 = 2; y1 = (6 - 1*2)/4 = 1.
+        let l = Dense::from_triplets(&Triplets::from_entries(
+            2,
+            2,
+            &[(0, 0, 2.0), (1, 0, 1.0), (1, 1, 4.0)],
+        ));
+        let mut env = DenseEnv::new()
+            .param("N", 2)
+            .vector("b", vec![4.0, 6.0])
+            .matrix("L", &l);
+        run_dense(&p, &mut env).unwrap();
+        assert_eq!(env.take_vector("b"), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn mvm_reference() {
+        let src = r#"
+            program mvm(M, N) {
+              in matrix A[M][N];
+              in vector x[N];
+              inout vector y[M];
+              for i in 0..M {
+                for j in 0..N {
+                  y[i] = y[i] + A[i][j] * x[j];
+                }
+              }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let a = Dense::from_triplets(&Triplets::from_entries(
+            2,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)],
+        ));
+        let mut env = DenseEnv::new()
+            .param("M", 2)
+            .param("N", 3)
+            .vector("x", vec![1.0, 2.0, 3.0])
+            .vector("y", vec![0.0, 0.0])
+            .matrix("A", &a);
+        run_dense(&p, &mut env).unwrap();
+        assert_eq!(env.take_vector("y"), vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn unbound_arrays_error() {
+        let p = parse_program(TS).unwrap();
+        let mut env = DenseEnv::new().param("N", 2).vector("b", vec![1.0, 1.0]);
+        let e = run_dense(&p, &mut env).unwrap_err();
+        assert!(e.0.contains("matrix \"L\" not bound"));
+    }
+
+    #[test]
+    fn size_mismatch_error() {
+        let p = parse_program(TS).unwrap();
+        let l = Dense::<f64>::zeros(3, 3);
+        let mut env = DenseEnv::new()
+            .param("N", 2)
+            .vector("b", vec![1.0, 1.0])
+            .matrix("L", &l);
+        let e = run_dense(&p, &mut env).unwrap_err();
+        assert!(e.0.contains("declared 2x2"));
+    }
+
+    #[test]
+    fn sparse_matrix_as_input() {
+        // The executor accepts any SparseMatrix implementor.
+        let src = r#"
+            program sum(N) {
+              in matrix A[N][N];
+              inout vector s[1];
+              for i in 0..N {
+                for j in 0..N {
+                  s[0] = s[0] + A[i][j];
+                }
+              }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let a = bernoulli_formats::Csr::from_triplets(&Triplets::from_entries(
+            3,
+            3,
+            &[(0, 0, 1.0), (2, 1, 2.0)],
+        ));
+        let mut env = DenseEnv::new()
+            .param("N", 3)
+            .vector("s", vec![0.0])
+            .matrix("A", &a);
+        run_dense(&p, &mut env).unwrap();
+        assert_eq!(env.take_vector("s"), vec![3.0]);
+    }
+}

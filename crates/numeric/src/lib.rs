@@ -1,0 +1,30 @@
+//! Exact rational arithmetic and small dense rational linear algebra.
+//!
+//! This crate is the numeric substrate for the Bernoulli sparse-compiler
+//! reproduction. The restructuring framework of the paper manipulates
+//! *affine* objects throughout — dependence polyhedra, embedding functions,
+//! the `G` matrix used for redundant-dimension elimination — and all of the
+//! associated decision procedures (Fourier–Motzkin elimination, Farkas
+//! multiplier systems, rank computations) must be exact: floating point
+//! would silently mis-classify legality and redundancy.
+//!
+//! Everything here works over [`Rational`], a normalized `i128` fraction.
+//! The polyhedra arising from loop nests of depth ≤ ~8 keep numerators and
+//! denominators tiny, so `i128` with overflow panics (rather than bignum)
+//! is the right trade-off: exactness with zero allocation per scalar.
+//!
+//! Contents:
+//! - [`Rational`]: normalized exact fraction with full operator support.
+//! - [`gcd`]/[`lcm`]: integer helpers.
+//! - [`Matrix`]: dense row-major rational matrix with Gaussian elimination,
+//!   rank, reduced row echelon form, nullspace and linear-system solving.
+//! - [`RowSpace`]: incremental row-space tracker used to detect redundant
+//!   product-space dimensions (paper §4.1, Fig. 7).
+
+mod matrix;
+mod rational;
+mod rowspace;
+
+pub use matrix::Matrix;
+pub use rational::{gcd, lcm, Rational};
+pub use rowspace::RowSpace;

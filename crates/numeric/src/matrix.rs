@@ -1,0 +1,420 @@
+//! Dense row-major rational matrices with exact Gaussian elimination.
+//!
+//! These matrices are small (dimensions on the order of the loop depth of a
+//! kernel, i.e. ≤ ~16), so a simple dense representation with exact
+//! arithmetic is both fast enough and the easiest to audit.
+
+use crate::Rational;
+use std::fmt;
+use std::ops::{Index, IndexMut, Mul};
+
+/// A dense `rows × cols` matrix of [`Rational`] values.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![Rational::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Rational::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices of integers (test/builder helper).
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_int_rows(rows: &[&[i128]]) -> Matrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = Rational::int(v);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Rational>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[Rational] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    pub fn row_mut(&mut self, i: usize) -> &mut [Rational] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Appends a row to the bottom of the matrix.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.cols()`.
+    pub fn push_row(&mut self, row: &[Rational]) {
+        assert_eq!(row.len(), self.cols, "row length mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[Rational]) -> Vec<Rational> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v)
+                    .map(|(&a, &b)| a * b)
+                    .sum::<Rational>()
+            })
+            .collect()
+    }
+
+    /// In-place reduction to *reduced row echelon form*; returns the list
+    /// of pivot column indices (one per non-zero row, in order).
+    pub fn rref(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut r = 0;
+        for c in 0..self.cols {
+            if r == self.rows {
+                break;
+            }
+            // Find a row at or below `r` with a non-zero entry in column c.
+            let Some(p) = (r..self.rows).find(|&i| !self[(i, c)].is_zero()) else {
+                continue;
+            };
+            self.swap_rows(r, p);
+            let inv = self[(r, c)].recip();
+            for j in c..self.cols {
+                self[(r, j)] *= inv;
+            }
+            for i in 0..self.rows {
+                if i != r && !self[(i, c)].is_zero() {
+                    let f = self[(i, c)];
+                    for j in c..self.cols {
+                        let sub = f * self[(r, j)];
+                        self[(i, j)] -= sub;
+                    }
+                }
+            }
+            pivots.push(c);
+            r += 1;
+        }
+        pivots
+    }
+
+    /// Rank of the matrix.
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        m.rref().len()
+    }
+
+    /// A basis for the (right) nullspace `{ x : self * x = 0 }`, one vector
+    /// per non-pivot column.
+    pub fn nullspace(&self) -> Vec<Vec<Rational>> {
+        let mut m = self.clone();
+        let pivots = m.rref();
+        let mut basis = Vec::new();
+        let pivot_set: Vec<Option<usize>> = {
+            // pivot_set[c] = Some(row index of pivot in column c)
+            let mut v = vec![None; self.cols];
+            for (row, &c) in pivots.iter().enumerate() {
+                v[c] = Some(row);
+            }
+            v
+        };
+        for free in 0..self.cols {
+            if pivot_set[free].is_some() {
+                continue;
+            }
+            let mut x = vec![Rational::ZERO; self.cols];
+            x[free] = Rational::ONE;
+            for (c, &pr) in pivot_set.iter().enumerate() {
+                if let Some(row) = pr {
+                    x[c] = -m[(row, free)];
+                }
+            }
+            basis.push(x);
+        }
+        basis
+    }
+
+    /// Solves `self * x = b` for one solution, if any exists.
+    ///
+    /// Returns `None` when the system is inconsistent. When the system is
+    /// under-determined an arbitrary particular solution (free variables
+    /// set to zero) is returned.
+    pub fn solve(&self, b: &[Rational]) -> Option<Vec<Rational>> {
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        // Form the augmented matrix and reduce.
+        let mut aug = Matrix::zeros(self.rows, self.cols + 1);
+        for i in 0..self.rows {
+            aug.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            aug[(i, self.cols)] = b[i];
+        }
+        let pivots = aug.rref();
+        // Inconsistent iff a pivot lands in the augmented column.
+        if pivots.last() == Some(&self.cols) {
+            return None;
+        }
+        let mut x = vec![Rational::ZERO; self.cols];
+        for (row, &c) in pivots.iter().enumerate() {
+            x[c] = aug[(row, self.cols)];
+        }
+        Some(x)
+    }
+
+    /// True iff row `r` is a linear combination of the rows strictly
+    /// before it. This is exactly the paper's redundancy condition for
+    /// product-space dimensions (§4.1).
+    pub fn row_is_redundant(&self, r: usize) -> bool {
+        if r == 0 {
+            return self.row(0).iter().all(|x| x.is_zero());
+        }
+        let prefix = Matrix {
+            rows: r,
+            cols: self.cols,
+            data: self.data[..r * self.cols].to_vec(),
+        };
+        // row r is in the span of prefix rows iff the transpose system
+        // prefixᵀ · λ = rowᵀ is consistent.
+        prefix.transpose().solve(self.row(r)).is_some()
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(a * self.cols + j, b * self.cols + j);
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = Rational;
+    fn index(&self, (i, j): (usize, usize)) -> &Rational {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Rational {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let add = a * rhs[(k, j)];
+                    out[(i, j)] += add;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rational {
+        Rational::int(n)
+    }
+
+    #[test]
+    fn identity_and_index() {
+        let id = Matrix::identity(3);
+        assert_eq!(id[(0, 0)], r(1));
+        assert_eq!(id[(0, 1)], r(0));
+        assert_eq!(id.rank(), 3);
+    }
+
+    #[test]
+    fn mul_and_transpose() {
+        let a = Matrix::from_int_rows(&[&[1, 2], &[3, 4]]);
+        let b = Matrix::from_int_rows(&[&[5, 6], &[7, 8]]);
+        let c = &a * &b;
+        assert_eq!(c, Matrix::from_int_rows(&[&[19, 22], &[43, 50]]));
+        assert_eq!(a.transpose(), Matrix::from_int_rows(&[&[1, 3], &[2, 4]]));
+    }
+
+    #[test]
+    fn mul_vec() {
+        let a = Matrix::from_int_rows(&[&[1, 2], &[3, 4]]);
+        assert_eq!(a.mul_vec(&[r(1), r(1)]), vec![r(3), r(7)]);
+    }
+
+    #[test]
+    fn rank_deficient() {
+        let a = Matrix::from_int_rows(&[&[1, 2, 3], &[2, 4, 6], &[1, 0, 1]]);
+        assert_eq!(a.rank(), 2);
+    }
+
+    #[test]
+    fn rref_pivots() {
+        let mut a = Matrix::from_int_rows(&[&[0, 2, 4], &[1, 1, 1]]);
+        let pivots = a.rref();
+        assert_eq!(pivots, vec![0, 1]);
+        // RREF should be [[1,0,-1],[0,1,2]]
+        assert_eq!(a, Matrix::from_int_rows(&[&[1, 0, -1], &[0, 1, 2]]));
+    }
+
+    #[test]
+    fn solve_unique() {
+        let a = Matrix::from_int_rows(&[&[2, 1], &[1, 3]]);
+        let x = a.solve(&[r(5), r(10)]).unwrap();
+        assert_eq!(a.mul_vec(&x), vec![r(5), r(10)]);
+        assert_eq!(x, vec![r(1), r(3)]);
+    }
+
+    #[test]
+    fn solve_inconsistent() {
+        let a = Matrix::from_int_rows(&[&[1, 1], &[2, 2]]);
+        assert!(a.solve(&[r(1), r(3)]).is_none());
+    }
+
+    #[test]
+    fn solve_underdetermined() {
+        let a = Matrix::from_int_rows(&[&[1, 1, 1]]);
+        let x = a.solve(&[r(6)]).unwrap();
+        assert_eq!(a.mul_vec(&x), vec![r(6)]);
+    }
+
+    #[test]
+    fn nullspace_basis() {
+        let a = Matrix::from_int_rows(&[&[1, 2, 3], &[2, 4, 6]]);
+        let ns = a.nullspace();
+        assert_eq!(ns.len(), 2);
+        for v in &ns {
+            assert_eq!(a.mul_vec(v), vec![r(0), r(0)]);
+        }
+    }
+
+    #[test]
+    fn nullspace_trivial() {
+        let a = Matrix::identity(3);
+        assert!(a.nullspace().is_empty());
+    }
+
+    #[test]
+    fn row_redundancy_matches_paper_example() {
+        // The G matrix of Fig. 7 (paper §4.1): columns are (j1, j2, i2),
+        // rows are the product-space dims l1r, l2r, l1c, l2c, j1, j2, i2.
+        let g = Matrix::from_int_rows(&[
+            &[1, 0, 0], // l1r <- j1        (S1 contributes j1; S2 contributes i2)
+            &[0, 0, 1], // l2r <- i2
+            &[1, 0, 0], // l1c <- j1
+            &[0, 1, 0], // l2c <- j2
+            &[1, 0, 0], // j1
+            &[0, 1, 0], // j2
+            &[0, 0, 1], // i2
+        ]);
+        // Paper: only l1r (row 0) and ... are non-redundant. With this block
+        // structure rows 0, 1, 3 are the independent ones.
+        assert!(!g.row_is_redundant(0));
+        assert!(!g.row_is_redundant(1));
+        assert!(g.row_is_redundant(2)); // l1c = l1r here (j1 = j1)
+        assert!(!g.row_is_redundant(3));
+        assert!(g.row_is_redundant(4));
+        assert!(g.row_is_redundant(5));
+        assert!(g.row_is_redundant(6));
+    }
+
+    #[test]
+    fn push_row_grows() {
+        let mut m = Matrix::zeros(0, 3);
+        m.push_row(&[r(1), r(0), r(0)]);
+        m.push_row(&[r(0), r(1), r(0)]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn rational_entries() {
+        let a = Matrix::from_vec(
+            1,
+            2,
+            vec![Rational::new(1, 2), Rational::new(1, 3)],
+        );
+        let x = a.solve(&[Rational::new(5, 6)]).unwrap();
+        assert_eq!(a.mul_vec(&x), vec![Rational::new(5, 6)]);
+    }
+}

@@ -1,0 +1,429 @@
+//! Normalized exact rational numbers over `i128`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Greatest common divisor of two integers (always non-negative).
+///
+/// `gcd(0, 0) == 0` by convention.
+pub fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple of two integers (always non-negative).
+///
+/// Panics on overflow. `lcm(0, x) == 0`.
+pub fn lcm(a: i128, b: i128) -> i128 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).checked_mul(b).expect("lcm overflow").abs()
+}
+
+/// An exact rational number `num / den`, kept normalized so that
+/// `den > 0` and `gcd(num, den) == 1`.
+///
+/// Arithmetic panics on `i128` overflow; the affine objects manipulated by
+/// the compiler keep coefficients small, so overflow indicates a logic bug
+/// rather than a workload we need to support.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rational { num, den }
+    }
+
+    /// Creates the integer `n` as a rational.
+    pub const fn int(n: i128) -> Rational {
+        Rational { num: n, den: 1 }
+    }
+
+    /// The numerator of the normalized fraction.
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator of the normalized fraction (always positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// True iff this value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// True iff this value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// True iff this value is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// True iff this value is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Sign of the value: -1, 0 or 1.
+    pub fn signum(self) -> i128 {
+        self.num.signum()
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Rational {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(self) -> i128 {
+        -(-self.num).div_euclid(self.den)
+    }
+
+    /// Rounds toward the nearest `f64`; used only for cost-model reporting,
+    /// never for decision procedures.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    fn checked_op(an: i128, ad: i128, bn: i128, bd: i128, sub: bool) -> Rational {
+        // a/b + c/d computed over the lcm of the denominators to delay
+        // overflow as long as possible.
+        let g = gcd(ad, bd);
+        let l = ad / g * bd; // == lcm, done in this order to avoid overflow
+        let lhs = an.checked_mul(l / ad).expect("rational add overflow");
+        let rhs = bn.checked_mul(l / bd).expect("rational add overflow");
+        let num = if sub {
+            lhs.checked_sub(rhs).expect("rational add overflow")
+        } else {
+            lhs.checked_add(rhs).expect("rational add overflow")
+        };
+        Rational::new(num, l)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(n: i128) -> Self {
+        Rational::int(n)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::int(n as i128)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Self {
+        Rational::int(n as i128)
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare a/b vs c/d as a*d vs c*b (denominators positive).
+        let lhs = self.num.checked_mul(other.den).expect("rational cmp overflow");
+        let rhs = other.num.checked_mul(self.den).expect("rational cmp overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::checked_op(self.num, self.den, rhs.num, rhs.den, false)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        Rational::checked_op(self.num, self.den, rhs.num, rhs.den, true)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying to keep magnitudes small.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let (g1, g2) = (g1.max(1), g2.max(1));
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .expect("rational mul overflow");
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .expect("rational mul overflow");
+        Rational::new(num, den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal is the point
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Rational {
+    fn product<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(7, 13), 1);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 6), 0);
+        assert_eq!(lcm(-4, 6), 12);
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, -7), Rational::ZERO);
+        assert_eq!(Rational::new(1, 2).denom(), 2);
+        assert_eq!(Rational::new(-1, 2).numer(), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+        assert_eq!(a + (-a), Rational::ZERO);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = Rational::new(1, 4);
+        x += Rational::new(1, 4);
+        assert_eq!(x, Rational::new(1, 2));
+        x -= Rational::new(1, 2);
+        assert!(x.is_zero());
+        let mut y = Rational::new(2, 3);
+        y *= Rational::new(3, 2);
+        assert_eq!(y, Rational::ONE);
+        y /= Rational::new(1, 5);
+        assert_eq!(y, Rational::int(5));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::new(7, 7) == Rational::ONE);
+        let mut v = vec![
+            Rational::new(3, 4),
+            Rational::new(-1, 2),
+            Rational::ZERO,
+            Rational::new(2, 3),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Rational::new(-1, 2),
+                Rational::ZERO,
+                Rational::new(2, 3),
+                Rational::new(3, 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::int(5).floor(), 5);
+        assert_eq!(Rational::int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Rational::new(3, 1).is_integer());
+        assert!(!Rational::new(3, 2).is_integer());
+        assert!(Rational::new(1, 9).is_positive());
+        assert!(Rational::new(-1, 9).is_negative());
+        assert_eq!(Rational::new(-1, 9).signum(), -1);
+        assert_eq!(Rational::ZERO.signum(), 0);
+    }
+
+    #[test]
+    fn recip_abs() {
+        assert_eq!(Rational::new(2, 3).recip(), Rational::new(3, 2));
+        assert_eq!(Rational::new(-2, 3).recip(), Rational::new(-3, 2));
+        assert_eq!(Rational::new(-2, 3).abs(), Rational::new(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        let _ = Rational::ZERO.recip();
+    }
+
+    #[test]
+    fn sum_product() {
+        let v = [Rational::new(1, 2), Rational::new(1, 3), Rational::new(1, 6)];
+        assert_eq!(v.iter().copied().sum::<Rational>(), Rational::ONE);
+        let p: Rational = v.iter().copied().product();
+        assert_eq!(p, Rational::new(1, 36));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 6).to_string(), "1/2");
+        assert_eq!(Rational::int(-4).to_string(), "-4");
+    }
+
+    #[test]
+    fn to_f64() {
+        assert!((Rational::new(1, 2).to_f64() - 0.5).abs() < 1e-15);
+    }
+}

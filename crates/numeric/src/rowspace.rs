@@ -1,0 +1,153 @@
+//! Incremental row-space membership, used for redundant-dimension
+//! elimination (paper §4.1).
+//!
+//! The paper identifies a product-space dimension as *redundant* when its
+//! row of the embedding matrix `G` is a linear combination of the rows of
+//! the dimensions enumerated before it. Scanning dimensions outermost to
+//! innermost is exactly incremental row-space insertion, which this type
+//! implements by maintaining an echelonized basis.
+
+use crate::Rational;
+
+/// An incrementally-maintained row space over `Q^n`.
+#[derive(Clone, Debug)]
+pub struct RowSpace {
+    dim: usize,
+    /// Echelonized basis rows; `lead[i]` is the pivot column of `basis[i]`,
+    /// strictly increasing.
+    basis: Vec<Vec<Rational>>,
+    lead: Vec<usize>,
+}
+
+impl RowSpace {
+    /// Creates an empty row space of ambient dimension `dim`.
+    pub fn new(dim: usize) -> RowSpace {
+        RowSpace {
+            dim,
+            basis: Vec::new(),
+            lead: Vec::new(),
+        }
+    }
+
+    /// Current rank (number of independent rows inserted so far).
+    pub fn rank(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Reduces `row` against the basis, returning the residual.
+    fn reduce(&self, row: &[Rational]) -> Vec<Rational> {
+        let mut v = row.to_vec();
+        for (b, &l) in self.basis.iter().zip(&self.lead) {
+            if !v[l].is_zero() {
+                let f = v[l];
+                for (x, y) in v.iter_mut().zip(b) {
+                    *x -= f * *y;
+                }
+            }
+        }
+        v
+    }
+
+    /// True iff `row` already lies in the span of the inserted rows.
+    pub fn contains(&self, row: &[Rational]) -> bool {
+        assert_eq!(row.len(), self.dim, "dimension mismatch");
+        self.reduce(row).iter().all(|x| x.is_zero())
+    }
+
+    /// Inserts `row`; returns `true` if it was independent (i.e. the rank
+    /// grew), `false` if it was already in the span (a *redundant* row).
+    pub fn insert(&mut self, row: &[Rational]) -> bool {
+        assert_eq!(row.len(), self.dim, "dimension mismatch");
+        let mut v = self.reduce(row);
+        let Some(l) = v.iter().position(|x| !x.is_zero()) else {
+            return false;
+        };
+        // Normalize the new basis row so its pivot is 1.
+        let inv = v[l].recip();
+        for x in v.iter_mut() {
+            *x *= inv;
+        }
+        // Back-substitute into existing basis rows to keep them reduced.
+        for b in self.basis.iter_mut() {
+            if !b[l].is_zero() {
+                let f = b[l];
+                for (x, y) in b.iter_mut().zip(&v) {
+                    *x -= f * *y;
+                }
+            }
+        }
+        // Keep pivot columns sorted for a deterministic reduce order.
+        let pos = self.lead.partition_point(|&x| x < l);
+        self.basis.insert(pos, v);
+        self.lead.insert(pos, l);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    fn row(v: &[i128]) -> Vec<Rational> {
+        v.iter().map(|&x| Rational::int(x)).collect()
+    }
+
+    #[test]
+    fn independent_rows_grow_rank() {
+        let mut s = RowSpace::new(3);
+        assert!(s.insert(&row(&[1, 0, 0])));
+        assert!(s.insert(&row(&[0, 1, 0])));
+        assert_eq!(s.rank(), 2);
+        assert!(!s.contains(&row(&[0, 0, 1])));
+        assert!(s.contains(&row(&[2, -3, 0])));
+    }
+
+    #[test]
+    fn redundant_rows_rejected() {
+        let mut s = RowSpace::new(3);
+        assert!(s.insert(&row(&[1, 2, 3])));
+        assert!(!s.insert(&row(&[2, 4, 6])));
+        assert_eq!(s.rank(), 1);
+    }
+
+    #[test]
+    fn zero_row_is_redundant() {
+        let mut s = RowSpace::new(2);
+        assert!(!s.insert(&row(&[0, 0])));
+        assert_eq!(s.rank(), 0);
+    }
+
+    #[test]
+    fn agrees_with_matrix_redundancy() {
+        // Cross-check against Matrix::row_is_redundant on the Fig. 7 matrix.
+        let g = Matrix::from_int_rows(&[
+            &[1, 0, 0],
+            &[0, 0, 1],
+            &[1, 0, 0],
+            &[0, 1, 0],
+            &[1, 0, 0],
+            &[0, 1, 0],
+            &[0, 0, 1],
+        ]);
+        let mut s = RowSpace::new(3);
+        for i in 0..g.rows() {
+            let inserted = s.insert(g.row(i));
+            assert_eq!(inserted, !g.row_is_redundant(i), "row {i}");
+        }
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn rational_pivots() {
+        let mut s = RowSpace::new(2);
+        assert!(s.insert(&[Rational::new(1, 2), Rational::new(1, 3)]));
+        assert!(s.contains(&[Rational::int(3), Rational::int(2)]));
+        assert!(!s.contains(&[Rational::int(3), Rational::int(1)]));
+    }
+}

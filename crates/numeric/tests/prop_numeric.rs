@@ -1,0 +1,109 @@
+//! Property-based tests for exact rational arithmetic and linear algebra.
+
+use bernoulli_numeric::{gcd, lcm, Matrix, Rational, RowSpace};
+use proptest::prelude::*;
+
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-50i128..=50, 1i128..=12).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-6i128..=6, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v.into_iter().map(Rational::int).collect()))
+}
+
+proptest! {
+    #[test]
+    fn gcd_divides_both(a in -1000i128..1000, b in -1000i128..1000) {
+        let g = gcd(a, b);
+        if g != 0 {
+            prop_assert_eq!(a % g, 0);
+            prop_assert_eq!(b % g, 0);
+        } else {
+            prop_assert_eq!(a, 0);
+            prop_assert_eq!(b, 0);
+        }
+    }
+
+    #[test]
+    fn lcm_is_common_multiple(a in 1i128..100, b in 1i128..100) {
+        let l = lcm(a, b);
+        prop_assert_eq!(l % a, 0);
+        prop_assert_eq!(l % b, 0);
+        prop_assert_eq!(l * gcd(a, b), a * b);
+    }
+
+    #[test]
+    fn rational_field_axioms(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a + Rational::ZERO, a);
+        prop_assert_eq!(a * Rational::ONE, a);
+        prop_assert_eq!(a - a, Rational::ZERO);
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.recip(), Rational::ONE);
+        }
+    }
+
+    #[test]
+    fn rational_ordering_consistent(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a < b, (b - a).is_positive());
+        prop_assert_eq!(a == b, (a - b).is_zero());
+    }
+
+    #[test]
+    fn floor_ceil_bracket(a in small_rational()) {
+        let f = Rational::int(a.floor());
+        let c = Rational::int(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!((a - f) < Rational::ONE);
+        prop_assert!((c - a) < Rational::ONE);
+        if a.is_integer() {
+            prop_assert_eq!(f, c);
+        }
+    }
+
+    #[test]
+    fn rank_bounds(m in small_matrix(4, 5)) {
+        let r = m.rank();
+        prop_assert!(r <= 4);
+        prop_assert_eq!(m.rank(), m.transpose().rank());
+    }
+
+    #[test]
+    fn nullspace_vectors_in_kernel(m in small_matrix(3, 5)) {
+        let ns = m.nullspace();
+        prop_assert_eq!(ns.len(), 5 - m.rank());
+        for v in &ns {
+            for y in m.mul_vec(v) {
+                prop_assert!(y.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn solve_roundtrip(m in small_matrix(4, 4), x in proptest::collection::vec(-5i128..=5, 4)) {
+        // Construct b = m * x; solving must produce some x' with m x' = b.
+        let x: Vec<Rational> = x.into_iter().map(Rational::int).collect();
+        let b = m.mul_vec(&x);
+        let solved = m.solve(&b).expect("consistent by construction");
+        prop_assert_eq!(m.mul_vec(&solved), b);
+    }
+
+    #[test]
+    fn rowspace_matches_batch_rank(rows in proptest::collection::vec(proptest::collection::vec(-4i128..=4, 4), 1..7)) {
+        let mut s = RowSpace::new(4);
+        let mut m = Matrix::zeros(0, 4);
+        for row in &rows {
+            let rr: Vec<Rational> = row.iter().map(|&x| Rational::int(x)).collect();
+            m.push_row(&rr);
+            let grew = s.insert(&rr);
+            // Incremental insertion grows rank iff batch rank grew.
+            prop_assert_eq!(s.rank(), m.rank());
+            prop_assert_eq!(grew, m.rank() == s.rank() && !m.row_is_redundant(m.rows() - 1));
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Affine expressions over a fixed, ordered variable list.
+
+use bernoulli_numeric::Rational;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An affine expression `Σ coeffs[i]·x_i + cst` over the variables of some
+/// [`crate::System`] (the expression itself only knows the variable count;
+/// names live in the system).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LinExpr {
+    /// One coefficient per variable of the owning system.
+    pub coeffs: Vec<Rational>,
+    /// Constant term.
+    pub cst: Rational,
+}
+
+impl LinExpr {
+    /// The zero expression over `n` variables.
+    pub fn zero(n: usize) -> LinExpr {
+        LinExpr {
+            coeffs: vec![Rational::ZERO; n],
+            cst: Rational::ZERO,
+        }
+    }
+
+    /// The constant expression `c` over `n` variables.
+    pub fn constant(n: usize, c: impl Into<Rational>) -> LinExpr {
+        LinExpr {
+            coeffs: vec![Rational::ZERO; n],
+            cst: c.into(),
+        }
+    }
+
+    /// The single variable `x_i` over `n` variables.
+    pub fn var(n: usize, i: usize) -> LinExpr {
+        let mut e = LinExpr::zero(n);
+        e.coeffs[i] = Rational::ONE;
+        e
+    }
+
+    /// Number of variables this expression ranges over.
+    pub fn num_vars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// True iff every coefficient and the constant are zero.
+    pub fn is_zero(&self) -> bool {
+        self.cst.is_zero() && self.coeffs.iter().all(|c| c.is_zero())
+    }
+
+    /// True iff every variable coefficient is zero (constant expression).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|c| c.is_zero())
+    }
+
+    /// Evaluates the expression at an integer point.
+    pub fn eval_int(&self, point: &[i128]) -> Rational {
+        assert_eq!(point.len(), self.coeffs.len(), "dimension mismatch");
+        self.coeffs
+            .iter()
+            .zip(point)
+            .map(|(&c, &x)| c * Rational::int(x))
+            .sum::<Rational>()
+            + self.cst
+    }
+
+    /// Evaluates the expression at a rational point.
+    pub fn eval(&self, point: &[Rational]) -> Rational {
+        assert_eq!(point.len(), self.coeffs.len(), "dimension mismatch");
+        self.coeffs
+            .iter()
+            .zip(point)
+            .map(|(&c, &x)| c * x)
+            .sum::<Rational>()
+            + self.cst
+    }
+
+    /// Adds `k · other` in place.
+    pub fn add_scaled(&mut self, other: &LinExpr, k: Rational) {
+        assert_eq!(self.coeffs.len(), other.coeffs.len(), "dimension mismatch");
+        for (a, &b) in self.coeffs.iter_mut().zip(&other.coeffs) {
+            *a += k * b;
+        }
+        self.cst += k * other.cst;
+    }
+
+    /// Returns the expression with variables appended so it ranges over
+    /// `n` variables (new variables get zero coefficients).
+    pub fn widened(&self, n: usize) -> LinExpr {
+        assert!(n >= self.coeffs.len());
+        let mut coeffs = self.coeffs.clone();
+        coeffs.resize(n, Rational::ZERO);
+        LinExpr { coeffs, cst: self.cst }
+    }
+
+    /// Scales all denominators away and divides by the content, producing
+    /// a primitive integer expression with the same sign everywhere.
+    ///
+    /// Returns the scale factor applied (always positive).
+    pub fn normalize_primitive(&mut self) -> Rational {
+        use bernoulli_numeric::{gcd, lcm};
+        let mut den_lcm = 1i128;
+        for c in self.coeffs.iter().chain(std::iter::once(&self.cst)) {
+            den_lcm = lcm(den_lcm, c.denom());
+        }
+        if den_lcm == 0 {
+            den_lcm = 1;
+        }
+        let mut g = 0i128;
+        for c in self.coeffs.iter().chain(std::iter::once(&self.cst)) {
+            g = gcd(g, (*c * Rational::int(den_lcm)).numer());
+        }
+        if g == 0 {
+            g = 1;
+        }
+        let scale = Rational::new(den_lcm, g);
+        for c in self.coeffs.iter_mut() {
+            *c *= scale;
+        }
+        self.cst *= scale;
+        scale
+    }
+
+    /// Renders the expression given variable names (debug/pretty printing).
+    pub fn display_with<'a>(&'a self, names: &'a [String]) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a LinExpr, &'a [String]);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let mut first = true;
+                for (i, &c) in self.0.coeffs.iter().enumerate() {
+                    if c.is_zero() {
+                        continue;
+                    }
+                    let name = self
+                        .1
+                        .get(i)
+                        .map(|s| s.as_str())
+                        .unwrap_or("?");
+                    if first {
+                        if c == Rational::ONE {
+                            write!(f, "{name}")?;
+                        } else if c == -Rational::ONE {
+                            write!(f, "-{name}")?;
+                        } else {
+                            write!(f, "{c}*{name}")?;
+                        }
+                        first = false;
+                    } else if c.is_positive() {
+                        if c == Rational::ONE {
+                            write!(f, " + {name}")?;
+                        } else {
+                            write!(f, " + {c}*{name}")?;
+                        }
+                    } else if -c == Rational::ONE {
+                        write!(f, " - {name}")?;
+                    } else {
+                        write!(f, " - {}*{name}", -c)?;
+                    }
+                }
+                if first {
+                    write!(f, "{}", self.0.cst)?;
+                } else if self.0.cst.is_positive() {
+                    write!(f, " + {}", self.0.cst)?;
+                } else if self.0.cst.is_negative() {
+                    write!(f, " - {}", -self.0.cst)?;
+                }
+                Ok(())
+            }
+        }
+        D(self, names)
+    }
+}
+
+impl fmt::Debug for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LinExpr(")?;
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if !c.is_zero() {
+                write!(f, "{c}*x{i} ")?;
+            }
+        }
+        write!(f, "+ {})", self.cst)
+    }
+}
+
+impl Add for &LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.add_scaled(rhs, Rational::ONE);
+        out
+    }
+}
+
+impl Sub for &LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.add_scaled(rhs, -Rational::ONE);
+        out
+    }
+}
+
+impl Neg for &LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        let mut out = LinExpr::zero(self.coeffs.len());
+        out.add_scaled(self, -Rational::ONE);
+        out
+    }
+}
+
+impl Mul<Rational> for &LinExpr {
+    type Output = LinExpr;
+    fn mul(self, k: Rational) -> LinExpr {
+        let mut out = LinExpr::zero(self.coeffs.len());
+        out.add_scaled(self, k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rational {
+        Rational::int(n)
+    }
+
+    #[test]
+    fn construction_and_eval() {
+        let n = 3;
+        let x0 = LinExpr::var(n, 0);
+        let x2 = LinExpr::var(n, 2);
+        let e = &(&x0 + &x2) + &LinExpr::constant(n, 5);
+        assert_eq!(e.eval_int(&[1, 100, 2]), r(8));
+        assert!(!e.is_zero());
+        assert!(!e.is_constant());
+        assert!(LinExpr::constant(n, 7).is_constant());
+        assert!(LinExpr::zero(n).is_zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let n = 2;
+        let x = LinExpr::var(n, 0);
+        let y = LinExpr::var(n, 1);
+        let e = &(&x * r(2)) - &y;
+        assert_eq!(e.eval_int(&[3, 1]), r(5));
+        let ne = -&e;
+        assert_eq!(ne.eval_int(&[3, 1]), r(-5));
+    }
+
+    #[test]
+    fn normalize_primitive() {
+        let mut e = LinExpr {
+            coeffs: vec![Rational::new(1, 2), Rational::new(3, 2)],
+            cst: Rational::new(5, 2),
+        };
+        e.normalize_primitive();
+        assert_eq!(e.coeffs, vec![r(1), r(3)]);
+        assert_eq!(e.cst, r(5));
+
+        let mut e2 = LinExpr {
+            coeffs: vec![r(4), r(8)],
+            cst: r(12),
+        };
+        e2.normalize_primitive();
+        assert_eq!(e2.coeffs, vec![r(1), r(2)]);
+        assert_eq!(e2.cst, r(3));
+    }
+
+    #[test]
+    fn widened_preserves_semantics() {
+        let e = LinExpr::var(2, 1);
+        let w = e.widened(4);
+        assert_eq!(w.num_vars(), 4);
+        assert_eq!(w.eval_int(&[0, 7, 9, 9]), r(7));
+    }
+
+    #[test]
+    fn display() {
+        let names: Vec<String> = ["i", "j"].iter().map(|s| s.to_string()).collect();
+        let n = 2;
+        let e = &(&LinExpr::var(n, 0) - &(&LinExpr::var(n, 1) * r(2))) + &LinExpr::constant(n, -1);
+        assert_eq!(format!("{}", e.display_with(&names)), "i - 2*j - 1");
+        let z = LinExpr::zero(n);
+        assert_eq!(format!("{}", z.display_with(&names)), "0");
+    }
+}

@@ -1,0 +1,63 @@
+//! Linear inequality systems and the decision procedures the Bernoulli
+//! restructuring framework needs.
+//!
+//! The paper expresses dependence classes as systems of affine inequalities
+//! `D(i_s, i_d)ᵀ + d ≥ 0` (paper §3) and needs three capabilities on top of
+//! them:
+//!
+//! 1. **Emptiness / implication tests** — to verify that a candidate set of
+//!    embedding functions never enumerates a dependence destination before
+//!    its source (paper §3.1, problem 2), and to drive the recursive
+//!    enumeration-direction rule (paper §4.1).
+//! 2. **Projection** — to eliminate existentially-quantified variables, the
+//!    workhorse being Fourier–Motzkin elimination ([`eliminate_var`]).
+//! 3. **Farkas' lemma** — to characterize *all* affine functions that are
+//!    non-negative over a polyhedron, which yields the space of legal
+//!    embeddings (paper §3.1, citing Feautrier).
+//!
+//! All variables are integer-valued loop indices or symbolic size
+//! parameters; every derived constraint is normalized to a primitive
+//! integer row, and constants are tightened by integer division, giving an
+//! "Omega-lite" test that is exact on the polyhedra produced by affine
+//! loop nests of the sizes we handle (and conservative in general: it may
+//! report a rationally-nonempty / integer-empty set as nonempty, which only
+//! ever makes the compiler *reject* a legal candidate, never accept an
+//! illegal one).
+
+#![allow(clippy::needless_range_loop)]
+mod expr;
+mod farkas;
+mod fm;
+mod system;
+
+pub use expr::LinExpr;
+pub use farkas::farkas_nonneg_conditions;
+pub use fm::{eliminate_var, variable_bounds};
+pub use system::{Constraint, ConstraintKind, System};
+
+/// Brute-force enumeration of the integer points of `sys` inside the box
+/// `lo..=hi` on every variable. Exponential; intended for tests and for the
+/// dynamic dependence-order validation harness only.
+pub fn enumerate_box_points(sys: &System, lo: i128, hi: i128) -> Vec<Vec<i128>> {
+    let n = sys.num_vars();
+    let mut out = Vec::new();
+    let mut point = vec![lo; n];
+    loop {
+        if sys.contains_int(&point) {
+            out.push(point.clone());
+        }
+        // Odometer increment.
+        let mut k = 0;
+        loop {
+            if k == n {
+                return out;
+            }
+            point[k] += 1;
+            if point[k] <= hi {
+                break;
+            }
+            point[k] = lo;
+            k += 1;
+        }
+    }
+}

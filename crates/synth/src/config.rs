@@ -1,0 +1,528 @@
+//! Configurations: perspective choices, statement splitting, and sparse
+//! data spaces.
+//!
+//! A *configuration* fixes, for every sparse reference of the program, one
+//! access alternative of its matrix's view (the `⊕` choice, paper §4) and
+//! expands statements over aggregation chains (`∪` splits each statement
+//! referencing the aggregated matrix into one copy per chain). It also
+//! computes the reference's *sparse data space*: the stored attributes of
+//! the chosen chain, each with an affine expression giving its value in
+//! terms of the statement's loop variables (derived through the view's
+//! `map` rules; `perm` rules keep the post-permutation coordinate as the
+//! dimension and record the table for the runtime).
+
+use bernoulli_formats::view::{Chain, FormatView, Order, SearchKind, Transform};
+use bernoulli_ir::{AffineExpr, Program, StmtInfo};
+use std::collections::HashMap;
+
+/// One data dimension of a sparse reference.
+#[derive(Clone, Debug)]
+pub struct RefDim {
+    /// Chain level binding this dimension.
+    pub level: usize,
+    /// Slot within the level's attribute tuple (for coupled levels).
+    pub slot: usize,
+    /// The dimension's *value* attribute (post-`perm`; e.g. `r` for JAD's
+    /// row level even though the stored key is `rr`; `d` for DIA).
+    pub attr: String,
+    /// Dimension value as an affine function of the statement's loop
+    /// variables and parameters.
+    pub value: AffineExpr,
+    /// Permutation table translating the stored key to the value
+    /// (`value = table[key]`), when the level sits under a `perm`.
+    pub perm: Option<String>,
+    /// Order in which *values* of this dimension appear when the level is
+    /// enumerated (a `perm` scrambles the underlying level order; trailing
+    /// slots of a coupled level are ordered only lexicographically).
+    pub order: Order,
+    /// Search support of the underlying level (composed with the O(1)
+    /// inverse permutation when `perm` is present).
+    pub search: SearchKind,
+    /// True when the dimension's values range over a full dense interval,
+    /// making interval enumeration + search possible.
+    pub interval: bool,
+}
+
+/// A sparse reference occurrence inside one statement copy, with its
+/// chosen chain and sparse data space.
+#[derive(Clone, Debug)]
+pub struct RefInst {
+    /// Global reference id within the configuration.
+    pub id: usize,
+    /// Owning statement copy (index into [`Config::stmts`]).
+    pub stmt: usize,
+    /// Matrix name.
+    pub matrix: String,
+    /// Index of this reference within the statement's access list
+    /// (0 = the write), to locate it again at execution time.
+    pub access_idx: usize,
+    /// The chosen chain (with the globally-unique `chain.id` of the view).
+    pub chain: Chain,
+    /// Dense-coordinate access expressions (one per dense attribute).
+    pub access: Vec<AffineExpr>,
+    /// Names of the dense attributes, parallel to `access`.
+    pub dense_attrs: Vec<String>,
+    /// The sparse data dimensions, outermost level first.
+    pub dims: Vec<RefDim>,
+    /// Chain constraints: equalities `lhs == rhs` (both affine over the
+    /// statement's loop variables) implied by accessing the matrix
+    /// through this chain — e.g. a diagonal chain with `map{i |-> r,
+    /// i |-> c}` forces `access_r == access_c`.
+    pub constraints: Vec<(AffineExpr, AffineExpr)>,
+}
+
+/// One statement copy (statements referencing `∪` formats are duplicated
+/// per chain combination; others have exactly one copy).
+#[derive(Clone, Debug)]
+pub struct StmtCopy {
+    /// Original statement id (dependence classes refer to this).
+    pub orig: usize,
+    /// Which `∪` copy this is (0-based within the original statement).
+    pub copy: usize,
+    /// Flattened statement info (loops, body, path).
+    pub info: StmtInfo,
+    /// Ids of this copy's sparse references.
+    pub refs: Vec<usize>,
+}
+
+/// A complete configuration: statement copies and their sparse refs.
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub stmts: Vec<StmtCopy>,
+    pub refs: Vec<RefInst>,
+    /// Which alternative index was chosen per reference, for reporting:
+    /// `(matrix, alternative)` in reference order.
+    pub choices: Vec<(String, usize)>,
+}
+
+/// Errors produced while building configurations.
+#[derive(Debug, PartialEq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "configuration error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Enumerates every configuration: the cross product of per-*reference*
+/// perspective choices (paper §4: "there are two choices for each
+/// reference"), with `∪` statement splitting applied.
+pub fn enumerate_configs(
+    p: &Program,
+    views: &HashMap<String, FormatView>,
+) -> Result<Vec<Config>, ConfigError> {
+    let stmts = p.statements();
+
+    // Gather raw sparse references in (statement, access) order.
+    struct RawRef {
+        stmt: usize,
+        access_idx: usize,
+        matrix: String,
+        access: Vec<AffineExpr>,
+        alts: Vec<Vec<Chain>>,
+    }
+    let mut raw: Vec<RawRef> = Vec::new();
+    for (sid, s) in stmts.iter().enumerate() {
+        for (aidx, (acc, _w)) in s.accesses().iter().enumerate() {
+            if let Some(v) = views.get(&acc.array) {
+                if acc.idxs.len() != v.dense_attrs.len() {
+                    return Err(ConfigError(format!(
+                        "reference {} has {} indices but view {:?} has {} dense attrs",
+                        acc,
+                        acc.idxs.len(),
+                        v.name,
+                        v.dense_attrs.len()
+                    )));
+                }
+                raw.push(RawRef {
+                    stmt: sid,
+                    access_idx: aidx,
+                    matrix: acc.array.clone(),
+                    access: acc.idxs.clone(),
+                    alts: v.alternatives(),
+                });
+            }
+        }
+    }
+
+    // Cross product of alternative indices per reference.
+    let mut combos: Vec<Vec<usize>> = vec![Vec::new()];
+    for r in &raw {
+        combos = combos
+            .iter()
+            .flat_map(|c| {
+                (0..r.alts.len()).map(move |a| {
+                    let mut c2 = c.clone();
+                    c2.push(a);
+                    c2
+                })
+            })
+            .collect();
+    }
+
+    let mut out = Vec::with_capacity(combos.len());
+    for combo in combos {
+        let mut cfg = Config {
+            stmts: Vec::new(),
+            refs: Vec::new(),
+            choices: raw
+                .iter()
+                .zip(&combo)
+                .map(|(r, &a)| (r.matrix.clone(), a))
+                .collect(),
+        };
+        for (sid, s) in stmts.iter().enumerate() {
+            // This statement's raw refs and their chosen alternatives.
+            let srefs: Vec<(usize, &RawRef, &Vec<Chain>)> = raw
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.stmt == sid)
+                .map(|(k, r)| (k, r, &r.alts[combo[k]]))
+                .collect();
+            // ∪ splitting: one copy per element of the cross product of
+            // chain choices within each reference's alternative.
+            let mut copies: Vec<Vec<&Chain>> = vec![Vec::new()];
+            for (_, _, chains) in &srefs {
+                copies = copies
+                    .iter()
+                    .flat_map(|c| {
+                        chains.iter().map(move |ch| {
+                            let mut c2 = c.clone();
+                            c2.push(ch);
+                            c2
+                        })
+                    })
+                    .collect();
+            }
+            for (copy_idx, chosen) in copies.into_iter().enumerate() {
+                let stmt_index = cfg.stmts.len();
+                let mut ref_ids = Vec::new();
+                for ((_, r, _), chain) in srefs.iter().zip(chosen) {
+                    let view = &views[&r.matrix];
+                    let dims = sparse_dims(chain, view, &r.access)?;
+                    let constraints = chain_constraints(chain, view, &r.access, &dims);
+                    let id = cfg.refs.len();
+                    cfg.refs.push(RefInst {
+                        id,
+                        stmt: stmt_index,
+                        matrix: r.matrix.clone(),
+                        access_idx: r.access_idx,
+                        chain: chain.clone(),
+                        access: r.access.clone(),
+                        dense_attrs: view.dense_attrs.clone(),
+                        dims,
+                        constraints,
+                    });
+                    ref_ids.push(id);
+                }
+                cfg.stmts.push(StmtCopy {
+                    orig: sid,
+                    copy: copy_idx,
+                    info: s.clone(),
+                    refs: ref_ids,
+                });
+            }
+        }
+        out.push(cfg);
+    }
+    Ok(out)
+}
+
+/// Computes the sparse data space of one reference under one chain:
+/// one [`RefDim`] per stored attribute of each level.
+pub fn sparse_dims(
+    chain: &Chain,
+    view: &FormatView,
+    access: &[AffineExpr],
+) -> Result<Vec<RefDim>, ConfigError> {
+    // Dense attribute -> its access expression.
+    let mut env: HashMap<&str, AffineExpr> = HashMap::new();
+    for (a, e) in view.dense_attrs.iter().zip(access) {
+        env.insert(a.as_str(), e.clone());
+    }
+    // Apply inverse transforms to derive stored attrs affinely; record
+    // perm-derived attrs separately.
+    let mut permed: HashMap<&str, (&str, &str)> = HashMap::new(); // stored attr -> (table, value attr)
+    for t in &chain.inv {
+        match t {
+            Transform::Affine { out, terms, cst } => {
+                let mut e = AffineExpr::constant(*cst);
+                for (a, c) in terms {
+                    let Some(base) = env.get(a.as_str()) else {
+                        return Err(ConfigError(format!(
+                            "inverse transform for {out:?} reads unbound attr {a:?}"
+                        )));
+                    };
+                    let scaled = base * *c;
+                    e = &e + &scaled;
+                }
+                env.insert(out.as_str(), e);
+            }
+            Transform::PermUnapply { table, input, out } => {
+                permed.insert(out.as_str(), (table.as_str(), input.as_str()));
+            }
+            Transform::PermApply { .. } => {
+                return Err(ConfigError(
+                    "forward perm in inverse transform list".to_string(),
+                ));
+            }
+        }
+    }
+
+    let mut dims = Vec::new();
+    for (l, level) in chain.levels.iter().enumerate() {
+        for (slot, attr) in level.attrs.iter().enumerate() {
+            let (value_attr, value, perm) = if let Some(&(table, post)) = permed.get(attr.as_str())
+            {
+                let Some(e) = env.get(post) else {
+                    return Err(ConfigError(format!(
+                        "post-perm attr {post:?} has no access expression"
+                    )));
+                };
+                (post.to_string(), e.clone(), Some(table.to_string()))
+            } else if let Some(e) = env.get(attr.as_str()) {
+                (attr.clone(), e.clone(), None)
+            } else {
+                return Err(ConfigError(format!(
+                    "stored attr {attr:?} is neither affine-derivable nor permuted"
+                )));
+            };
+            // Value order: a perm scrambles; trailing slots of a coupled
+            // level are ordered only conditionally on earlier slots (the
+            // legality machinery treats them positionally, which is sound
+            // because the slots are adjacent dims in the product space).
+            let order = if perm.is_some() {
+                Order::Unordered
+            } else {
+                level.order
+            };
+            dims.push(RefDim {
+                level: l,
+                slot,
+                attr: value_attr,
+                value,
+                perm,
+                order,
+                search: level.search,
+                interval: level.interval,
+            });
+        }
+    }
+    Ok(dims)
+}
+
+/// Computes the equalities a chain imposes on the access expressions:
+/// for every forward `map` rule `dense = f(stored)`, substituting the
+/// stored attributes' value expressions must reproduce the access
+/// expression; when it does not do so *identically*, the equality becomes
+/// a constraint on the statement instances that can reach stored entries
+/// through this chain.
+pub fn chain_constraints(
+    chain: &Chain,
+    view: &FormatView,
+    access: &[AffineExpr],
+    dims: &[RefDim],
+) -> Vec<(AffineExpr, AffineExpr)> {
+    let mut out = Vec::new();
+    // stored attr name -> its value expression (post-perm attrs use the
+    // perm output name, whose fwd rule we skip as non-affine).
+    let stored: HashMap<&str, &AffineExpr> = chain
+        .levels
+        .iter()
+        .enumerate()
+        .flat_map(|(l, lev)| {
+            lev.attrs.iter().enumerate().map(move |(s, a)| (l, s, a))
+        })
+        .filter_map(|(l, s, a)| {
+            dims.iter()
+                .find(|d| d.level == l && d.slot == s)
+                .map(|d| (a.as_str(), &d.value))
+        })
+        .collect();
+    for t in &chain.fwd {
+        if let Transform::Affine { out: o, terms, cst } = t {
+            let Some(pos) = view.dense_attrs.iter().position(|a| a == o) else {
+                continue;
+            };
+            let mut rhs = AffineExpr::constant(*cst);
+            let mut ok = true;
+            for (a, c) in terms {
+                match stored.get(a.as_str()) {
+                    Some(e) => {
+                        let scaled = *e * *c;
+                        rhs = &rhs + &scaled;
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok && rhs != access[pos] {
+                out.push((access[pos].clone(), rhs));
+            }
+        }
+    }
+    out
+}
+
+/// Expresses a reference dimension's value as an affine function of the
+/// matrix's *dense* attributes, when possible: the identity for dense
+/// value attributes (`r`, `c`, `i` of a vector), or the chain's inverse
+/// `map` rule (e.g. `d = r - c` for DIA). `None` for genuinely
+/// non-affine dimensions.
+pub fn dim_value_in_dense(r: &RefInst, dim_idx: usize) -> Option<AffineExpr> {
+    let attr = &r.dims[dim_idx].attr;
+    if r.dense_attrs.iter().any(|a| a == attr) {
+        return Some(AffineExpr::var(attr));
+    }
+    for t in &r.chain.inv {
+        if let Transform::Affine { out, terms, cst } = t {
+            if out == attr && terms.iter().all(|(a, _)| r.dense_attrs.iter().any(|d| d == a)) {
+                let mut e = AffineExpr::constant(*cst);
+                for (a, c) in terms {
+                    e.add_term(a, *c);
+                }
+                return Some(e);
+            }
+        }
+    }
+    None
+}
+
+/// Convenience: statement copies of a config belonging to an original
+/// statement id.
+pub fn copies_of(cfg: &Config, orig: usize) -> Vec<usize> {
+    cfg.stmts
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.orig == orig)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bernoulli_formats::formats::csr::csr_format_view;
+    use bernoulli_formats::formats::dia::dia_format_view;
+    use bernoulli_formats::formats::diagsplit::diagsplit_format_view;
+    use bernoulli_formats::formats::jad::jad_format_view;
+    use bernoulli_ir::parse_program;
+
+    const TS: &str = r#"
+        program ts(N) {
+          in matrix L[N][N];
+          inout vector b[N];
+          for j in 0..N {
+            b[j] = b[j] / L[j][j];
+            for i in j+1..N {
+              b[i] = b[i] - L[i][j] * b[j];
+            }
+          }
+        }
+    "#;
+
+    fn views_of(name: &str, v: FormatView) -> HashMap<String, FormatView> {
+        let mut m = HashMap::new();
+        m.insert(name.to_string(), v);
+        m
+    }
+
+    #[test]
+    fn csr_ts_single_config() {
+        let p = parse_program(TS).unwrap();
+        let cfgs = enumerate_configs(&p, &views_of("L", csr_format_view())).unwrap();
+        assert_eq!(cfgs.len(), 1);
+        let cfg = &cfgs[0];
+        assert_eq!(cfg.stmts.len(), 2);
+        assert_eq!(cfg.refs.len(), 2);
+        // S1's ref L[j][j]: dims r=j, c=j.
+        let r0 = &cfg.refs[0];
+        assert_eq!(r0.dims.len(), 2);
+        assert_eq!(r0.dims[0].attr, "r");
+        assert!(r0.dims[0].value.is_var("j"));
+        assert!(r0.dims[1].value.is_var("j"));
+        // S2's ref L[i][j]: r=i, c=j.
+        let r1 = &cfg.refs[1];
+        assert!(r1.dims[0].value.is_var("i"));
+        assert!(r1.dims[1].value.is_var("j"));
+        assert!(r0.dims[0].interval); // CSR row level is an interval
+        assert_eq!(r0.dims[1].search, SearchKind::Sorted);
+    }
+
+    #[test]
+    fn jad_ts_four_configs() {
+        // Two perspectives × two references = 4 configurations,
+        // matching the paper's "four groups of product spaces".
+        let p = parse_program(TS).unwrap();
+        let cfgs = enumerate_configs(&p, &views_of("L", jad_format_view())).unwrap();
+        assert_eq!(cfgs.len(), 4);
+        // In every config both refs carry the perm on the row dim.
+        for cfg in &cfgs {
+            for r in &cfg.refs {
+                let rdim = r.dims.iter().find(|d| d.attr == "r").unwrap();
+                assert_eq!(rdim.perm.as_deref(), Some("iperm"));
+                assert_eq!(rdim.order, Order::Unordered);
+            }
+        }
+        // The hierarchical perspective yields 2 dims (r, c); the flat one
+        // yields the coupled pair in a single level.
+        let flat_cfg = &cfgs[0];
+        let r = &flat_cfg.refs[0];
+        assert_eq!(r.dims.len(), 2);
+        assert_eq!(r.dims[0].level, 0);
+        assert_eq!(r.dims[1].level, 0); // coupled: both in level 0
+        let hier_cfg = &cfgs[3];
+        let r = &hier_cfg.refs[0];
+        assert_eq!(r.dims[0].level, 0);
+        assert_eq!(r.dims[1].level, 1);
+        assert!(r.dims[0].interval, "jad row level is an interval over rr");
+    }
+
+    #[test]
+    fn dia_dims_are_mapped() {
+        let p = parse_program(TS).unwrap();
+        let cfgs = enumerate_configs(&p, &views_of("L", dia_format_view())).unwrap();
+        assert_eq!(cfgs.len(), 1);
+        let r1 = &cfgs[0].refs[1]; // S2: L[i][j]
+        assert_eq!(r1.dims[0].attr, "d");
+        // d = r - c = i - j
+        assert_eq!(r1.dims[0].value, AffineExpr::from_terms(&[("i", 1), ("j", -1)], 0));
+        assert_eq!(r1.dims[1].attr, "o");
+        assert!(r1.dims[1].value.is_var("j"));
+    }
+
+    #[test]
+    fn diagsplit_splits_statements() {
+        let p = parse_program(TS).unwrap();
+        let cfgs = enumerate_configs(&p, &views_of("L", diagsplit_format_view())).unwrap();
+        assert_eq!(cfgs.len(), 1); // one alternative (it's a ∪, not a ⊕)
+        let cfg = &cfgs[0];
+        // Each of the two statements splits into 2 copies.
+        assert_eq!(cfg.stmts.len(), 4);
+        assert_eq!(copies_of(cfg, 0).len(), 2);
+        assert_eq!(copies_of(cfg, 1).len(), 2);
+        // Diag-chain copies have the single `i` dim with value from the
+        // map i = r.
+        let s1_diag = &cfg.refs[cfg.stmts[copies_of(cfg, 0)[0]].refs[0]];
+        assert_eq!(s1_diag.dims.len(), 1);
+        assert_eq!(s1_diag.dims[0].attr, "i");
+        assert!(s1_diag.dims[0].value.is_var("j"));
+    }
+
+    #[test]
+    fn vector_program_no_sparse_refs() {
+        let p = parse_program(
+            "program scale(N) { inout vector x[N]; for i in 0..N { x[i] = x[i] * 2; } }",
+        )
+        .unwrap();
+        let cfgs = enumerate_configs(&p, &HashMap::new()).unwrap();
+        assert_eq!(cfgs.len(), 1);
+        assert!(cfgs[0].refs.is_empty());
+        assert_eq!(cfgs[0].stmts.len(), 1);
+    }
+}

@@ -1,0 +1,1268 @@
+//! Rust source emission: specializing a plan for concrete formats.
+//!
+//! This is the analogue of the paper's compiler-instantiated C++
+//! (Fig. 9): the plan's enumerations become loops over the format
+//! structs' public fields, searches become calls to the formats' `find`
+//! helpers or inline binary searches, and statement bodies become plain
+//! scalar Rust. The generated functions are monomorphic — the moral
+//! equivalent of the paper's Barton–Nackman compile-time dispatch — and
+//! are what the benchmark harness measures.
+//!
+//! The emitted text depends only on the plan and the program, so
+//! generated kernels can be committed (see `bernoulli-blas`'s `synth`
+//! module) and checked against regeneration in CI.
+
+use crate::plan::{Atom, Dir, ExecStmt, Guard, LevelRef, PExpr, Plan, StepKind, ValueSource};
+use bernoulli_formats::view::FormatView;
+use bernoulli_ir::{ArrayKind, LhsRef, Program, Role, ValueExpr};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Emission failure: the plan uses a runtime feature with no static
+/// template (fall back to the interpreter).
+#[derive(Debug, PartialEq)]
+pub struct EmitError(pub String);
+
+impl std::fmt::Display for EmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "emission failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+/// The Rust type for a view name.
+fn rust_type(view_name: &str) -> Result<&'static str, EmitError> {
+    Ok(match view_name {
+        "dense" => "Dense<f64>",
+        "coo" => "Coo<f64>",
+        "csr" => "Csr<f64>",
+        "csc" => "Csc<f64>",
+        "dia" => "Dia<f64>",
+        "ell" => "Ell<f64>",
+        "jad" => "Jad<f64>",
+        "diagsplit" => "DiagSplit<f64>",
+        "sky" => "Sky<f64>",
+        "spvec" => "SparseVec<f64>",
+        "hashvec" => "HashVec<f64>",
+        other => return Err(EmitError(format!("no Rust type for view {other:?}"))),
+    })
+}
+
+struct Emitter<'a> {
+    p: &'a Program,
+    plan: &'a Plan,
+    views: &'a HashMap<String, FormatView>,
+    /// matrix name -> local variable name in the generated fn
+    mat_var: HashMap<String, String>,
+    out: String,
+    indent: usize,
+    /// Scalar replacement: a dense-vector element promoted to a register
+    /// across the innermost step (array, index expr, register name).
+    promotion: Option<Promotion>,
+}
+
+/// A proved-safe register promotion of `vec[idx]` across the innermost
+/// enumeration (the classical scalar replacement the hand-written NIST
+/// kernels perform with a temporary accumulator).
+#[derive(Clone, Debug)]
+struct Promotion {
+    array: String,
+    /// Index expression over outer-step slots and parameters.
+    idx: PExpr,
+    reg: String,
+    /// Deferred pivot division: the exec index whose `acc = acc / X` is
+    /// moved after the inner loop (capturing `X` in a register at its
+    /// original firing point). Sound because its `Eq` guard fires at most
+    /// once per inner enumeration (strictly increasing slot) and every
+    /// other statement is proved to fire strictly earlier.
+    deferred_div: Option<usize>,
+}
+
+/// Substitutes an exec's (divisor-free) bindings into an affine index,
+/// yielding a PExpr over slots and parameters, or `None` when a variable
+/// is unbound or divisor-bound.
+fn subst_index(e: &ExecStmt, idx: &bernoulli_ir::AffineExpr, params: &[String]) -> Option<PExpr> {
+    let mut out = PExpr::constant(idx.cst());
+    for (v, c) in idx.terms() {
+        if params.iter().any(|q| q == v) {
+            out.add_term(Atom::Var(v.to_string()), c);
+            continue;
+        }
+        let (pe, d) = e.bindings.iter().find(|(bv, _, _)| bv == v).map(|(_, pe, d)| (pe, d))?;
+        if *d != 1 {
+            return None;
+        }
+        for (a, cc) in &pe.terms {
+            out.add_term(a.clone(), c * cc);
+        }
+        out.cst += c * pe.cst;
+    }
+    Some(out)
+}
+
+fn pexpr_eq(a: &PExpr, b: &PExpr) -> bool {
+    if a.cst != b.cst || a.terms.len() != b.terms.len() {
+        return false;
+    }
+    a.terms
+        .iter()
+        .all(|(at, ac)| b.terms.iter().any(|(bt, bc)| at == bt && ac == bc))
+}
+
+/// `a - b` over PExprs.
+fn pexpr_sub(a: &PExpr, b: &PExpr) -> PExpr {
+    let mut out = a.clone();
+    for (t, c) in &b.terms {
+        out.add_term(t.clone(), -c);
+    }
+    out.cst -= b.cst;
+    out
+}
+
+/// Does one of the exec's guards prove `diff != 0`? True when a `Ge`
+/// guard states `diff - k >= 0` with `k >= 1`, or `-diff - k >= 0` with
+/// `k >= 1` (i.e. `diff <= -1` or `diff >= 1`).
+fn guards_prove_nonzero(e: &ExecStmt, diff: &PExpr) -> bool {
+    e.guards.iter().any(|g| {
+        let Guard::Ge(x) = g else { return false };
+        // x == diff + c with c <= -1  (diff >= -c >= 1)
+        let mut d1 = pexpr_sub(x, diff);
+        d1.cst = 0;
+        let matches_pos = d1.terms.is_empty() && (x.cst - diff.cst) <= -1;
+        // x == -diff + c with c <= -1 (diff <= c <= -1)
+        let mut nd = PExpr::constant(-diff.cst);
+        for (t, c) in &diff.terms {
+            nd.add_term(t.clone(), -c);
+        }
+        let mut d2 = pexpr_sub(x, &nd);
+        d2.cst = 0;
+        let matches_neg = d2.terms.is_empty() && (x.cst - nd.cst) <= -1;
+        matches_pos || matches_neg
+    })
+}
+
+/// Are two guards provably disjoint (at most one can hold)?
+/// Recognizes the `Eq(a)` vs `Ge(-a-1)` / `Ge(a-1)` patterns and the
+/// `Ge(a)` vs `Ge(-a-1)` pattern produced by complementary regions.
+fn guards_disjoint(g1: &Guard, g2: &Guard) -> bool {
+    let neg_minus1 = |x: &PExpr| {
+        let mut n = PExpr::constant(-x.cst - 1);
+        for (t, c) in &x.terms {
+            n.add_term(t.clone(), -c);
+        }
+        n
+    };
+    let minus1 = |x: &PExpr| {
+        let mut n = x.clone();
+        n.cst -= 1;
+        n
+    };
+    match (g1, g2) {
+        (Guard::Eq(a), Guard::Ge(b)) | (Guard::Ge(b), Guard::Eq(a)) => {
+            pexpr_eq(b, &neg_minus1(a)) || pexpr_eq(b, &minus1(a))
+        }
+        (Guard::Ge(a), Guard::Ge(b)) => pexpr_eq(b, &neg_minus1(a)),
+        _ => false,
+    }
+}
+
+/// Looks for a safe promotion across the innermost step.
+fn find_promotion(p: &Program, plan: &Plan) -> Option<Promotion> {
+    let nsteps = plan.steps.len();
+    if nsteps == 0 {
+        return None;
+    }
+    let last = &plan.steps[nsteps - 1];
+    let last_slots: Vec<usize> = (last.first_slot..last.first_slot + last.nslots).collect();
+    let inner: Vec<&ExecStmt> = plan.execs.iter().filter(|e| e.depth == nsteps).collect();
+    if inner.is_empty() || inner.len() != plan.execs.len() {
+        // Hoisted statements might touch the same element; stay
+        // conservative.
+        return None;
+    }
+    // All inner execs must write the same dense vector at the same index.
+    let mut target: Option<(String, PExpr)> = None;
+    for e in &inner {
+        if e.sources[0].is_some() {
+            return None; // sparse write
+        }
+        if e.bindings.iter().any(|(_, _, d)| *d != 1) || e.guards.iter().find(|g| matches!(g, Guard::Divides(..))).is_some() {
+            return None;
+        }
+        let idx = subst_index(e, &e.body.lhs.idxs[0], &p.params)?;
+        if idx
+            .terms
+            .iter()
+            .any(|(a, _)| matches!(a, Atom::Slot(sl) if last_slots.contains(sl)))
+        {
+            return None; // write target varies across the inner loop
+        }
+        match &target {
+            None => target = Some((e.body.lhs.array.clone(), idx)),
+            Some((arr, prev)) => {
+                if *arr != e.body.lhs.array || !pexpr_eq(prev, &idx) {
+                    return None;
+                }
+            }
+        }
+    }
+    let (array, idx) = target?;
+    // Every read of the target array must be the same element or provably
+    // different.
+    for e in &inner {
+        for r in e.body.rhs.reads() {
+            if r.array != array {
+                continue;
+            }
+            let ridx = subst_index(e, &r.idxs[0], &p.params)?;
+            if pexpr_eq(&ridx, &idx) {
+                continue;
+            }
+            let diff = pexpr_sub(&ridx, &idx);
+            if !guards_prove_nonzero(e, &diff) {
+                return None;
+            }
+        }
+    }
+    let deferred_div = find_deferred_div(plan, &inner, &array, &idx, p);
+    Some(Promotion {
+        array,
+        idx,
+        reg: "acc__".to_string(),
+        deferred_div,
+    })
+}
+
+/// Finds a division statement `acc = acc / X` whose execution can be
+/// deferred past the inner loop (the pivot-capture transformation the
+/// hand-written triangular solves perform):
+///
+/// - its only guard is `Eq(g)` where `g` has a ±1 coefficient on exactly
+///   one slot of the innermost step (so, with increasing enumeration, it
+///   fires at most once per inner loop);
+/// - every other full-depth statement carries a `Ge` guard placing it
+///   strictly on the "earlier" side of that firing point;
+/// - `X` does not read the promoted element.
+fn find_deferred_div(
+    plan: &Plan,
+    inner: &[&ExecStmt],
+    array: &str,
+    idx: &PExpr,
+    p: &Program,
+) -> Option<usize> {
+    let nsteps = plan.steps.len();
+    let last = &plan.steps[nsteps - 1];
+    if !last.ordered {
+        return None;
+    }
+    let last_slots: Vec<usize> = (last.first_slot..last.first_slot + last.nslots).collect();
+
+    // Identify the division candidate.
+    let mut div_at: Option<(usize, PExpr)> = None; // (exec idx in plan order, normalized g)
+    for e in inner.iter() {
+        let is_div = matches!(&e.body.rhs, ValueExpr::Div(a, _)
+            if matches!(a.as_ref(), ValueExpr::Read(r)
+                if r.array == array
+                   && subst_index(e, &r.idxs[0], &p.params).is_some_and(|ri| pexpr_eq(&ri, idx))));
+        if !is_div {
+            continue;
+        }
+        if e.guards.len() != 1 {
+            return None;
+        }
+        let Guard::Eq(g) = &e.guards[0] else {
+            return None;
+        };
+        // The divisor must not read the promoted element.
+        if let ValueExpr::Div(_, b) = &e.body.rhs {
+            for r in b.reads() {
+                if r.array == array {
+                    if let Some(ri) = subst_index(e, &r.idxs[0], &p.params) {
+                        if pexpr_eq(&ri, idx) {
+                            return None;
+                        }
+                    } else {
+                        return None;
+                    }
+                }
+            }
+        }
+        // Exactly one inner slot with coefficient ±1; normalize to +1.
+        let inner_terms: Vec<(&Atom, i64)> = g
+            .terms
+            .iter()
+            .filter(|(a, _)| matches!(a, Atom::Slot(sl) if last_slots.contains(sl)))
+            .map(|(a, c)| (a, *c))
+            .collect();
+        if inner_terms.len() != 1 || inner_terms[0].1.abs() != 1 {
+            return None;
+        }
+        let mut gn = g.clone();
+        if inner_terms[0].1 == -1 {
+            let mut neg = PExpr::constant(-gn.cst);
+            for (t, c) in &gn.terms {
+                neg.add_term(t.clone(), -c);
+            }
+            gn = neg;
+        }
+        if div_at.is_some() {
+            return None; // at most one division statement
+        }
+        let pos = plan
+            .execs
+            .iter()
+            .position(|x| x.stmt == e.stmt)
+            .unwrap_or(usize::MAX);
+        div_at = Some((pos, gn));
+    }
+    let (div_idx, gn) = div_at?;
+
+    // Every other inner exec fires strictly before the division's point:
+    // it must carry the guard `-g - 1 >= 0` (value < firing point).
+    let before = {
+        let mut b = PExpr::constant(-gn.cst - 1);
+        for (t, c) in &gn.terms {
+            b.add_term(t.clone(), -c);
+        }
+        b
+    };
+    for (k, e) in plan.execs.iter().enumerate() {
+        if k == div_idx || e.depth != nsteps {
+            continue;
+        }
+        if !e.guards.iter().any(|g| matches!(g, Guard::Ge(h) if pexpr_eq(h, &before))) {
+            return None;
+        }
+    }
+    Some(div_idx)
+}
+
+/// Emits a standalone Rust function implementing the plan.
+///
+/// Signature: parameters (`i64`) in program order, then arrays in
+/// declaration order — matrices by shared reference to their concrete
+/// format type, vectors as `&[f64]` (role `in`) or `&mut [f64]`.
+pub fn emit_rust(
+    p: &Program,
+    plan: &Plan,
+    views: &HashMap<String, FormatView>,
+    fn_name: &str,
+) -> Result<String, EmitError> {
+    let mut mat_var = HashMap::new();
+    for a in &p.arrays {
+        mat_var.insert(a.name.clone(), format!("{}_", a.name.to_lowercase()));
+    }
+    let promotion = find_promotion(p, plan);
+    let mut e = Emitter {
+        p,
+        plan,
+        views,
+        mat_var,
+        out: String::new(),
+        indent: 0,
+        promotion,
+    };
+    e.function(fn_name)?;
+    Ok(e.out)
+}
+
+impl Emitter<'_> {
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn mat(&self, name: &str) -> &str {
+        &self.mat_var[name]
+    }
+
+    fn function(&mut self, fn_name: &str) -> Result<(), EmitError> {
+        // Header.
+        let mut sig = format!("pub fn {fn_name}(");
+        let mut first = true;
+        for q in &self.p.params {
+            if !first {
+                sig.push_str(", ");
+            }
+            first = false;
+            let _ = write!(sig, "{}_: i64", q.to_lowercase());
+        }
+        for a in &self.p.arrays {
+            if !first {
+                sig.push_str(", ");
+            }
+            first = false;
+            // Any array with a bound view is passed as its format type;
+            // view-less matrices are not emit-able, view-less vectors are
+            // plain slices.
+            if let Some(view) = self.views.get(&a.name) {
+                let ty = rust_type(&view.name)?;
+                let _ = write!(sig, "{}: &{ty}", self.mat_var[&a.name]);
+            } else {
+                match a.kind {
+                    ArrayKind::Matrix => {
+                        return Err(EmitError(format!("no view bound for {:?}", a.name)));
+                    }
+                    ArrayKind::Vector => {
+                        let m = match a.role {
+                            Role::In => "",
+                            Role::Out | Role::InOut => "mut ",
+                        };
+                        let _ = write!(sig, "{}: &{m}[f64]", self.mat_var[&a.name]);
+                    }
+                }
+            }
+        }
+        sig.push_str(") {");
+        self.line(&sig);
+        self.indent += 1;
+        // Silence possibly-unused parameter warnings deterministically.
+        for q in &self.p.params.clone() {
+            self.line(&format!("let _ = {}_;", q.to_lowercase()));
+        }
+
+        self.nest(0)?;
+
+        self.indent -= 1;
+        self.line("}");
+        Ok(())
+    }
+
+    /// Emits step `si`'s loop and its subtree.
+    fn nest(&mut self, si: usize) -> Result<(), EmitError> {
+        if si == self.plan.steps.len() {
+            let inner: Vec<ExecStmt> = self
+                .plan
+                .execs
+                .iter()
+                .filter(|e| e.depth == si)
+                .cloned()
+                .collect();
+            // Provably-disjoint single guards fuse into an if/else-if
+            // chain (one comparison on the hot path), matching the
+            // hand-written kernels' structure. Put the Ge-guarded (dense)
+            // case first.
+            let slot_only = |g: &Guard| {
+                let e = match g {
+                    Guard::Eq(x) | Guard::Ge(x) | Guard::Divides(x, _) => x,
+                };
+                e.terms.iter().all(|(a, _)| matches!(a, Atom::Slot(_)))
+            };
+            if inner.len() == 2
+                && inner.iter().all(|e| e.guards.len() == 1 && slot_only(&e.guards[0]))
+                && inner.iter().all(|e| e.bindings.iter().all(|(_, _, d)| *d == 1))
+                && guards_disjoint(&inner[0].guards[0], &inner[1].guards[0])
+            {
+                let (first, second) =
+                    if matches!(inner[0].guards[0], Guard::Ge(_)) {
+                        (&inner[0], &inner[1])
+                    } else {
+                        (&inner[1], &inner[0])
+                    };
+                self.exec_chained(first, second)?;
+                return Ok(());
+            }
+            for e in &inner {
+                self.exec(e)?;
+            }
+            return Ok(());
+        }
+        // Hoisted-before statements.
+        for e in &self.plan.execs.clone() {
+            if e.depth == si && !e.after {
+                self.exec(e)?;
+            }
+        }
+        let promote_here = si + 1 == self.plan.steps.len() && self.promotion.is_some();
+        if promote_here {
+            let pr = self.promotion.clone().unwrap();
+            let idx = self.pexpr(&pr.idx);
+            let arr = self.mat(&pr.array).to_string();
+            self.line(&format!("let mut {} = {arr}[({idx}) as usize];", pr.reg));
+            if pr.deferred_div.is_some() {
+                self.line("let mut pivot__ = 0.0f64;");
+                self.line("let mut has_pivot__ = false;");
+            }
+        }
+        let step = self.plan.steps[si].clone();
+        match &step.kind {
+            StepKind::Interval { lo, hi } => {
+                let lo = self.pexpr(lo);
+                let hi = self.pexpr(hi);
+                let v = slot_var(step.first_slot);
+                match step.dir {
+                    Dir::Fwd => self.line(&format!("for {v} in ({lo})..({hi}) {{")),
+                    Dir::Rev => self.line(&format!("for {v} in (({lo})..({hi})).rev() {{")),
+                }
+                self.indent += 1;
+                self.step_tail(si, &step)?;
+                self.indent -= 1;
+                self.line("}");
+            }
+            StepKind::Level { primary, perms } => {
+                self.level_loop(si, &step, primary, perms)?;
+            }
+            StepKind::MergeJoin { a, b } => {
+                self.merge_join(si, &step, a, b)?;
+            }
+        }
+        if promote_here {
+            let pr = self.promotion.clone().unwrap();
+            if pr.deferred_div.is_some() {
+                self.line(&format!(
+                    "if has_pivot__ {{ {} = {} / pivot__; }}",
+                    pr.reg, pr.reg
+                ));
+            }
+            let idx = self.pexpr(&pr.idx);
+            let arr = self.mat(&pr.array).to_string();
+            self.line(&format!("{arr}[({idx}) as usize] = {};", pr.reg));
+        }
+        // Hoisted-after statements.
+        for e in &self.plan.execs.clone() {
+            if e.depth == si && e.after {
+                self.exec(e)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sharer aliases, searches, then the deeper subtree.
+    fn step_tail(&mut self, si: usize, step: &crate::plan::Step) -> Result<(), EmitError> {
+        for &(rid, lev) in &step.sharers.clone() {
+            let primary = match &step.kind {
+                StepKind::Level { primary, .. } => primary,
+                _ => return Err(EmitError("sharers on a non-level step".into())),
+            };
+            self.line(&format!(
+                "let {} = {};",
+                pos_var(rid, lev),
+                pos_var(primary.ref_id, primary.level)
+            ));
+            self.line(&format!("let _ = {};", pos_var(rid, lev)));
+        }
+        for sp in &step.searches.clone() {
+            self.search(sp)?;
+        }
+        self.nest(si + 1)
+    }
+
+    fn level_loop(
+        &mut self,
+        si: usize,
+        step: &crate::plan::Step,
+        primary: &LevelRef,
+        perms: &[Option<String>],
+    ) -> Result<(), EmitError> {
+        let m = self.mat(&primary.matrix).to_string();
+        let view_name = self.views[&primary.matrix].name.clone();
+        let pv = pos_var(primary.ref_id, primary.level);
+        let parent = if primary.level == 0 {
+            "0usize".to_string()
+        } else {
+            pos_var(primary.ref_id, primary.level - 1)
+        };
+        let v0 = slot_var(step.first_slot);
+        if step.dir == Dir::Rev {
+            return Err(EmitError("reverse level enumeration not templated".into()));
+        }
+        match (view_name.as_str(), primary.chain, primary.level) {
+            ("csr", 0, 0) | ("ell", 0, 0) => {
+                self.line(&format!("for {v0} in 0..{m}.nrows as i64 {{"));
+                self.indent += 1;
+                self.line(&format!("let {pv} = {v0} as usize;"));
+            }
+            ("csr", 0, 1) => {
+                self.line(&format!(
+                    "for {pv} in {m}.rowptr[{parent}]..{m}.rowptr[{parent} + 1] {{"
+                ));
+                self.indent += 1;
+                self.line(&format!("let {v0} = {m}.colind[{pv}] as i64;"));
+            }
+            ("csc", 0, 0) => {
+                self.line(&format!("for {v0} in 0..{m}.ncols as i64 {{"));
+                self.indent += 1;
+                self.line(&format!("let {pv} = {v0} as usize;"));
+            }
+            ("csc", 0, 1) => {
+                self.line(&format!(
+                    "for {pv} in {m}.colptr[{parent}]..{m}.colptr[{parent} + 1] {{"
+                ));
+                self.indent += 1;
+                self.line(&format!("let {v0} = {m}.rowind[{pv}] as i64;"));
+            }
+            ("coo", 0, 0) => {
+                let v1 = slot_var(step.first_slot + 1);
+                self.line(&format!("for {pv} in 0..{m}.values.len() {{"));
+                self.indent += 1;
+                self.line(&format!("let {v0} = {m}.rows[{pv}] as i64;"));
+                self.line(&format!("let {v1} = {m}.cols[{pv}] as i64;"));
+            }
+            ("dia", 0, 0) => {
+                self.line(&format!("for {pv} in 0..{m}.diags.len() {{"));
+                self.indent += 1;
+                self.line(&format!("let {v0} = {m}.diags[{pv}];"));
+            }
+            ("dia", 0, 1) => {
+                self.line(&format!("for {v0} in {m}.lo[{parent}]..{m}.hi[{parent}] {{"));
+                self.indent += 1;
+                self.line(&format!(
+                    "let {pv} = {m}.ptr[{parent}] + ({v0} - {m}.lo[{parent}]) as usize;"
+                ));
+            }
+            ("ell", 0, 1) => {
+                self.line(&format!("for s__ in 0..{m}.rowlen[{parent}] {{"));
+                self.indent += 1;
+                self.line(&format!("let {pv} = {parent} * {m}.width + s__;"));
+                self.line(&format!("let {v0} = {m}.colind[{pv}];"));
+            }
+            ("jad", 0, 0) => {
+                // Flat perspective: walk the jagged diagonals.
+                let v1 = slot_var(step.first_slot + 1);
+                self.line("let mut d__ = 0usize;");
+                self.line(&format!("for {pv} in 0..{m}.values.len() {{"));
+                self.indent += 1;
+                self.line(&format!("while {pv} >= {m}.dptr[d__ + 1] {{ d__ += 1; }}"));
+                self.line(&format!("let rr__ = {pv} - {m}.dptr[d__];"));
+                self.line(&format!("let {v0} = {m}.iperm[rr__] as i64;"));
+                self.line(&format!("let {v1} = {m}.colind[{pv}] as i64;"));
+            }
+            ("jad", 1, 0) => {
+                self.line(&format!("for rr__ in 0..{m}.nrows {{"));
+                self.indent += 1;
+                self.line(&format!("let {pv} = rr__;"));
+                if perms[0].is_some() {
+                    self.line(&format!("let {v0} = {m}.iperm[rr__] as i64;"));
+                } else {
+                    self.line(&format!("let {v0} = rr__ as i64;"));
+                }
+            }
+            ("jad", 1, 1) => {
+                self.line(&format!("for d__ in 0..{m}.rowlen[{parent}] {{"));
+                self.indent += 1;
+                self.line(&format!("let {pv} = {m}.dptr[d__] + {parent};"));
+                self.line(&format!("let {v0} = {m}.colind[{pv}] as i64;"));
+            }
+            ("dense", 0, 0) => {
+                self.line(&format!("for {v0} in 0..{m}.nrows as i64 {{"));
+                self.indent += 1;
+                self.line(&format!("let {pv} = {v0} as usize;"));
+            }
+            ("dense", 0, 1) => {
+                self.line(&format!("for {v0} in 0..{m}.ncols as i64 {{"));
+                self.indent += 1;
+                self.line(&format!("let {pv} = {parent} * {m}.ncols + {v0} as usize;"));
+            }
+            ("diagsplit", 0, 0) => {
+                self.line(&format!("for {v0} in 0..{m}.n as i64 {{"));
+                self.indent += 1;
+                self.line(&format!("let {pv} = {v0} as usize;"));
+            }
+            ("diagsplit", 1, 0) => {
+                self.line(&format!("for {v0} in 0..{m}.off.nrows as i64 {{"));
+                self.indent += 1;
+                self.line(&format!("let {pv} = {v0} as usize;"));
+            }
+            ("diagsplit", 1, 1) => {
+                self.line(&format!(
+                    "for {pv} in {m}.off.rowptr[{parent}]..{m}.off.rowptr[{parent} + 1] {{"
+                ));
+                self.indent += 1;
+                self.line(&format!("let {v0} = {m}.off.colind[{pv}] as i64;"));
+            }
+            ("spvec", 0, 0) | ("hashvec", 0, 0) => {
+                self.line(&format!("for {pv} in 0..{m}.values.len() {{"));
+                self.indent += 1;
+                self.line(&format!("let {v0} = {m}.ind[{pv}] as i64;"));
+            }
+            ("sky", 0, 0) => {
+                self.line(&format!("for {v0} in 0..{m}.n as i64 {{"));
+                self.indent += 1;
+                self.line(&format!("let {pv} = {v0} as usize;"));
+            }
+            ("sky", 0, 1) => {
+                self.line(&format!(
+                    "for {v0} in {m}.lo[{parent}] as i64..{parent} as i64 + 1 {{"
+                ));
+                self.indent += 1;
+                self.line(&format!(
+                    "let {pv} = {m}.ptr[{parent}] + ({v0} as usize - {m}.lo[{parent}]);"
+                ));
+            }
+            other => {
+                return Err(EmitError(format!("no level template for {other:?}")));
+            }
+        }
+        self.step_tail(si, step)?;
+        self.indent -= 1;
+        self.line("}");
+        Ok(())
+    }
+
+    fn merge_join(
+        &mut self,
+        si: usize,
+        step: &crate::plan::Step,
+        a: &LevelRef,
+        b: &LevelRef,
+    ) -> Result<(), EmitError> {
+        let (ma, mb) = (
+            self.mat(&a.matrix).to_string(),
+            self.mat(&b.matrix).to_string(),
+        );
+        let na = self.views[&a.matrix].name.clone();
+        let nb = self.views[&b.matrix].name.clone();
+        if (na.as_str(), a.level) != ("spvec", 0) || (nb.as_str(), b.level) != ("spvec", 0) {
+            return Err(EmitError(format!(
+                "merge join templated only for sorted vectors, got {na}/{nb}"
+            )));
+        }
+        let (pa, pb) = (pos_var(a.ref_id, 0), pos_var(b.ref_id, 0));
+        let v0 = slot_var(step.first_slot);
+        self.line(&format!("let mut {pa} = 0usize;"));
+        self.line(&format!("let mut {pb} = 0usize;"));
+        self.line(&format!(
+            "while {pa} < {ma}.ind.len() && {pb} < {mb}.ind.len() {{"
+        ));
+        self.indent += 1;
+        self.line(&format!("let ka__ = {ma}.ind[{pa}];"));
+        self.line(&format!("let kb__ = {mb}.ind[{pb}];"));
+        self.line("if ka__ < kb__ {");
+        self.indent += 1;
+        self.line(&format!("{pa} += 1;"));
+        self.indent -= 1;
+        self.line("} else if kb__ < ka__ {");
+        self.indent += 1;
+        self.line(&format!("{pb} += 1;"));
+        self.indent -= 1;
+        self.line("} else {");
+        self.indent += 1;
+        self.line(&format!("let {v0} = ka__ as i64;"));
+        self.line(&format!("let _ = {v0};"));
+        self.step_tail(si, step)?;
+        self.line(&format!("{pa} += 1;"));
+        self.line(&format!("{pb} += 1;"));
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("}");
+        Ok(())
+    }
+
+    fn search(&mut self, sp: &crate::plan::SearchPart) -> Result<(), EmitError> {
+        let m = self.mat(&sp.target.matrix).to_string();
+        let view_name = self.views[&sp.target.matrix].name.clone();
+        let rid = sp.target.ref_id;
+        let lev = sp.target.level;
+        let pv = pos_var(rid, lev);
+        let ok = ok_var(rid, lev);
+        let parent_ok = if lev == 0 || !self.ref_level_searched(rid, lev - 1) {
+            "true".to_string()
+        } else {
+            ok_var(rid, lev - 1)
+        };
+        let parent = if lev == 0 {
+            "0usize".to_string()
+        } else {
+            pos_var(rid, lev - 1)
+        };
+
+        // Key expressions (apply inverse perms).
+        let mut keys = Vec::new();
+        for (e, perm) in &sp.keys {
+            let raw = self.pexpr(e);
+            match perm {
+                Some(_t) => {
+                    keys.push(format!(
+                        "(if ({raw}) >= 0 && (({raw}) as usize) < {m}.iperm_inv.len() {{ {m}.iperm_inv[({raw}) as usize] as i64 }} else {{ -1 }})"
+                    ));
+                }
+                None => keys.push(raw),
+            }
+        }
+        let k0 = keys[0].clone();
+
+        let find = match (view_name.as_str(), sp.target.chain, lev) {
+            ("csr", 0, 0) | ("ell", 0, 0) => format!(
+                "if ({k0}) >= 0 && ({k0}) < {m}.nrows as i64 {{ Some(({k0}) as usize) }} else {{ None }}"
+            ),
+            ("csr", 0, 1) => format!(
+                "if ({k0}) >= 0 {{ {m}.find({parent}, ({k0}) as usize) }} else {{ None }}"
+            ),
+            ("csc", 0, 0) => format!(
+                "if ({k0}) >= 0 && ({k0}) < {m}.ncols as i64 {{ Some(({k0}) as usize) }} else {{ None }}"
+            ),
+            ("csc", 0, 1) => format!(
+                "if ({k0}) >= 0 {{ {m}.find(({k0}) as usize, {parent}) }} else {{ None }}"
+            ),
+            ("coo", 0, 0) => {
+                let k1 = keys[1].clone();
+                format!(
+                    "if ({k0}) >= 0 && ({k1}) >= 0 {{ {m}.find(({k0}) as usize, ({k1}) as usize) }} else {{ None }}"
+                )
+            }
+            ("dia", 0, 0) => format!("{m}.diags.binary_search(&({k0})).ok()"),
+            ("dia", 0, 1) => format!(
+                "if ({k0}) >= {m}.lo[{parent}] && ({k0}) < {m}.hi[{parent}] {{ Some({m}.ptr[{parent}] + (({k0}) - {m}.lo[{parent}]) as usize) }} else {{ None }}"
+            ),
+            ("ell", 0, 1) => format!(
+                "if ({k0}) >= 0 {{ {m}.find({parent}, ({k0}) as usize) }} else {{ None }}"
+            ),
+            ("jad", 1, 0) => format!(
+                "if ({k0}) >= 0 && ({k0}) < {m}.nrows as i64 {{ Some(({k0}) as usize) }} else {{ None }}"
+            ),
+            ("jad", 1, 1) => format!(
+                "if ({k0}) >= 0 {{ {m}.find_in_row({parent}, ({k0}) as usize) }} else {{ None }}"
+            ),
+            ("dense", 0, 0) => format!(
+                "if ({k0}) >= 0 && ({k0}) < {m}.nrows as i64 {{ Some(({k0}) as usize) }} else {{ None }}"
+            ),
+            ("dense", 0, 1) => format!(
+                "if ({k0}) >= 0 && ({k0}) < {m}.ncols as i64 {{ Some({parent} * {m}.ncols + ({k0}) as usize) }} else {{ None }}"
+            ),
+            ("diagsplit", 0, 0) => format!(
+                "if ({k0}) >= 0 && ({k0}) < {m}.n as i64 {{ Some(({k0}) as usize) }} else {{ None }}"
+            ),
+            ("diagsplit", 1, 0) => format!(
+                "if ({k0}) >= 0 && ({k0}) < {m}.off.nrows as i64 {{ Some(({k0}) as usize) }} else {{ None }}"
+            ),
+            ("diagsplit", 1, 1) => format!(
+                "if ({k0}) >= 0 {{ {m}.off.find({parent}, ({k0}) as usize) }} else {{ None }}"
+            ),
+            ("spvec", 0, 0) => format!(
+                "if ({k0}) >= 0 {{ {m}.find(({k0}) as usize) }} else {{ None }}"
+            ),
+            ("hashvec", 0, 0) => format!(
+                "if ({k0}) >= 0 {{ {m}.index.get(&(({k0}) as usize)).copied() }} else {{ None }}"
+            ),
+            ("sky", 0, 0) => format!(
+                "if ({k0}) >= 0 && ({k0}) < {m}.n as i64 {{ Some(({k0}) as usize) }} else {{ None }}"
+            ),
+            ("sky", 0, 1) => format!(
+                "if ({k0}) >= 0 {{ {m}.find({parent}, ({k0}) as usize) }} else {{ None }}"
+            ),
+            other => return Err(EmitError(format!("no search template for {other:?}"))),
+        };
+
+        self.line(&format!(
+            "let ({ok}, {pv}) = if {parent_ok} {{ match {find} {{ Some(p__) => (true, p__), None => (false, 0usize) }} }} else {{ (false, 0usize) }};"
+        ));
+        self.line(&format!("let _ = ({ok}, {pv});"));
+        for &(r2, l2) in &sp.sharers {
+            self.line(&format!(
+                "let ({}, {}) = ({ok}, {pv});",
+                ok_var(r2, l2),
+                pos_var(r2, l2)
+            ));
+            self.line(&format!("let _ = ({}, {});", ok_var(r2, l2), pos_var(r2, l2)));
+        }
+        Ok(())
+    }
+
+    fn exec(&mut self, e: &ExecStmt) -> Result<(), EmitError> {
+        // Deferred pivot division: capture the divisor at the firing
+        // point; the division itself runs after the inner loop.
+        if let Some(pr) = self.promotion.clone() {
+            if let Some(div_idx) = pr.deferred_div {
+                if self.plan.execs[div_idx].stmt == e.stmt {
+                    return self.exec_capture_pivot(e);
+                }
+            }
+        }
+        self.line("{");
+        self.indent += 1;
+        // Required-refs presence: conjunction of the ok flags of every
+        // searched level of the ref (enumerated levels cannot miss).
+        let mut conds: Vec<String> = Vec::new();
+        for &rid in &e.required_refs {
+            for lev in 0..self.plan.refs[rid].levels {
+                if self.ref_level_searched(rid, lev) {
+                    conds.push(ok_var(rid, lev));
+                }
+            }
+        }
+        let mut opened = 0usize;
+        if !conds.is_empty() {
+            self.line(&format!("if {} {{", conds.join(" && ")));
+            self.indent += 1;
+            opened += 1;
+        }
+        for (v, expr, div) in &e.bindings.clone() {
+            let ex = self.pexpr(expr);
+            if *div == 1 {
+                self.line(&format!("let {}_ = {ex};", v.to_lowercase()));
+            } else {
+                self.line(&format!("if ({ex}).rem_euclid({div}) == 0 {{"));
+                self.indent += 1;
+                opened += 1;
+                self.line(&format!(
+                    "let {}_ = ({ex}).div_euclid({div});",
+                    v.to_lowercase()
+                ));
+            }
+            self.line(&format!("let _ = {}_;", v.to_lowercase()));
+        }
+        // Guards.
+        let gs: Vec<String> = e
+            .guards
+            .iter()
+            .map(|g| match g {
+                Guard::Eq(x) => format!("({}) == 0", self.pexpr(x)),
+                Guard::Ge(x) => format!("({}) >= 0", self.pexpr(x)),
+                Guard::Divides(x, d) => format!("({}).rem_euclid({d}) == 0", self.pexpr(x)),
+            })
+            .collect();
+        if !gs.is_empty() {
+            self.line(&format!("if {} {{", gs.join(" && ")));
+            self.indent += 1;
+            opened += 1;
+        }
+        // The statement itself.
+        let mut next_access = 1usize;
+        let rhs = self.value_expr(e, &e.body.rhs, &mut next_access)?;
+        let lhs = self.lhs(e, &e.body.lhs)?;
+        self.line(&format!("{lhs} = {rhs};"));
+        for _ in 0..opened {
+            self.indent -= 1;
+            self.line("}");
+        }
+        self.indent -= 1;
+        self.line("}");
+        Ok(())
+    }
+
+    /// Emits two guard-disjoint statements as an if/else-if chain.
+    fn exec_chained(&mut self, first: &ExecStmt, second: &ExecStmt) -> Result<(), EmitError> {
+        self.exec_one(first, true)?;
+        self.line("else {");
+        self.indent += 1;
+        self.exec(second)?;
+        self.indent -= 1;
+        self.line("}");
+        Ok(())
+    }
+
+    /// Emits one statement; with `open_chain` the trailing brace of its
+    /// guard `if` is left ready for an `else` continuation (guards are
+    /// emitted as the outermost condition).
+    fn exec_one(&mut self, e: &ExecStmt, open_chain: bool) -> Result<(), EmitError> {
+        // Guard first (single guard, no divisor bindings assumed checked
+        // by the caller via guards_disjoint preconditions).
+        let mut conds: Vec<String> = Vec::new();
+        for &rid in &e.required_refs {
+            for lev in 0..self.plan.refs[rid].levels {
+                if self.ref_level_searched(rid, lev) {
+                    conds.push(ok_var(rid, lev));
+                }
+            }
+        }
+        for g in &e.guards {
+            conds.push(match g {
+                Guard::Eq(x) => format!("({}) == 0", self.pexpr(x)),
+                Guard::Ge(x) => format!("({}) >= 0", self.pexpr(x)),
+                Guard::Divides(x, d) => format!("({}).rem_euclid({d}) == 0", self.pexpr(x)),
+            });
+        }
+        self.line(&format!("if {} {{", conds.join(" && ")));
+        self.indent += 1;
+        for (v, expr, div) in &e.bindings.clone() {
+            let ex = self.pexpr(expr);
+            if *div != 1 {
+                return Err(EmitError("divisor binding in chained exec".into()));
+            }
+            self.line(&format!("let {}_ = {ex};", v.to_lowercase()));
+            self.line(&format!("let _ = {}_;", v.to_lowercase()));
+        }
+        let is_deferred = self
+            .promotion
+            .as_ref()
+            .and_then(|pr| pr.deferred_div)
+            .is_some_and(|di| self.plan.execs[di].stmt == e.stmt);
+        if is_deferred {
+            let ValueExpr::Div(_, divisor) = &e.body.rhs else {
+                return Err(EmitError("deferred division lost its shape".into()));
+            };
+            let mut next_access = 2usize;
+            let dsrc = self.value_expr(e, divisor, &mut next_access)?;
+            self.line(&format!("pivot__ = {dsrc};"));
+            self.line("has_pivot__ = true;");
+        } else {
+            let mut next_access = 1usize;
+            let rhs = self.value_expr(e, &e.body.rhs, &mut next_access)?;
+            let lhs = self.lhs(e, &e.body.lhs)?;
+            self.line(&format!("{lhs} = {rhs};"));
+        }
+        self.indent -= 1;
+        // With `open_chain` the caller appends `else { ... }` right after
+        // this closing brace (`}` followed by `else` on the next line is
+        // valid Rust).
+        self.line("}");
+        let _ = open_chain;
+        Ok(())
+    }
+
+    /// Emits the pivot-capture form of a deferred division statement:
+    /// same guards and bindings, but the body stores the divisor.
+    fn exec_capture_pivot(&mut self, e: &ExecStmt) -> Result<(), EmitError> {
+        self.line("{");
+        self.indent += 1;
+        let mut conds: Vec<String> = Vec::new();
+        for &rid in &e.required_refs {
+            for lev in 0..self.plan.refs[rid].levels {
+                if self.ref_level_searched(rid, lev) {
+                    conds.push(ok_var(rid, lev));
+                }
+            }
+        }
+        let mut opened = 0usize;
+        if !conds.is_empty() {
+            self.line(&format!("if {} {{", conds.join(" && ")));
+            self.indent += 1;
+            opened += 1;
+        }
+        for (v, expr, div) in &e.bindings.clone() {
+            let ex = self.pexpr(expr);
+            debug_assert_eq!(*div, 1);
+            self.line(&format!("let {}_ = {ex};", v.to_lowercase()));
+            self.line(&format!("let _ = {}_;", v.to_lowercase()));
+        }
+        let gs: Vec<String> = e
+            .guards
+            .iter()
+            .map(|g| match g {
+                Guard::Eq(x) => format!("({}) == 0", self.pexpr(x)),
+                Guard::Ge(x) => format!("({}) >= 0", self.pexpr(x)),
+                Guard::Divides(x, d) => format!("({}).rem_euclid({d}) == 0", self.pexpr(x)),
+            })
+            .collect();
+        if !gs.is_empty() {
+            self.line(&format!("if {} {{", gs.join(" && ")));
+            self.indent += 1;
+            opened += 1;
+        }
+        let ValueExpr::Div(_, divisor) = &e.body.rhs else {
+            return Err(EmitError("deferred division lost its shape".into()));
+        };
+        let mut next_access = 1usize;
+        // Skip the accumulator read's access slot (it is the Div's lhs).
+        next_access += 1;
+        let dsrc = self.value_expr(e, divisor, &mut next_access)?;
+        self.line(&format!("pivot__ = {dsrc};"));
+        self.line("has_pivot__ = true;");
+        for _ in 0..opened {
+            self.indent -= 1;
+            self.line("}");
+        }
+        self.indent -= 1;
+        self.line("}");
+        Ok(())
+    }
+
+    /// Was (ref, level) positioned by a search (may miss) rather than an
+    /// enumeration?
+    fn ref_level_searched(&self, rid: usize, lev: usize) -> bool {
+        self.plan.steps.iter().any(|s| {
+            s.searches.iter().any(|sp| {
+                (sp.target.ref_id == rid && sp.target.level == lev)
+                    || sp.sharers.contains(&(rid, lev))
+            })
+        })
+    }
+
+    fn lhs(&mut self, e: &ExecStmt, r: &LhsRef) -> Result<String, EmitError> {
+        match &e.sources[0] {
+            None => {
+                if let Some(reg) = self.promoted_elem(e, r) {
+                    return Ok(reg);
+                }
+                let idx = self.affine(&r.idxs[0]);
+                Ok(format!("{}[({idx}) as usize]", self.mat(&r.array)))
+            }
+            Some(_) => Err(EmitError(
+                "sparse writes are not supported by the emitter".into(),
+            )),
+        }
+    }
+
+    /// If `r` is the promoted element for this (full-depth) exec, the
+    /// register name.
+    fn promoted_elem(&self, e: &ExecStmt, r: &LhsRef) -> Option<String> {
+        let pr = self.promotion.as_ref()?;
+        if e.depth != self.plan.steps.len() || r.array != pr.array {
+            return None;
+        }
+        let ridx = subst_index(e, &r.idxs[0], &self.p.params)?;
+        pexpr_eq(&ridx, &pr.idx).then(|| pr.reg.clone())
+    }
+
+    fn value_expr(
+        &mut self,
+        e: &ExecStmt,
+        v: &ValueExpr,
+        next_access: &mut usize,
+    ) -> Result<String, EmitError> {
+        Ok(match v {
+            ValueExpr::Const(c) => {
+                if c.fract() == 0.0 && c.abs() < 1e15 {
+                    format!("{:.1}", c)
+                } else {
+                    format!("{c:?}")
+                }
+            }
+            ValueExpr::Read(r) => {
+                let access = *next_access;
+                *next_access += 1;
+                match e.sources.get(access).and_then(|s| s.as_ref()) {
+                    Some(ValueSource::Position { ref_id }) => {
+                        let meta = &self.plan.refs[*ref_id];
+                        let pv = pos_var(*ref_id, meta.levels - 1);
+                        self.value_at(&meta.matrix.clone(), *ref_id, &pv)?
+                    }
+                    Some(ValueSource::Random { ref_id }) => {
+                        let meta = &self.plan.refs[*ref_id];
+                        let m = self.mat(&meta.matrix).to_string();
+                        let rr = self.affine(&r.idxs[0]);
+                        let cc = if r.idxs.len() > 1 {
+                            self.affine(&r.idxs[1])
+                        } else {
+                            "0".to_string()
+                        };
+                        format!("{m}.get(({rr}) as usize, ({cc}) as usize)")
+                    }
+                    None => {
+                        if let Some(reg) = self.promoted_elem(e, r) {
+                            reg
+                        } else {
+                            let idx = self.affine(&r.idxs[0]);
+                            format!("{}[({idx}) as usize]", self.mat(&r.array))
+                        }
+                    }
+                }
+            }
+            ValueExpr::Add(a, b) => format!(
+                "({} + {})",
+                self.value_expr(e, a, next_access)?,
+                self.value_expr(e, b, next_access)?
+            ),
+            ValueExpr::Sub(a, b) => format!(
+                "({} - {})",
+                self.value_expr(e, a, next_access)?,
+                self.value_expr(e, b, next_access)?
+            ),
+            ValueExpr::Mul(a, b) => format!(
+                "({} * {})",
+                self.value_expr(e, a, next_access)?,
+                self.value_expr(e, b, next_access)?
+            ),
+            ValueExpr::Div(a, b) => format!(
+                "({} / {})",
+                self.value_expr(e, a, next_access)?,
+                self.value_expr(e, b, next_access)?
+            ),
+            ValueExpr::Neg(a) => format!("(-{})", self.value_expr(e, a, next_access)?),
+        })
+    }
+
+    /// The value expression at a position of a ref's chain.
+    fn value_at(&self, matrix: &str, rid: usize, pv: &str) -> Result<String, EmitError> {
+        let m = self.mat(matrix);
+        let view_name = &self.views[matrix].name;
+        let chain = self.plan.refs[rid].chain;
+        Ok(match (view_name.as_str(), chain) {
+            ("dense", _) => format!("{m}.data[{pv}]"),
+            ("diagsplit", 0) => format!("{m}.diag[{pv}]"),
+            ("diagsplit", 1) => format!("{m}.off.values[{pv}]"),
+            _ => format!("{m}.values[{pv}]"),
+        })
+    }
+
+    /// PExpr → Rust i64 expression.
+    fn pexpr(&self, e: &PExpr) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (a, c) in &e.terms {
+            let name = match a {
+                Atom::Slot(i) => slot_var(*i),
+                Atom::Var(n) => format!("{}_", n.to_lowercase()),
+            };
+            match *c {
+                1 => parts.push(name),
+                -1 => parts.push(format!("-{name}")),
+                c => parts.push(format!("{c} * {name}")),
+            }
+        }
+        if e.cst != 0 || parts.is_empty() {
+            parts.push(format!("{}", e.cst));
+        }
+        parts.join(" + ").replace("+ -", "- ")
+    }
+
+    /// AffineExpr (over loop vars / params) → Rust i64 expression.
+    fn affine(&self, e: &bernoulli_ir::AffineExpr) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (v, c) in e.terms() {
+            let name = format!("{}_", v.to_lowercase());
+            match c {
+                1 => parts.push(name),
+                -1 => parts.push(format!("-{name}")),
+                c => parts.push(format!("{c} * {name}")),
+            }
+        }
+        if e.cst() != 0 || parts.is_empty() {
+            parts.push(format!("{}", e.cst()));
+        }
+        parts.join(" + ").replace("+ -", "- ")
+    }
+}
+
+fn slot_var(i: usize) -> String {
+    format!("v{i}")
+}
+
+fn pos_var(rid: usize, lev: usize) -> String {
+    format!("p{rid}_{lev}")
+}
+
+fn ok_var(rid: usize, lev: usize) -> String {
+    format!("ok{rid}_{lev}")
+}
+
+/// Emits a complete module: header comment, imports, and one function.
+pub fn emit_module(
+    p: &Program,
+    plan: &Plan,
+    views: &HashMap<String, FormatView>,
+    fn_name: &str,
+) -> Result<String, EmitError> {
+    let body = emit_rust(p, plan, views, fn_name)?;
+    let needs_random = plan.execs.iter().any(|e| {
+        e.sources
+            .iter()
+            .any(|s| matches!(s, Some(ValueSource::Random { .. })))
+    });
+    let mut used_types: Vec<String> = Vec::new();
+    for a in &p.arrays {
+        if let Some(v) = views.get(&a.name) {
+            let ty = rust_type(&v.name)?;
+            let base = ty.split('<').next().unwrap().to_string();
+            if !used_types.contains(&base) {
+                used_types.push(base);
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str("// GENERATED by bernoulli-synth — do not edit by hand.\n");
+    out.push_str("// Regenerated and checked by the kernel fidelity tests in bernoulli-blas.\n");
+    if !used_types.is_empty() {
+        let _ = writeln!(out, "use bernoulli_formats::{{{}}};", used_types.join(", "));
+    }
+    if needs_random {
+        out.push_str("#[allow(unused_imports)]\nuse bernoulli_formats::SparseMatrix as _;\n");
+    }
+    out.push('\n');
+    out.push_str(&body);
+    Ok(out)
+}

@@ -1,0 +1,489 @@
+//! Plan interpreter: executes an enumeration-based plan against real
+//! formats through the dynamic cursor API.
+//!
+//! This gives every synthesized plan an executable semantics without
+//! compiling generated source — the integration tests compare it against
+//! the dense reference executor. The statically-specialized equivalent is
+//! what [`crate::emit`] produces.
+
+use crate::plan::{Dir, Guard, Plan, StepKind, ValueSource};
+use bernoulli_formats::{Position, SparseView};
+use bernoulli_ir::ValueExpr;
+use std::collections::HashMap;
+
+/// Runtime error during plan execution.
+#[derive(Debug, PartialEq)]
+pub struct PlanError(pub String);
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan execution error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Execution environment for plans: parameters, dense vectors (owned) and
+/// sparse matrices (borrowed through the dynamic low-level API).
+#[derive(Default)]
+pub struct ExecEnv<'m> {
+    pub params: HashMap<String, i64>,
+    pub vectors: HashMap<String, Vec<f64>>,
+    pub sparse: HashMap<String, &'m dyn SparseView>,
+}
+
+impl<'m> ExecEnv<'m> {
+    /// Creates an empty environment.
+    pub fn new() -> ExecEnv<'m> {
+        ExecEnv::default()
+    }
+
+    /// Binds a size parameter.
+    pub fn set_param(&mut self, name: &str, v: i64) -> &mut Self {
+        self.params.insert(name.to_string(), v);
+        self
+    }
+
+    /// Binds (moves in) a dense vector.
+    pub fn bind_vec(&mut self, name: &str, v: Vec<f64>) -> &mut Self {
+        self.vectors.insert(name.to_string(), v);
+        self
+    }
+
+    /// Binds a sparse matrix by reference.
+    pub fn bind_sparse(&mut self, name: &str, m: &'m dyn SparseView) -> &mut Self {
+        self.sparse.insert(name.to_string(), m);
+        self
+    }
+
+    /// Removes and returns a vector (typically the output).
+    pub fn take_vec(&mut self, name: &str) -> Vec<f64> {
+        self.vectors
+            .remove(name)
+            .unwrap_or_else(|| panic!("vector {name:?} not bound"))
+    }
+}
+
+struct Runtime<'p, 'm, 'e> {
+    plan: &'p Plan,
+    env: &'e mut ExecEnv<'m>,
+    slots: Vec<i64>,
+    /// (ref, level) -> position
+    pos: HashMap<(usize, usize), Position>,
+    /// per ref: the step index at which its position went missing, if any
+    /// (scoped: re-running a step's searches clears misses recorded at
+    /// that step or deeper).
+    missing_at: Vec<Option<usize>>,
+    /// cached param map for PExpr evaluation
+    params: HashMap<String, i64>,
+    stats: RunStats,
+}
+
+/// Counters accumulated during interpretation (used by the cost-model
+/// validation experiment).
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct RunStats {
+    /// Loop iterations across all steps.
+    pub iterations: u64,
+    /// Searches performed.
+    pub searches: u64,
+    /// Statement instances executed.
+    pub executions: u64,
+    /// Guard evaluations that failed.
+    pub guard_misses: u64,
+}
+
+/// Runs a plan to completion against the environment.
+pub fn run_plan(plan: &Plan, env: &mut ExecEnv) -> Result<RunStats, PlanError> {
+    let params = env.params.clone();
+    let mut rt = Runtime {
+        plan,
+        env,
+        slots: vec![0; plan.nslots],
+        pos: HashMap::new(),
+        missing_at: vec![None; plan.refs.len()],
+        params,
+        stats: RunStats::default(),
+    };
+    rt.run_step(0)?;
+    Ok(rt.stats)
+}
+
+impl Runtime<'_, '_, '_> {
+    fn view(&self, matrix: &str) -> Result<&dyn SparseView, PlanError> {
+        self.env
+            .sparse
+            .get(matrix)
+            .copied()
+            .ok_or_else(|| PlanError(format!("matrix {matrix:?} not bound")))
+    }
+
+    fn run_step(&mut self, si: usize) -> Result<(), PlanError> {
+        if si == self.plan.steps.len() {
+            return self.run_execs_at(si, true);
+        }
+        // Misses recorded at this step or deeper are stale leftovers from
+        // a previous sibling subtree; only outer-scope misses persist.
+        for m in self.missing_at.iter_mut() {
+            if matches!(*m, Some(d) if d >= si) {
+                *m = None;
+            }
+        }
+        // Hoisted statements placed *before* the deeper enumeration.
+        self.run_execs_at(si, false)?;
+        let step = &self.plan.steps[si];
+        match &step.kind {
+            StepKind::Interval { lo, hi } => {
+                let lo = lo.eval(&self.slots, &self.params);
+                let hi = hi.eval(&self.slots, &self.params);
+                let range: Vec<i64> = match step.dir {
+                    Dir::Fwd => (lo..hi).collect(),
+                    Dir::Rev => (lo..hi).rev().collect(),
+                };
+                for v in range {
+                    self.stats.iterations += 1;
+                    self.slots[step.first_slot] = v;
+                    self.do_searches(si)?;
+                    self.run_step(si + 1)?;
+                }
+            }
+            StepKind::Level { primary, perms } => {
+                let parent = if primary.level == 0 {
+                    0
+                } else {
+                    match self.pos.get(&(primary.ref_id, primary.level - 1)) {
+                        Some(&p) => p,
+                        None => {
+                            return Err(PlanError(format!(
+                                "primary {primary} has no parent position"
+                            )))
+                        }
+                    }
+                };
+                if self.missing_at[primary.ref_id].is_some() {
+                    // Lowering guarantees this is only reachable when every
+                    // statement requires the primary; skipping is sound.
+                    return Ok(());
+                }
+                let view = self.view(&primary.matrix)?;
+                let mut cur = view.cursor(primary.chain, primary.level, parent, step.dir == Dir::Rev);
+                // We cannot hold `view` across the mutable recursion;
+                // re-fetch inside the loop.
+                loop {
+                    let view = self.view(&primary.matrix)?;
+                    if !view.advance(&mut cur) {
+                        break;
+                    }
+                    self.stats.iterations += 1;
+                    for (s, perm) in perms.iter().enumerate() {
+                        let raw = cur.keys[s];
+                        let value = match perm {
+                            Some(t) => self.view(&primary.matrix)?.perm_apply(t, raw),
+                            None => raw,
+                        };
+                        self.slots[step.first_slot + s] = value;
+                    }
+                    self.pos.insert((primary.ref_id, primary.level), cur.pos);
+                    for &(rid, lev) in &step.sharers {
+                        self.pos.insert((rid, lev), cur.pos);
+                    }
+                    self.do_searches(si)?;
+                    self.run_step(si + 1)?;
+                }
+            }
+            StepKind::MergeJoin { a, b } => {
+                let pa = if a.level == 0 {
+                    0
+                } else {
+                    *self
+                        .pos
+                        .get(&(a.ref_id, a.level - 1))
+                        .ok_or_else(|| PlanError(format!("{a} has no parent position")))?
+                };
+                let pb = if b.level == 0 {
+                    0
+                } else {
+                    *self
+                        .pos
+                        .get(&(b.ref_id, b.level - 1))
+                        .ok_or_else(|| PlanError(format!("{b} has no parent position")))?
+                };
+                let va = self.view(&a.matrix)?;
+                let mut ca = va.cursor(a.chain, a.level, pa, false);
+                let mut cb = self.view(&b.matrix)?.cursor(b.chain, b.level, pb, false);
+                let mut have_a = self.view(&a.matrix)?.advance(&mut ca);
+                let mut have_b = self.view(&b.matrix)?.advance(&mut cb);
+                while have_a && have_b {
+                    self.stats.iterations += 1;
+                    let ka = ca.keys[0];
+                    let kb = cb.keys[0];
+                    match ka.cmp(&kb) {
+                        std::cmp::Ordering::Less => {
+                            have_a = self.view(&a.matrix)?.advance(&mut ca);
+                        }
+                        std::cmp::Ordering::Greater => {
+                            have_b = self.view(&b.matrix)?.advance(&mut cb);
+                        }
+                        std::cmp::Ordering::Equal => {
+                            self.slots[step.first_slot] = ka;
+                            self.pos.insert((a.ref_id, a.level), ca.pos);
+                            self.pos.insert((b.ref_id, b.level), cb.pos);
+                            self.do_searches(si)?;
+                            self.run_step(si + 1)?;
+                            have_a = self.view(&a.matrix)?.advance(&mut ca);
+                            have_b = self.view(&b.matrix)?.advance(&mut cb);
+                        }
+                    }
+                }
+            }
+        }
+        // Hoisted statements placed *after* the deeper enumeration.
+        self.run_execs_at(si, true)?;
+        Ok(())
+    }
+
+    fn do_searches(&mut self, si: usize) -> Result<(), PlanError> {
+        let step = &self.plan.steps[si];
+        for sp in &step.searches {
+            let rid = sp.target.ref_id;
+            // Clear misses recorded at this step or deeper (stale from the
+            // previous iteration); keep outer-scope misses.
+            if matches!(self.missing_at[rid], Some(m) if m >= si) {
+                self.missing_at[rid] = None;
+            }
+            if self.missing_at[rid].is_some() {
+                for &(r2, _) in &sp.sharers {
+                    if self.missing_at[r2].is_none() {
+                        self.missing_at[r2] = self.missing_at[rid];
+                    }
+                }
+                continue; // missing at an outer step: stays missing
+            }
+            let parent = if sp.target.level == 0 {
+                0
+            } else {
+                match self.pos.get(&(rid, sp.target.level - 1)) {
+                    Some(&p) => p,
+                    None => {
+                        self.missing_at[rid] = Some(si);
+                        continue;
+                    }
+                }
+            };
+            let mut keys = Vec::with_capacity(sp.keys.len());
+            for (e, perm) in &sp.keys {
+                let v = e.eval(&self.slots, &self.params);
+                let key = match perm {
+                    Some(t) => {
+                        let view = self.view(&sp.target.matrix)?;
+                        if v < 0 || v >= view.nrows() as i64 {
+                            self.missing_at[rid] = Some(si);
+                            break;
+                        }
+                        view.perm_unapply(t, v)
+                    }
+                    None => v,
+                };
+                keys.push(key);
+            }
+            if keys.len() != sp.keys.len() {
+                continue; // perm range miss already flagged
+            }
+            self.stats.searches += 1;
+            let view = self.view(&sp.target.matrix)?;
+            match view.search(sp.target.chain, sp.target.level, parent, &keys) {
+                Some(p) => {
+                    self.pos.insert((rid, sp.target.level), p);
+                    for &(r2, l2) in &sp.sharers {
+                        self.pos.insert((r2, l2), p);
+                        if matches!(self.missing_at[r2], Some(m) if m >= si) {
+                            self.missing_at[r2] = None;
+                        }
+                    }
+                }
+                None => {
+                    self.missing_at[rid] = Some(si);
+                    for &(r2, _) in &sp.sharers {
+                        self.missing_at[r2] = Some(si);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the statements placed at `depth` with the given after-flag
+    /// (full-depth statements run with `after == true` at the innermost
+    /// point, where the flag is meaningless).
+    fn run_execs_at(&mut self, depth: usize, after: bool) -> Result<(), PlanError> {
+        for ei in 0..self.plan.execs.len() {
+            let e = &self.plan.execs[ei];
+            if e.depth == depth && (e.after == after || depth == self.plan.steps.len()) {
+                self.run_exec(ei)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn run_exec(&mut self, ei: usize) -> Result<(), PlanError> {
+        let e = &self.plan.execs[ei];
+        // Required refs present?
+        if e.required_refs.iter().any(|&r| self.missing_at[r].is_some()) {
+            return Ok(());
+        }
+        // Bindings.
+        let mut vars = self.params.clone();
+        for (v, expr, div) in &e.bindings {
+            let raw = expr.eval(&self.slots, &vars);
+            if *div != 1 {
+                if raw % *div != 0 {
+                    return Ok(());
+                }
+                vars.insert(v.clone(), raw / *div);
+            } else {
+                vars.insert(v.clone(), raw);
+            }
+        }
+        // Guards.
+        for g in &e.guards {
+            let pass = match g {
+                Guard::Eq(x) => x.eval(&self.slots, &vars) == 0,
+                Guard::Ge(x) => x.eval(&self.slots, &vars) >= 0,
+                Guard::Divides(x, d) => x.eval(&self.slots, &vars) % d == 0,
+            };
+            if !pass {
+                self.stats.guard_misses += 1;
+                return Ok(());
+            }
+        }
+        self.stats.executions += 1;
+
+        // Evaluate rhs; reads are numbered 1.. in evaluation order.
+        let mut next_access = 1usize;
+        let value = self.eval_value(ei, &e.body.rhs, &vars, &mut next_access)?;
+
+        // Write lhs (access 0).
+        let e = &self.plan.execs[ei];
+        match &e.sources[0] {
+            None => {
+                let idx: Vec<i64> = e
+                    .body
+                    .lhs
+                    .idxs
+                    .iter()
+                    .map(|x| x.eval(&vars))
+                    .collect();
+                let vec = self
+                    .env
+                    .vectors
+                    .get_mut(&e.body.lhs.array)
+                    .ok_or_else(|| PlanError(format!("vector {:?} not bound", e.body.lhs.array)))?;
+                let i = idx[0];
+                if idx.len() != 1 || i < 0 || i as usize >= vec.len() {
+                    return Err(PlanError(format!(
+                        "lhs write {} out of range at {idx:?}",
+                        e.body.lhs
+                    )));
+                }
+                vec[i as usize] = value;
+            }
+            Some(_) => {
+                return Err(PlanError(
+                    "writes to sparse matrices are not supported by the interpreter".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_value(
+        &self,
+        ei: usize,
+        e: &ValueExpr,
+        vars: &HashMap<String, i64>,
+        next_access: &mut usize,
+    ) -> Result<f64, PlanError> {
+        Ok(match e {
+            ValueExpr::Const(c) => *c,
+            ValueExpr::Read(r) => {
+                let access = *next_access;
+                *next_access += 1;
+                let exec = &self.plan.execs[ei];
+                match exec.sources.get(access).and_then(|s| s.as_ref()) {
+                    Some(ValueSource::Position { ref_id }) => {
+                        let meta = &self.plan.refs[*ref_id];
+                        let pos = *self
+                            .pos
+                            .get(&(*ref_id, meta.levels - 1))
+                            .ok_or_else(|| {
+                                PlanError(format!(
+                                    "reference {ref_id} has no innermost position (read {r})"
+                                ))
+                            })?;
+                        self.view(&meta.matrix)?.value_at(meta.chain, pos)
+                    }
+                    Some(ValueSource::Random { ref_id }) => {
+                        let meta = &self.plan.refs[*ref_id];
+                        let view = self.view(&meta.matrix)?;
+                        let idx: Vec<i64> = r.idxs.iter().map(|x| x.eval(vars)).collect();
+                        let (rr, cc) = (idx[0], *idx.get(1).unwrap_or(&0));
+                        if rr < 0
+                            || cc < 0
+                            || rr as usize >= view.nrows()
+                            || cc as usize >= view.ncols()
+                        {
+                            return Err(PlanError(format!(
+                                "random access {r} out of range at ({rr},{cc})"
+                            )));
+                        }
+                        view.get(rr as usize, cc as usize)
+                    }
+                    None => {
+                        // Dense access: vector or unbound-sparse matrix.
+                        let idx: Vec<i64> = r.idxs.iter().map(|x| x.eval(vars)).collect();
+                        if let Some(v) = self.env.vectors.get(&r.array) {
+                            let i = idx[0];
+                            if idx.len() != 1 || i < 0 || i as usize >= v.len() {
+                                return Err(PlanError(format!(
+                                    "vector read {r} out of range at {idx:?}"
+                                )));
+                            }
+                            v[i as usize]
+                        } else if let Some(m) = self.env.sparse.get(&r.array) {
+                            let (rr, cc) = (idx[0], *idx.get(1).unwrap_or(&0));
+                            if rr < 0
+                                || cc < 0
+                                || rr as usize >= m.nrows()
+                                || cc as usize >= m.ncols()
+                            {
+                                return Err(PlanError(format!(
+                                    "matrix read {r} out of range at ({rr},{cc})"
+                                )));
+                            }
+                            m.get(rr as usize, cc as usize)
+                        } else {
+                            return Err(PlanError(format!("array {:?} not bound", r.array)));
+                        }
+                    }
+                }
+            }
+            ValueExpr::Add(a, b) => {
+                self.eval_value(ei, a, vars, next_access)?
+                    + self.eval_value(ei, b, vars, next_access)?
+            }
+            ValueExpr::Sub(a, b) => {
+                self.eval_value(ei, a, vars, next_access)?
+                    - self.eval_value(ei, b, vars, next_access)?
+            }
+            ValueExpr::Mul(a, b) => {
+                self.eval_value(ei, a, vars, next_access)?
+                    * self.eval_value(ei, b, vars, next_access)?
+            }
+            ValueExpr::Div(a, b) => {
+                self.eval_value(ei, a, vars, next_access)?
+                    / self.eval_value(ei, b, vars, next_access)?
+            }
+            ValueExpr::Neg(a) => -self.eval_value(ei, a, vars, next_access)?,
+        })
+    }
+}

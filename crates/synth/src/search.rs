@@ -1,0 +1,245 @@
+//! The synthesis driver: search over configurations, dimension orders,
+//! embeddings and enumeration sources (paper §4.2–4.3).
+
+use crate::config::enumerate_configs;
+use crate::cost::{estimate_cost, WorkloadStats};
+use crate::embed::embedding_variants;
+use crate::groups::compute_groups;
+use crate::legal::{check_legality, relaxable_classes};
+use crate::lower::lower_plans;
+use crate::plan::Plan;
+use crate::spaces::candidate_spaces_opt;
+use crate::zero::check_zero_safety;
+use bernoulli_formats::view::FormatView;
+use bernoulli_ir::{analyze, Program};
+use std::collections::HashMap;
+
+/// Knobs bounding the search (paper §4.3 heuristics).
+#[derive(Clone, Debug)]
+pub struct SynthOptions {
+    /// Cap on dimension orders per configuration.
+    pub max_orders: usize,
+    /// Cap on embedding variants per (configuration, order).
+    pub max_embeddings: usize,
+    /// Allow reassociation of associative reductions (every sparse BLAS
+    /// does); disable for bitwise-faithful enumeration order.
+    pub relax_reductions: bool,
+    /// Also generate the deliberately naive iteration-centric order (for
+    /// the ablation experiments).
+    pub include_iteration_centric: bool,
+    /// Workload statistics for the cost model.
+    pub stats: WorkloadStats,
+    /// Keep at most this many ranked candidates in `synthesize_all`.
+    pub keep: usize,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions {
+            max_orders: 16,
+            max_embeddings: 12,
+            relax_reductions: true,
+            include_iteration_centric: false,
+            stats: WorkloadStats::default(),
+            keep: 64,
+        }
+    }
+}
+
+/// A ranked candidate produced by the search.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    pub plan: Plan,
+    pub cost: f64,
+    /// Perspective choices: (matrix, alternative) per reference.
+    pub choices: Vec<(String, usize)>,
+    /// Zero-safety notes (what made the restriction sound).
+    pub safety_notes: Vec<String>,
+}
+
+/// The best plan plus search statistics.
+#[derive(Clone, Debug)]
+pub struct Synthesized {
+    pub plan: Plan,
+    pub cost: f64,
+    pub choices: Vec<(String, usize)>,
+    pub safety_notes: Vec<String>,
+    /// Total candidates that survived legality + zero checks.
+    pub legal_candidates: usize,
+    /// Total (config, order, embedding) triples examined.
+    pub examined: usize,
+}
+
+/// Why synthesis failed.
+#[derive(Debug)]
+pub enum SynthError {
+    /// The input program is malformed (undeclared arrays, out-of-scope
+    /// variables, arity mismatches).
+    InvalidProgram(String),
+    Config(crate::config::ConfigError),
+    /// No legal, zero-safe plan was found; the payload describes the last
+    /// rejection reasons observed.
+    NoLegalPlan { reasons: Vec<String> },
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::InvalidProgram(e) => write!(f, "invalid program: {e}"),
+            SynthError::Config(e) => write!(f, "{e}"),
+            SynthError::NoLegalPlan { reasons } => {
+                write!(f, "no legal plan found")?;
+                for r in reasons.iter().take(5) {
+                    write!(f, "; {r}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// Synthesizes the best data-centric plan for the program with the given
+/// sparse-matrix views.
+pub fn synthesize(
+    p: &Program,
+    views: &[(&str, FormatView)],
+    opts: &SynthOptions,
+) -> Result<Synthesized, SynthError> {
+    let mut all = synthesize_all(p, views, opts)?;
+    let examined = all.1;
+    let legal = all.0.len();
+    let best = all
+        .0
+        .drain(..)
+        .next()
+        .ok_or(SynthError::NoLegalPlan { reasons: all.2 })?;
+    Ok(Synthesized {
+        plan: best.plan,
+        cost: best.cost,
+        choices: best.choices,
+        safety_notes: best.safety_notes,
+        legal_candidates: legal,
+        examined,
+    })
+}
+
+/// Runs the full search and returns all surviving candidates ranked by
+/// estimated cost (plus the examined count and rejection reasons) — the
+/// raw material of the cost-model-validation experiment.
+#[allow(clippy::type_complexity)]
+pub fn synthesize_all(
+    p: &Program,
+    views: &[(&str, FormatView)],
+    opts: &SynthOptions,
+) -> Result<(Vec<Candidate>, usize, Vec<String>), SynthError> {
+    p.validate().map_err(SynthError::InvalidProgram)?;
+    let view_map: HashMap<String, FormatView> = views
+        .iter()
+        .map(|(n, v)| (n.to_string(), v.clone()))
+        .collect();
+    let deps = analyze(p);
+    let relaxable = relaxable_classes(p, &deps);
+    let configs = enumerate_configs(p, &view_map).map_err(SynthError::Config)?;
+
+    let mut out: Vec<Candidate> = Vec::new();
+    let mut examined = 0usize;
+    let mut reasons: Vec<String> = Vec::new();
+
+    // First pass: orders respecting each chain's nesting structure.
+    // Second pass: unconstrained cluster orders (needed when the only
+    // legal code enumerates an inner coordinate by interval before an
+    // outer stored level, e.g. TS on DIA). Third pass: iteration-centric
+    // orders — the dense fallback that is always realizable (random
+    // access per element) for kernels whose statement structure defeats
+    // every data-centric order.
+    'passes: for (unconstrained, iteration_centric) in
+        [(false, false), (true, false), (true, true)]
+    {
+        for cfg in &configs {
+            let spaces = candidate_spaces_opt(
+                cfg,
+                opts.max_orders,
+                opts.include_iteration_centric || iteration_centric,
+                unconstrained,
+            );
+            for space in &spaces {
+                let mut got_plan = false;
+                for emb in embedding_variants(cfg, space, opts.max_embeddings) {
+                    examined += 1;
+                    // The dimension walk is a direction-inference pre-pass;
+                    // the lowered plan is re-verified authoritatively, so a
+                    // "violation" here only means directions are partial.
+                    let leg =
+                        check_legality(cfg, space, &emb, &deps, &relaxable, opts.relax_reductions);
+                    if let Some(v) = &leg.violation {
+                        if reasons.len() < 16 {
+                            reasons.push(v.clone());
+                        }
+                    }
+                    let groups = compute_groups(cfg, space, &emb);
+                    for plan in lower_plans(
+                        p,
+                        cfg,
+                        space,
+                        &emb,
+                        &groups,
+                        &leg.must_increase,
+                        &view_map,
+                        &deps,
+                        &relaxable,
+                        opts.relax_reductions,
+                    ) {
+                        match check_zero_safety(p, cfg, &plan, &view_map) {
+                            Ok(notes) => {
+                                let cost = estimate_cost(p, cfg, &plan, &opts.stats);
+                                got_plan = true;
+                                out.push(Candidate {
+                                    plan,
+                                    cost,
+                                    choices: cfg.choices.clone(),
+                                    safety_notes: notes,
+                                });
+                            }
+                            Err(e) => {
+                                if reasons.len() < 16 {
+                                    reasons.push(e.to_string());
+                                }
+                            }
+                        }
+                    }
+                    if got_plan {
+                        break; // embedding variants only matter on failure
+                    }
+                }
+            }
+        }
+        if !out.is_empty() {
+            break 'passes;
+        }
+    }
+
+    out.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+    out.truncate(opts.keep);
+    if out.is_empty() && reasons.is_empty() {
+        reasons.push("no candidate lowered successfully".to_string());
+    }
+    Ok((out, examined, reasons))
+}
+
+/// Convenience for tests and examples: builds each candidate's
+/// one-paragraph description.
+pub fn describe_candidate(c: &Candidate) -> String {
+    let choices: Vec<String> = c
+        .choices
+        .iter()
+        .map(|(m, a)| format!("{m}:alt{a}"))
+        .collect();
+    format!(
+        "cost {:.1} [{}]\n{}",
+        c.cost,
+        choices.join(", "),
+        c.plan
+    )
+}

@@ -1,0 +1,348 @@
+//! Product spaces: dimensions and candidate dimension orders.
+//!
+//! The product space of a configuration has one dimension per sparse data
+//! dimension of every reference and one per loop of every statement copy
+//! (paper §3.1). The order of dimensions is the enumeration order of the
+//! generated code; the heuristics of §4.3 restrict candidate orders to:
+//!
+//! - **data-centric** orders (all data dimensions before all iteration
+//!   dimensions), and
+//! - orders compatible with each format's **index structure** (a chain's
+//!   outer level must be enumerated before its inner level).
+//!
+//! Data dimensions referring to the same coordinate of the same matrix
+//! are kept adjacent (*clusters*), which is what later allows them to be
+//! fused into a common enumeration.
+
+use crate::config::Config;
+use std::collections::HashMap;
+
+/// What a product-space dimension stands for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DimKind {
+    /// Data dimension `dim_idx` of reference `ref_id`.
+    Data { ref_id: usize, dim_idx: usize },
+    /// Loop `loop_idx` (outermost = 0) of statement copy `stmt`.
+    Iter { stmt: usize, loop_idx: usize },
+}
+
+/// One dimension of the product space.
+#[derive(Clone, Debug)]
+pub struct Dim {
+    /// Display name, e.g. `L0.r` (data) or `j@1` (iteration).
+    pub name: String,
+    pub kind: DimKind,
+}
+
+/// An ordered product space.
+#[derive(Clone, Debug)]
+pub struct Space {
+    /// Dimensions in enumeration order (outermost first).
+    pub dims: Vec<Dim>,
+}
+
+impl Space {
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// True when the space has no dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Dimension names joined for display.
+    pub fn describe(&self) -> String {
+        self.dims
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect::<Vec<_>>()
+            .join(" × ")
+    }
+}
+
+/// All dimensions of a configuration, unordered: data dims in reference
+/// order, then iteration dims in statement order.
+pub fn all_dims(cfg: &Config) -> Vec<Dim> {
+    let mut out = Vec::new();
+    for r in &cfg.refs {
+        for (k, d) in r.dims.iter().enumerate() {
+            out.push(Dim {
+                name: format!("{}{}.{}", r.matrix, r.id, d.attr),
+                kind: DimKind::Data {
+                    ref_id: r.id,
+                    dim_idx: k,
+                },
+            });
+        }
+    }
+    for (si, s) in cfg.stmts.iter().enumerate() {
+        for (li, (v, _, _)) in s.info.loops.iter().enumerate() {
+            out.push(Dim {
+                name: format!("{v}@{si}"),
+                kind: DimKind::Iter {
+                    stmt: si,
+                    loop_idx: li,
+                },
+            });
+        }
+    }
+    out
+}
+
+/// Candidate dimension orders for a configuration.
+///
+/// Data dimensions are clustered by `(matrix, value attribute)`; cluster
+/// orders are all topological permutations respecting each chain's level
+/// nesting, capped at `max_orders`. Iteration dimensions follow in
+/// statement order (data-centric heuristic). When
+/// `include_iteration_centric` is set, one extra order per configuration
+/// puts iteration dimensions first — the deliberately naive baseline used
+/// by the ablation experiments.
+pub fn candidate_spaces(
+    cfg: &Config,
+    max_orders: usize,
+    include_iteration_centric: bool,
+) -> Vec<Space> {
+    candidate_spaces_opt(cfg, max_orders, include_iteration_centric, false)
+}
+
+/// Like [`candidate_spaces`], with `unconstrained = true` dropping the
+/// chain-nesting precedence between clusters — the fallback used when no
+/// structure-respecting order yields a legal plan (e.g. triangular solve
+/// on DIA needs the offset/column cluster *before* the diagonal cluster,
+/// enumerable via interval + search).
+pub fn candidate_spaces_opt(
+    cfg: &Config,
+    max_orders: usize,
+    include_iteration_centric: bool,
+    unconstrained: bool,
+) -> Vec<Space> {
+    let dims = all_dims(cfg);
+
+    // Cluster data dims by (matrix, dense image): dimensions standing for
+    // the same dense coordinate of the same matrix cluster together even
+    // across different chains (a diagonal chain's `i` clusters with a CSR
+    // chain's `r`). Non-affine dims (under a perm, the post-perm value is
+    // itself dense, so this is rare) fall back to the attr name.
+    let mut cluster_index: HashMap<(String, String), usize> = HashMap::new();
+    let mut clusters: Vec<Vec<usize>> = Vec::new(); // dim indices
+    let mut iter_dims: Vec<usize> = Vec::new();
+    for (i, d) in dims.iter().enumerate() {
+        match d.kind {
+            DimKind::Data { ref_id, dim_idx } => {
+                let r = &cfg.refs[ref_id];
+                let image = crate::config::dim_value_in_dense(r, dim_idx)
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| r.dims[dim_idx].attr.clone());
+                let key = (r.matrix.clone(), image);
+                let ci = *cluster_index.entry(key).or_insert_with(|| {
+                    clusters.push(Vec::new());
+                    clusters.len() - 1
+                });
+                clusters[ci].push(i);
+            }
+            DimKind::Iter { .. } => iter_dims.push(i),
+        }
+    }
+
+    // Precedence between clusters: for each reference, the cluster of its
+    // dim k precedes the cluster of its dim k+1.
+    let nclusters = clusters.len();
+    let mut prec: Vec<Vec<bool>> = vec![vec![false; nclusters]; nclusters];
+    let cluster_of = |dim_i: usize| -> usize {
+        clusters
+            .iter()
+            .position(|c| c.contains(&dim_i))
+            .expect("dim in some cluster")
+    };
+    for (i, d) in dims.iter().enumerate() {
+        if let DimKind::Data { ref_id, dim_idx } = d.kind {
+            if dim_idx + 1 < cfg.refs[ref_id].dims.len() {
+                // find dim index of the next dim of same ref
+                let next = dims
+                    .iter()
+                    .position(|d2| {
+                        matches!(d2.kind, DimKind::Data { ref_id: r2, dim_idx: k2 }
+                            if r2 == ref_id && k2 == dim_idx + 1)
+                    })
+                    .unwrap();
+                let (a, b) = (cluster_of(i), cluster_of(next));
+                if a != b {
+                    prec[a][b] = true;
+                }
+            }
+        }
+    }
+
+    if unconstrained {
+        for row in prec.iter_mut() {
+            for x in row.iter_mut() {
+                *x = false;
+            }
+        }
+    }
+
+    // Enumerate topological permutations of clusters.
+    let mut orders: Vec<Vec<usize>> = Vec::new();
+    let mut cur: Vec<usize> = Vec::new();
+    let mut used = vec![false; nclusters];
+    topo_perms(&prec, &mut used, &mut cur, &mut orders, max_orders);
+
+    let mut out = Vec::new();
+    for order in &orders {
+        let mut v: Vec<Dim> = Vec::with_capacity(dims.len());
+        for &ci in order {
+            for &di in &clusters[ci] {
+                v.push(dims[di].clone());
+            }
+        }
+        for &ii in &iter_dims {
+            v.push(dims[ii].clone());
+        }
+        out.push(Space { dims: v });
+    }
+
+    if include_iteration_centric {
+        // Iteration dims first, then data clusters in the first
+        // topological order.
+        if let Some(order) = orders.first() {
+            let mut v: Vec<Dim> = Vec::with_capacity(dims.len());
+            for &ii in &iter_dims {
+                v.push(dims[ii].clone());
+            }
+            for &ci in order {
+                for &di in &clusters[ci] {
+                    v.push(dims[di].clone());
+                }
+            }
+            out.push(Space { dims: v });
+        } else {
+            // No data dims at all: the single iteration order.
+            out.push(Space {
+                dims: iter_dims.iter().map(|&i| dims[i].clone()).collect(),
+            });
+        }
+    }
+    if out.is_empty() {
+        out.push(Space {
+            dims: iter_dims.iter().map(|&i| dims[i].clone()).collect(),
+        });
+    }
+    out
+}
+
+fn topo_perms(
+    prec: &[Vec<bool>],
+    used: &mut Vec<bool>,
+    cur: &mut Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+    cap: usize,
+) {
+    let n = prec.len();
+    if out.len() >= cap {
+        return;
+    }
+    if cur.len() == n {
+        out.push(cur.clone());
+        return;
+    }
+    for c in 0..n {
+        if used[c] {
+            continue;
+        }
+        // All predecessors of c must already be placed.
+        if (0..n).any(|p| prec[p][c] && !used[p]) {
+            continue;
+        }
+        used[c] = true;
+        cur.push(c);
+        topo_perms(prec, used, cur, out, cap);
+        cur.pop();
+        used[c] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::enumerate_configs;
+    use bernoulli_formats::formats::csr::csr_format_view;
+    use bernoulli_ir::parse_program;
+    use std::collections::HashMap;
+
+    const TS: &str = r#"
+        program ts(N) {
+          in matrix L[N][N];
+          inout vector b[N];
+          for j in 0..N {
+            b[j] = b[j] / L[j][j];
+            for i in j+1..N {
+              b[i] = b[i] - L[i][j] * b[j];
+            }
+          }
+        }
+    "#;
+
+    fn ts_config() -> Config {
+        let p = parse_program(TS).unwrap();
+        let mut views = HashMap::new();
+        views.insert("L".to_string(), csr_format_view());
+        enumerate_configs(&p, &views).unwrap().remove(0)
+    }
+
+    #[test]
+    fn seven_dims_like_the_paper() {
+        // The paper's TS product space has 7 dimensions:
+        // l1r, l1c, l2r, l2c, j1, j2, i2.
+        let cfg = ts_config();
+        let dims = all_dims(&cfg);
+        assert_eq!(dims.len(), 7);
+        let names: Vec<&str> = dims.iter().map(|d| d.name.as_str()).collect();
+        assert!(names.contains(&"L0.r"));
+        assert!(names.contains(&"L1.c"));
+        assert!(names.contains(&"j@0"));
+        assert!(names.contains(&"i@1"));
+    }
+
+    #[test]
+    fn data_centric_orders() {
+        let cfg = ts_config();
+        let spaces = candidate_spaces(&cfg, 16, false);
+        // Clusters: (L, r) and (L, c); r must precede c (CSR nesting), so
+        // exactly one topological order.
+        assert_eq!(spaces.len(), 1);
+        let s = &spaces[0];
+        assert_eq!(s.len(), 7);
+        // Data dims first (data-centric), rows before cols.
+        assert_eq!(s.dims[0].name, "L0.r");
+        assert_eq!(s.dims[1].name, "L1.r");
+        assert_eq!(s.dims[2].name, "L0.c");
+        assert_eq!(s.dims[3].name, "L1.c");
+        assert!(matches!(s.dims[4].kind, DimKind::Iter { .. }));
+    }
+
+    #[test]
+    fn iteration_centric_appended() {
+        let cfg = ts_config();
+        let spaces = candidate_spaces(&cfg, 16, true);
+        assert_eq!(spaces.len(), 2);
+        let naive = &spaces[1];
+        assert!(matches!(naive.dims[0].kind, DimKind::Iter { .. }));
+        assert!(naive.describe().starts_with("j@0"));
+    }
+
+    #[test]
+    fn no_sparse_dims_still_yields_a_space() {
+        let p = parse_program(
+            "program scale(N) { inout vector x[N]; for i in 0..N { x[i] = x[i] * 2; } }",
+        )
+        .unwrap();
+        let cfg = enumerate_configs(&p, &HashMap::new()).unwrap().remove(0);
+        let spaces = candidate_spaces(&cfg, 8, false);
+        assert_eq!(spaces.len(), 1);
+        assert_eq!(spaces[0].len(), 1);
+        assert_eq!(spaces[0].dims[0].name, "i@0");
+    }
+}

@@ -1,0 +1,78 @@
+//! A tour of the storage formats and their index-structure descriptions
+//! (paper Figs. 1, 2, 6, 14), using the paper's example matrix.
+//!
+//! ```text
+//! cargo run --example format_tour
+//! ```
+
+use bernoulli::formats::convert::{AnyFormat, FORMAT_NAMES};
+use bernoulli::formats::cursor::check_view_conformance;
+use bernoulli::prelude::*;
+
+fn main() {
+    // The matrix of the paper's Fig. 1 / Fig. 14:
+    //   [a 0 b 0]
+    //   [0 c 0 0]
+    //   [0 d e 0]
+    //   [f 0 g h]
+    let t = Triplets::from_entries(
+        4,
+        4,
+        &[
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (1, 1, 3.0),
+            (2, 1, 4.0),
+            (2, 2, 5.0),
+            (3, 0, 6.0),
+            (3, 2, 7.0),
+            (3, 3, 8.0),
+        ],
+    );
+
+    println!("matrix (paper Fig. 14a):");
+    for r in 0..4 {
+        print!("  ");
+        for c in 0..4 {
+            print!("{:5.1} ", t.get(r, c));
+        }
+        println!();
+    }
+    println!();
+
+    for &name in FORMAT_NAMES {
+        let f = AnyFormat::from_triplets(name, &t);
+        let v = f.as_view().format_view();
+        println!("— {name} —");
+        println!("  index structure: {}", v.expr);
+        let alts = v.alternatives();
+        println!(
+            "  {} access alternative(s); chains per alternative: {:?}",
+            alts.len(),
+            alts.iter().map(|a| a.len()).collect::<Vec<_>>()
+        );
+        for (ai, _) in alts.iter().enumerate() {
+            check_view_conformance(f.as_view(), ai)
+                .unwrap_or_else(|e| panic!("{name} alternative {ai}: {e}"));
+        }
+        println!(
+            "  view conformance: every alternative enumerates exactly nnz={} entries",
+            f.as_view().nnz()
+        );
+    }
+
+    // Show the JAD construction details (Fig. 14d).
+    let jad = Jad::from_triplets(&t);
+    println!("\nJAD construction (paper Fig. 14d):");
+    println!("  iperm  = {:?}   (permuted row -> original row)", jad.iperm);
+    println!("  dptr   = {:?}", jad.dptr);
+    println!("  colind = {:?}", jad.colind);
+    println!("  values = {:?}", jad.values);
+
+    // And DIA for a banded matrix (Fig. 2).
+    let band = bernoulli::formats::gen::tridiagonal(5);
+    let dia = Dia::from_triplets(&band);
+    println!("\nDIA for a tridiagonal 5x5 (paper Fig. 2):");
+    println!("  stored diagonals d = r - c: {:?}", dia.diags);
+    println!("  per-diagonal offset ranges: {:?}..{:?}", dia.lo, dia.hi);
+}

@@ -1,0 +1,82 @@
+//! The paper's running example, end to end: triangular solve on the
+//! Jagged Diagonal format (paper Figs. 4, 5, 8, 9).
+//!
+//! The dense specification walks L by *columns*; JAD offers fast
+//! enumeration along its jagged diagonals or indexed access to permuted
+//! *rows* — so the compiler must restructure the code, pick the
+//! row-indexed perspective, enumerate rows through the inverse
+//! permutation, and guard the diagonal division. This example shows each
+//! artifact: the dependence classes, the chosen plan, the emitted Rust
+//! (the Fig. 9 analogue), and a verified solve.
+//!
+//! ```text
+//! cargo run --example triangular_solve_jad
+//! ```
+
+use bernoulli::prelude::*;
+use bernoulli::synth::emit_module;
+use bernoulli_formats::gen;
+use bernoulli_ir::analyze;
+use std::collections::HashMap;
+
+fn main() {
+    let spec = kernels::ts();
+    println!("=== dense specification (paper Fig. 4) ===\n{spec}\n");
+
+    println!("=== dependence classes (paper §3) ===");
+    for c in analyze(&spec) {
+        println!("  {}", c.describe());
+    }
+
+    // A lower-triangular operand in JAD.
+    let t = gen::structurally_symmetric(300, 1900, 14, 7).lower_triangle_full_diag(1.0);
+    let l = Jad::from_triplets(&t);
+    let view = l.format_view();
+    println!("\n=== JAD index structure (paper §2 / Appendix) ===");
+    println!("  {}", view.expr);
+    println!(
+        "  bounds: {} detected, full diagonal: {}",
+        view.bounds.len(),
+        view.has_full_diagonal()
+    );
+
+    let synthesized = synthesize(&spec, &[("L", view.clone())], &SynthOptions::default())
+        .expect("TS/JAD is synthesizable");
+    println!("\n=== synthesized plan (paper Fig. 8 analogue) ===");
+    println!("{}", synthesized.plan);
+    for n in &synthesized.safety_notes {
+        println!("  zero-safety: {n}");
+    }
+
+    let mut views = HashMap::new();
+    views.insert("L".to_string(), view);
+    let code = emit_module(&spec, &synthesized.plan, &views, "ts_jad").expect("emits");
+    println!("\n=== emitted Rust (paper Fig. 9 analogue) ===\n{code}");
+
+    // Verify against the dense reference.
+    let b0 = gen::dense_vector(300, 11);
+    let mut env = ExecEnv::new();
+    env.set_param("N", 300);
+    env.bind_sparse("L", &l);
+    env.bind_vec("b", b0.clone());
+    run_plan(&synthesized.plan, &mut env).expect("plan runs");
+    let got = env.take_vec("b");
+
+    let dense = Dense::from_triplets(&t);
+    let mut denv = bernoulli_ir::DenseEnv::new()
+        .param("N", 300)
+        .vector("b", b0)
+        .matrix("L", &dense);
+    bernoulli_ir::run_dense(&spec, &mut denv).expect("reference runs");
+    let expect = denv.take_vector("b");
+
+    let max_err = got
+        .iter()
+        .zip(&expect)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("=== verification ===");
+    println!("max |synthesized - dense reference| = {max_err:.3e}");
+    assert!(max_err < 1e-9);
+    println!("OK: the synthesized JAD solve matches the dense semantics.");
+}

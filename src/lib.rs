@@ -1,0 +1,63 @@
+//! # Bernoulli-RS
+//!
+//! A Rust reproduction of *“A Framework for Sparse Matrix Code Synthesis
+//! from High-level Specifications”* (Ahmed, Mateev, Pingali, Stodghill;
+//! SC 2000) — the Bernoulli sparse compiler.
+//!
+//! The system synthesizes efficient *data-centric* sparse matrix code from
+//! two inputs:
+//!
+//! 1. a **dense-matrix program** — an imperfectly-nested affine loop nest
+//!    written as if every matrix were dense (see [`ir`]), and
+//! 2. a **format description** — the index structure of each sparse matrix,
+//!    expressed in the view grammar of the paper's Fig. 6 (see
+//!    [`formats::view`]).
+//!
+//! The synthesis pipeline (see [`synth`]) embeds statement instances into a
+//! product of iteration and data spaces, verifies legality against the
+//! program's dependence classes, eliminates redundant dimensions, infers
+//! enumeration directions, fuses common enumerations, and emits either an
+//! executable plan (interpreted against real formats) or specialized Rust
+//! source code.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bernoulli::prelude::*;
+//!
+//! // Dense specification: y += A·x (written as if A were dense).
+//! let spec = kernels::mvm();
+//! // A sparse matrix in CSR format.
+//! let a = Csr::from_triplets(&Triplets::from_entries(
+//!     3, 3, &[(0, 0, 2.0), (1, 2, 1.0), (2, 1, 4.0)]));
+//! // Synthesize a data-centric plan for the CSR index structure.
+//! let synthesized =
+//!     synthesize(&spec, &[("A", a.format_view())], &SynthOptions::default())
+//!         .expect("legal plan");
+//! // Execute it against the real matrix.
+//! let mut env = ExecEnv::new();
+//! env.set_param("M", 3).set_param("N", 3);
+//! env.bind_sparse("A", &a);
+//! env.bind_vec("x", vec![1.0, 2.0, 3.0]);
+//! env.bind_vec("y", vec![0.0; 3]);
+//! run_plan(&synthesized.plan, &mut env).unwrap();
+//! assert_eq!(env.take_vec("y"), vec![2.0, 3.0, 8.0]);
+//! ```
+
+pub use bernoulli_blas as blas;
+pub use bernoulli_formats as formats;
+pub use bernoulli_ir as ir;
+pub use bernoulli_numeric as numeric;
+pub use bernoulli_polyhedra as polyhedra;
+pub use bernoulli_synth as synth;
+
+/// Convenience re-exports for the common workflow.
+pub mod prelude {
+    pub use bernoulli_blas::kernels;
+    pub use bernoulli_formats::{
+        Coo, Csc, Csr, Dense, Dia, DiagSplit, Ell, HashVec, Jad, SparseMatrix, SparseVec,
+        SparseView, Triplets,
+    };
+    pub use bernoulli_ir::{parse_program, Program};
+    pub use bernoulli_synth::{run_plan, synthesize, ExecEnv, SynthOptions};
+}
