@@ -1,0 +1,75 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the proptest API subset its property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`, range and tuple
+//! strategies, [`collection::vec`] / [`collection::btree_set`],
+//! [`bool::ANY`], [`test_runner::ProptestConfig`], and the `proptest!` /
+//! `prop_assert*` macros.
+//!
+//! Semantics match the real crate where the tests can observe it:
+//! strategies draw deterministically from a per-test seeded RNG and the
+//! configured number of cases runs. The deliberate difference is **no
+//! shrinking** — a failing case panics with the assertion message
+//! directly (the generated inputs for a failure are reproducible because
+//! the per-test seed is fixed).
+
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// `Just(value)` — the constant strategy.
+pub use strategy::Just;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0..10usize, (a, b) in (0..5u32, -3i64..=3)) {
+            prop_assert!(x < 10);
+            prop_assert!(a < 5);
+            prop_assert!((-3..=3).contains(&b));
+        }
+
+        #[test]
+        fn collections(v in crate::collection::vec(0..100u8, 0..8),
+                       s in crate::collection::btree_set((0..4usize, 0..4usize), 0..=10)) {
+            prop_assert!(v.len() < 8);
+            prop_assert!(s.len() <= 10);
+        }
+
+        #[test]
+        fn mapping(n in (1..5usize).prop_map(|k| k * 2)) {
+            prop_assert!(n % 2 == 0);
+            prop_assert!((2..10).contains(&n));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0..1000u32, 5..9);
+        let mut r1 = crate::test_runner::TestRng::from_name("det");
+        let mut r2 = crate::test_runner::TestRng::from_name("det");
+        for _ in 0..10 {
+            assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+        }
+    }
+
+    #[test]
+    fn bool_any_hits_both() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::from_name("bools");
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[crate::bool::ANY.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

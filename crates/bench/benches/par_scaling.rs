@@ -1,0 +1,72 @@
+//! S32 — parallel kernel scaling: CSR MVM and level-scheduled CSR
+//! triangular solve on `can_1072` across partition granularities
+//! {1, 2, 4, 8}, with the sequential kernels as the baseline ids.
+//!
+//! The partition granularity (`nthreads` parameter) is what varies; the
+//! actual concurrency is whatever the global pool provides (set
+//! `BERNOULLI_THREADS`, default `available_parallelism`). On a
+//! single-core host the parallel lines measure pure subsystem overhead.
+
+use bernoulli_bench::{can1072, can1072_lower};
+use bernoulli_blas::{handwritten as hw, par};
+use bernoulli_formats::{gen, Csr};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_par_mvm(c: &mut Criterion) {
+    let t = can1072();
+    let (m, n) = (t.nrows(), t.ncols());
+    let a = Csr::from_triplets(&t);
+    let x = gen::dense_vector(n, 7);
+
+    let mut g = c.benchmark_group("par_scaling_mvm_csr");
+    g.bench_function(BenchmarkId::new("seq", "-"), |bch| {
+        bch.iter(|| {
+            let mut y = vec![0.0; m];
+            hw::mvm_csr(black_box(&a), &x, &mut y);
+            black_box(y);
+        })
+    });
+    for th in THREADS {
+        g.bench_function(BenchmarkId::new("par", th), |bch| {
+            bch.iter(|| {
+                let mut y = vec![0.0; m];
+                par::par_mvm_csr(black_box(&a), &x, &mut y, th);
+                black_box(y);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_par_ts(c: &mut Criterion) {
+    let t = can1072_lower();
+    let n = t.nrows();
+    let l = Csr::from_triplets(&t);
+    let sched = par::LevelSchedule::build(&l);
+    let b0 = gen::dense_vector(n, 42);
+
+    let mut g = c.benchmark_group("par_scaling_ts_csr");
+    g.bench_function(BenchmarkId::new("seq", "-"), |bch| {
+        bch.iter(|| {
+            let mut b = b0.clone();
+            hw::ts_csr(black_box(&l), &mut b);
+            black_box(b);
+        })
+    });
+    for th in THREADS {
+        g.bench_function(BenchmarkId::new("par", th), |bch| {
+            bch.iter(|| {
+                let mut b = b0.clone();
+                par::par_ts_csr_scheduled(black_box(&l), &sched, &mut b, th);
+                black_box(b);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_par_mvm, bench_par_ts);
+criterion_main!(benches);

@@ -1,12 +1,14 @@
 //! Experiment driver: prints the paper-style tables recorded in
-//! EXPERIMENTS.md.
+//! EXPERIMENTS.md, and writes each table as machine-readable
+//! `BENCH_<experiment>.json` in the working directory.
 //!
-//! Usage: `cargo run --release -p bernoulli-bench --bin experiments -- [all|fig12|mvm|join|order|costmodel]`
+//! Usage: `cargo run --release -p bernoulli-bench --bin experiments -- [all|fig12|mvm|join|order|costmodel|parallel]`
 
 #![allow(clippy::needless_range_loop, clippy::type_complexity)]
+use bernoulli_bench::report::{obj, Json};
 use bernoulli_bench::*;
 use bernoulli_blas::handwritten::{spdot_hash, spdot_merge};
-use bernoulli_blas::{generic_rhs, handwritten as hw, kernels, parallel, synth};
+use bernoulli_blas::{generic_rhs, handwritten as hw, kernels, par, parallel, solvers, synth};
 use bernoulli_formats::{gen, Coo, Csc, Csr, Dia, Ell, HashVec, Jad, SparseMatrix, SparseVec};
 use bernoulli_synth::{run_plan, synthesize_all, ExecEnv, SynthOptions};
 use std::hint::black_box;
@@ -20,6 +22,13 @@ fn timeit(f: impl FnMut()) -> f64 {
 }
 
 fn main() {
+    // The global pool is created on first parallel call and sized from
+    // BERNOULLI_THREADS; default it to the widest granularity the
+    // `parallel` experiment tests, before anything can create the pool,
+    // so every chunk can get a lane on machines with enough cores.
+    if std::env::var(par::THREADS_ENV).is_err() {
+        std::env::set_var(par::THREADS_ENV, "8");
+    }
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     match what.as_str() {
         "fig12" => fig12(),
@@ -27,15 +36,18 @@ fn main() {
         "join" => join(),
         "order" => order(),
         "costmodel" => costmodel(),
+        "parallel" => parallel_scaling(),
         "all" => {
             fig12();
             mvm();
             join();
             order();
             costmodel();
+            parallel_scaling();
         }
         other => {
             eprintln!("unknown experiment {other:?}");
+            eprintln!("usage: experiments [all|fig12|mvm|join|order|costmodel|parallel]");
             std::process::exit(1);
         }
     }
@@ -143,9 +155,39 @@ fn fig12() {
             }),
         ],
     ));
-    for (fmt, cells) in rows {
-        print_row(&format!("ts/{fmt}"), &cells);
+    for (fmt, cells) in &rows {
+        print_row(&format!("ts/{fmt}"), cells);
     }
+    report::write(
+        "BENCH_fig12.json",
+        &obj(vec![
+            ("experiment", Json::str("fig12")),
+            ("kernel", Json::str("ts")),
+            ("input", Json::str("can_1072-like")),
+            ("n", Json::num(n as f64)),
+            ("nnz", Json::num(nnz as f64)),
+            ("unit", Json::str("MFLOP/s")),
+            (
+                "rows",
+                Json::Arr(
+                    rows.iter()
+                        .map(|(fmt, cells)| {
+                            let mut fields = vec![("format", Json::str(*fmt))];
+                            for (name, v) in cells {
+                                fields.push((name.as_str(), Json::num(*v)));
+                            }
+                            Json::Obj(
+                                fields
+                                    .into_iter()
+                                    .map(|(k, v)| (k.to_string(), v))
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
     println!();
 }
 
@@ -154,6 +196,7 @@ fn mvm() {
     println!("== E3: MVM across formats, MFLOP/s (synth | nist_c) ==");
     let mut inputs = vec![("can1072", can1072())];
     inputs.extend(extra_inputs());
+    let mut json_inputs = Vec::new();
     for (label, t) in inputs {
         let (m, n) = (t.nrows(), t.ncols());
         let nnz = t.nnz();
@@ -200,7 +243,41 @@ fn mvm() {
             "{label:<14} nnz={nnz} (dia stores {dia_nnz})\n  csr {s1:8.1} | {h1:8.1}   csc {s2:8.1} | {h2:8.1}   coo {s3:8.1} | {h3:8.1}\n  dia {s4:8.1} | {h4:8.1}   ell {s5:8.1} | {h5:8.1}   jad {s6:8.1} | {h6:8.1}\n  csr-parallel(4): {:8.1}",
             mflops(flops, tp)
         );
+        let fmt_cell = |fmt: &str, s: f64, h: f64| {
+            obj(vec![
+                ("format", Json::str(fmt)),
+                ("synth", Json::num(s)),
+                ("nist_c", Json::num(h)),
+            ])
+        };
+        json_inputs.push(obj(vec![
+            ("input", Json::str(label)),
+            ("nrows", Json::num(m as f64)),
+            ("ncols", Json::num(n as f64)),
+            ("nnz", Json::num(nnz as f64)),
+            ("dia_stored", Json::num(dia_nnz as f64)),
+            (
+                "formats",
+                Json::Arr(vec![
+                    fmt_cell("csr", s1, h1),
+                    fmt_cell("csc", s2, h2),
+                    fmt_cell("coo", s3, h3),
+                    fmt_cell("dia", s4, h4),
+                    fmt_cell("ell", s5, h5),
+                    fmt_cell("jad", s6, h6),
+                ]),
+            ),
+            ("csr_parallel_4", Json::num(mflops(flops, tp))),
+        ]));
     }
+    report::write(
+        "BENCH_mvm.json",
+        &obj(vec![
+            ("experiment", Json::str("mvm")),
+            ("unit", Json::str("MFLOP/s")),
+            ("inputs", Json::Arr(json_inputs)),
+        ]),
+    );
     println!();
 }
 
@@ -212,6 +289,7 @@ fn join() {
     let ya = gen::sparse_vector(n, big, 2);
     let ys = SparseVec::from_pairs(n, &ya);
     let yh = HashVec::from_pairs(n, &ya);
+    let mut json_rows = Vec::new();
     for small in [100usize, 1_000, 10_000, 100_000] {
         let xa = gen::sparse_vector(n, small, 1);
         let x = SparseVec::from_pairs(n, &xa);
@@ -236,7 +314,23 @@ fn join() {
             th * 1e6,
             tsearch * 1e6
         );
+        json_rows.push(obj(vec![
+            ("x_nnz", Json::num(small as f64)),
+            ("merge_us", Json::num(tm * 1e6)),
+            ("hash_us", Json::num(th * 1e6)),
+            ("search_us", Json::num(tsearch * 1e6)),
+        ]));
     }
+    report::write(
+        "BENCH_join.json",
+        &obj(vec![
+            ("experiment", Json::str("join")),
+            ("n", Json::num(n as f64)),
+            ("y_nnz", Json::num(big as f64)),
+            ("unit", Json::str("us per op")),
+            ("rows", Json::Arr(json_rows)),
+        ]),
+    );
     println!();
 }
 
@@ -251,7 +345,9 @@ fn order() {
         hw::mvm_csr(black_box(&a), &x, &mut y);
         black_box(y);
     });
-    let ti = time_median(5, || {
+    // The iteration-centric loop is ~10^3 slower; keep its run count low
+    // but stay on the shared best-of-medians helper.
+    let ti = time_best_of(2, 2, || {
         let mut y = vec![0.0; 1072];
         for i in 0..a.nrows {
             let mut acc = 0.0;
@@ -268,6 +364,17 @@ fn order() {
         ti * 1e6,
         ti / td,
         (1072.0 * 1072.0) / t.nnz() as f64
+    );
+    report::write(
+        "BENCH_order.json",
+        &obj(vec![
+            ("experiment", Json::str("order")),
+            ("input", Json::str("can_1072-like")),
+            ("data_centric_us", Json::num(td * 1e6)),
+            ("iteration_centric_us", Json::num(ti * 1e6)),
+            ("speedup", Json::num(ti / td)),
+            ("fill_ratio", Json::num((1072.0 * 1072.0) / t.nnz() as f64)),
+        ]),
     );
     println!();
 }
@@ -295,7 +402,7 @@ fn costmodel() {
 
     let mut measured: Vec<(usize, f64, f64)> = Vec::new();
     for (i, cand) in cands.iter().enumerate() {
-        let time = time_median(5, || {
+        let time = time_best_of(2, 3, || {
             let mut env = ExecEnv::new();
             env.set_param("N", 400);
             env.bind_vec("b", b0.clone());
@@ -311,9 +418,316 @@ fn costmodel() {
         &measured.iter().map(|m| m.2).collect::<Vec<_>>(),
     );
     for (i, cost, time) in &measured {
-        println!("  cand {i:>2}: est cost {cost:>12.0}  measured {:>9.1} us", time * 1e6);
+        println!(
+            "  cand {i:>2}: est cost {cost:>12.0}  measured {:>9.1} us",
+            time * 1e6
+        );
     }
     println!("Spearman rank correlation (cost vs time): {rho:.2}");
+    report::write(
+        "BENCH_costmodel.json",
+        &obj(vec![
+            ("experiment", Json::str("costmodel")),
+            ("kernel", Json::str("ts/jad")),
+            ("candidates", Json::num(cands.len() as f64)),
+            ("examined", Json::num(examined as f64)),
+            ("spearman_rho", Json::num(rho)),
+            (
+                "measurements",
+                Json::Arr(
+                    measured
+                        .iter()
+                        .map(|(i, cost, time)| {
+                            obj(vec![
+                                ("candidate", Json::num(*i as f64)),
+                                ("est_cost", Json::num(*cost)),
+                                ("measured_us", Json::num(time * 1e6)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
+    println!();
+}
+
+/// S32 — parallel execution subsystem: each parallel kernel against its
+/// sequential counterpart across partition granularities, on the
+/// can_1072-like workload. Writes `BENCH_parallel.json`.
+fn parallel_scaling() {
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+    let lanes = par::Pool::global().nthreads();
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!("== S32: parallel kernels vs sequential, can_1072-like, MFLOP/s ==");
+    println!("pool lanes = {lanes}, host cores = {cores} (speedup is bounded by host cores)");
+
+    let t = can1072();
+    let (m, n, nnz) = (t.nrows(), t.ncols(), t.nnz());
+    let x = gen::dense_vector(n, 7);
+    let xt = gen::dense_vector(m, 8);
+    let csr = Csr::from_triplets(&t);
+    let csc = Csc::from_triplets(&t);
+    let ell = Ell::from_triplets(&t);
+    let jad = Jad::from_triplets(&t);
+    let dia = Dia::from_triplets(&t);
+
+    let tl = can1072_lower();
+    let lnnz = tl.nnz();
+    let l = Csr::from_triplets(&tl);
+    let sched = par::LevelSchedule::build(&l);
+    let b0 = gen::dense_vector(m, 42);
+
+    // Vector ops use a much longer vector so per-call pool overhead
+    // does not dominate the measured region.
+    let vn = 400_000;
+    let vx = gen::dense_vector(vn, 1);
+    let vy = gen::dense_vector(vn, 2);
+
+    // CG with tol = 0 runs exactly max_iter iterations — a fixed
+    // end-to-end workload (MVM + vector ops per iteration).
+    let pt = gen::poisson2d(32);
+    let pa = Csr::from_triplets(&pt);
+    let pn = pa.nrows;
+    let pnnz = pt.nnz();
+    let pb = gen::dense_vector(pn, 17);
+    const CG_ITERS: usize = 40;
+    let cg_flops = CG_ITERS as f64 * (mvm_flops(pnnz) + 10.0 * pn as f64);
+
+    struct Row {
+        name: &'static str,
+        flops: f64,
+        seq: f64,
+        par: Vec<(usize, f64)>,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut push =
+        |name: &'static str, flops: f64, seq: &mut dyn FnMut(), par: &mut dyn FnMut(usize)| {
+            let seq_t = timeit(seq);
+            let par_t = THREADS.iter().map(|&th| (th, timeit(|| par(th)))).collect();
+            rows.push(Row {
+                name,
+                flops,
+                seq: seq_t,
+                par: par_t,
+            });
+        };
+
+    push(
+        "mvm_dia",
+        mvm_flops(nnz),
+        &mut || {
+            let mut y = vec![0.0; m];
+            hw::mvm_dia(black_box(&dia), &x, &mut y);
+            black_box(y);
+        },
+        &mut |th| {
+            let mut y = vec![0.0; m];
+            par::par_mvm_dia(black_box(&dia), &x, &mut y, th);
+            black_box(y);
+        },
+    );
+    push(
+        "mvm_csr",
+        mvm_flops(nnz),
+        &mut || {
+            let mut y = vec![0.0; m];
+            hw::mvm_csr(black_box(&csr), &x, &mut y);
+            black_box(y);
+        },
+        &mut |th| {
+            let mut y = vec![0.0; m];
+            par::par_mvm_csr(black_box(&csr), &x, &mut y, th);
+            black_box(y);
+        },
+    );
+    push(
+        "mvm_ell",
+        mvm_flops(nnz),
+        &mut || {
+            let mut y = vec![0.0; m];
+            hw::mvm_ell(black_box(&ell), &x, &mut y);
+            black_box(y);
+        },
+        &mut |th| {
+            let mut y = vec![0.0; m];
+            par::par_mvm_ell(black_box(&ell), &x, &mut y, th);
+            black_box(y);
+        },
+    );
+    push(
+        "mvm_jad",
+        mvm_flops(nnz),
+        &mut || {
+            let mut y = vec![0.0; m];
+            hw::mvm_jad(black_box(&jad), &x, &mut y);
+            black_box(y);
+        },
+        &mut |th| {
+            let mut y = vec![0.0; m];
+            par::par_mvm_jad(black_box(&jad), &x, &mut y, th);
+            black_box(y);
+        },
+    );
+    push(
+        "mvm_csc (scatter)",
+        mvm_flops(nnz),
+        &mut || {
+            let mut y = vec![0.0; m];
+            hw::mvm_csc(black_box(&csc), &x, &mut y);
+            black_box(y);
+        },
+        &mut |th| {
+            let mut y = vec![0.0; m];
+            par::par_mvm_csc(black_box(&csc), &x, &mut y, th);
+            black_box(y);
+        },
+    );
+    push(
+        "mvmt_csr (scatter)",
+        mvm_flops(nnz),
+        &mut || {
+            let mut y = vec![0.0; n];
+            hw::mvmt_csr(black_box(&csr), &xt, &mut y);
+            black_box(y);
+        },
+        &mut |th| {
+            let mut y = vec![0.0; n];
+            par::par_mvmt_csr(black_box(&csr), &xt, &mut y, th);
+            black_box(y);
+        },
+    );
+    push(
+        "ts_csr (level-sched)",
+        ts_flops(lnnz),
+        &mut || {
+            let mut b = b0.clone();
+            hw::ts_csr(black_box(&l), &mut b);
+            black_box(b);
+        },
+        &mut |th| {
+            let mut b = b0.clone();
+            par::par_ts_csr_scheduled(black_box(&l), &sched, &mut b, th);
+            black_box(b);
+        },
+    );
+    push(
+        "dot (400k)",
+        2.0 * vn as f64,
+        &mut || {
+            black_box(hw::dot(black_box(&vx), black_box(&vy)));
+        },
+        &mut |th| {
+            black_box(par::par_dot(black_box(&vx), black_box(&vy), th));
+        },
+    );
+    push(
+        "axpy (400k)",
+        2.0 * vn as f64,
+        &mut || {
+            let mut y = vy.clone();
+            hw::axpy(2.5, black_box(&vx), &mut y);
+            black_box(y);
+        },
+        &mut |th| {
+            let mut y = vy.clone();
+            par::par_axpy(2.5, black_box(&vx), &mut y, th);
+            black_box(y);
+        },
+    );
+    push(
+        "cg_csr (40 iters)",
+        cg_flops,
+        &mut || {
+            let mut xs = vec![0.0; pn];
+            let mut mv = |v: &[f64], y: &mut [f64]| hw::mvm_csr(&pa, v, y);
+            black_box(solvers::cg(&mut mv, &pb, &mut xs, 0.0, CG_ITERS));
+            black_box(xs);
+        },
+        &mut |th| {
+            let mut xs = vec![0.0; pn];
+            black_box(par::cg_csr(black_box(&pa), &pb, &mut xs, 0.0, CG_ITERS, th));
+            black_box(xs);
+        },
+    );
+    let _ = push; // release the closure's mutable borrow of `rows`
+
+    println!(
+        "{:<22} {:>10} {}",
+        "kernel",
+        "seq",
+        THREADS
+            .map(|t| format!("{:>16}", format!("t={t}")))
+            .join("")
+    );
+    for r in &rows {
+        print!("{:<22} {:>10.1}", r.name, mflops(r.flops, r.seq));
+        for &(_, pt) in &r.par {
+            print!("{:>10.1} {:4.2}x", mflops(r.flops, pt), r.seq / pt);
+        }
+        println!();
+    }
+    println!(
+        "level schedule: {} levels, avg width {:.1} rows/level",
+        sched.nlevels(),
+        sched.avg_width()
+    );
+
+    report::write(
+        "BENCH_parallel.json",
+        &obj(vec![
+            ("experiment", Json::str("parallel")),
+            ("input", Json::str("can_1072-like")),
+            ("nrows", Json::num(m as f64)),
+            ("nnz", Json::num(nnz as f64)),
+            ("pool_lanes", Json::num(lanes as f64)),
+            ("host_cores", Json::num(cores as f64)),
+            (
+                "threads",
+                Json::Arr(THREADS.iter().map(|&t| Json::num(t as f64)).collect()),
+            ),
+            (
+                "level_schedule",
+                obj(vec![
+                    ("nlevels", Json::num(sched.nlevels() as f64)),
+                    ("avg_width", Json::num(sched.avg_width())),
+                ]),
+            ),
+            (
+                "kernels",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            obj(vec![
+                                ("name", Json::str(r.name)),
+                                ("flops", Json::num(r.flops)),
+                                ("seq_us", Json::num(r.seq * 1e6)),
+                                ("seq_mflops", Json::num(mflops(r.flops, r.seq))),
+                                (
+                                    "par",
+                                    Json::Arr(
+                                        r.par
+                                            .iter()
+                                            .map(|&(th, pt)| {
+                                                obj(vec![
+                                                    ("threads", Json::num(th as f64)),
+                                                    ("us", Json::num(pt * 1e6)),
+                                                    ("mflops", Json::num(mflops(r.flops, pt))),
+                                                    ("speedup", Json::num(r.seq / pt)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
     println!();
 }
 

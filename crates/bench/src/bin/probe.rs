@@ -1,7 +1,7 @@
 //! Micro-probe: isolate the cost difference between generated and
 //! handwritten TS/CSR loop structures (dev tool).
 #![allow(clippy::needless_range_loop, clippy::type_complexity)]
-use bernoulli_bench::{can1072_lower, time_median};
+use bernoulli_bench::{can1072_lower, time_best_of};
 use bernoulli_formats::{gen, Csr};
 use std::hint::black_box;
 
@@ -111,25 +111,19 @@ fn main() {
         ("lib_cmp", lib_style_cmp),
         ("lib_sub", lib_style_sub),
         ("hw_style", hw_style),
-        ("lib_synth", |l, b| bernoulli_blas::synth::ts_csr(l.nrows as i64, l, b)),
+        ("lib_synth", |l, b| {
+            bernoulli_blas::synth::ts_csr(l.nrows as i64, l, b)
+        }),
         ("lib_hw", |l, b| bernoulli_blas::handwritten::ts_csr(l, b)),
     ];
-    // Interleave rounds and keep the best (min time) per kernel to fight
-    // noisy-neighbor variance.
-    let mut best = vec![f64::INFINITY; kernels.len()];
-    for _round in 0..12 {
-        for (k, (_, f)) in kernels.iter().enumerate() {
-            let tm = time_median(20, || {
-                let mut b = b0.clone();
-                f(black_box(&l), &mut b);
-                black_box(b);
-            });
-            if tm < best[k] {
-                best[k] = tm;
-            }
-        }
-    }
-    for ((name, _), tm) in kernels.iter().zip(&best) {
+    // Best of 12 rounds of median-of-20 per kernel (the shared
+    // bench-harness helper) to fight noisy-neighbor variance.
+    for (name, f) in &kernels {
+        let tm = time_best_of(12, 20, || {
+            let mut b = b0.clone();
+            f(black_box(&l), &mut b);
+            black_box(b);
+        });
         println!("{name:<12} {:8.1} MFLOP/s", flops / tm / 1e6);
     }
 }

@@ -17,6 +17,23 @@ pub fn mvm_dia<T: Scalar>(a: &Dia<T>, x: &[T], y: &mut [T]) {
     }
 }
 
+/// `y += Aᵀ·x`, one pass per stored diagonal: the transpose swaps the
+/// roles of `r = d + o` and `c = o`, so the scatter becomes a gather
+/// (`y[o] += v · x[d + o]`).
+pub fn mvmt_dia<T: Scalar>(a: &Dia<T>, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), a.nrows, "x length");
+    assert_eq!(y.len(), a.ncols, "y length");
+    for k in 0..a.diags.len() {
+        let d = a.diags[k];
+        let base = a.ptr[k];
+        let lo = a.lo[k];
+        for o in lo..a.hi[k] {
+            let v = a.values[base + (o - lo) as usize];
+            y[o as usize] += v * x[(d + o) as usize];
+        }
+    }
+}
+
 /// Lower triangular solve by columns with per-diagonal indexed access:
 /// for each column `j`, divide by the main diagonal then scatter down
 /// the stored sub-diagonals (requires `d = 0` stored in full).
@@ -69,6 +86,15 @@ mod tests {
         let mut y = vec![0.0; t.nrows()];
         mvm_dia(&a, &x, &mut y);
         assert_close(&y, &ref_mvm(&t, &x));
+    }
+
+    #[test]
+    fn mvmt_matches_reference() {
+        let (t, x) = workload();
+        let a = Dia::from_triplets(&t);
+        let mut y = vec![0.0; t.ncols()];
+        mvmt_dia(&a, &x, &mut y);
+        assert_close(&y, &ref_mvmt(&t, &x));
     }
 
     #[test]

@@ -16,6 +16,19 @@ pub fn mvm_ell<T: Scalar>(a: &Ell<T>, x: &[T], y: &mut [T]) {
     }
 }
 
+/// `y += Aᵀ·x` (scatter along the filled slots of each row).
+pub fn mvmt_ell<T: Scalar>(a: &Ell<T>, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), a.nrows, "x length");
+    assert_eq!(y.len(), a.ncols, "y length");
+    for i in 0..a.nrows {
+        let xi = x[i];
+        let base = i * a.width;
+        for s in 0..a.rowlen[i] {
+            y[a.colind[base + s] as usize] += a.values[base + s] * xi;
+        }
+    }
+}
+
 /// Lower triangular solve (row-oriented; full diagonal required).
 pub fn ts_ell<T: Scalar>(l: &Ell<T>, b: &mut [T]) {
     assert_eq!(l.nrows, l.ncols, "square");
@@ -48,6 +61,15 @@ mod tests {
         let mut y = vec![0.0; t.nrows()];
         mvm_ell(&a, &x, &mut y);
         assert_close(&y, &ref_mvm(&t, &x));
+    }
+
+    #[test]
+    fn mvmt_matches_reference() {
+        let (t, x) = workload();
+        let a = Ell::from_triplets(&t);
+        let mut y = vec![0.0; t.ncols()];
+        mvmt_ell(&a, &x, &mut y);
+        assert_close(&y, &ref_mvmt(&t, &x));
     }
 
     #[test]

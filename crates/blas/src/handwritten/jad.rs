@@ -17,6 +17,21 @@ pub fn mvm_jad<T: Scalar>(a: &Jad<T>, x: &[T], y: &mut [T]) {
     }
 }
 
+/// `y += Aᵀ·x` walking the jagged diagonals (scatter; `x` is gathered
+/// through the row permutation).
+pub fn mvmt_jad<T: Scalar>(a: &Jad<T>, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), a.nrows, "x length");
+    assert_eq!(y.len(), a.ncols, "y length");
+    for d in 0..a.ndiags() {
+        let lo = a.dptr[d];
+        let hi = a.dptr[d + 1];
+        for jj in lo..hi {
+            let rr = jj - lo;
+            y[a.colind[jj]] += a.values[jj] * x[a.iperm[rr]];
+        }
+    }
+}
+
 /// Lower triangular solve through the row-indexed perspective
 /// (structurally the paper's Fig. 9 code, with the O(1) inverse
 /// permutation instead of the paper's linear `unmap` scan).
@@ -52,6 +67,15 @@ mod tests {
         let mut y = vec![0.0; t.nrows()];
         mvm_jad(&a, &x, &mut y);
         assert_close(&y, &ref_mvm(&t, &x));
+    }
+
+    #[test]
+    fn mvmt_matches_reference() {
+        let (t, x) = workload();
+        let a = Jad::from_triplets(&t);
+        let mut y = vec![0.0; t.ncols()];
+        mvmt_jad(&a, &x, &mut y);
+        assert_close(&y, &ref_mvmt(&t, &x));
     }
 
     #[test]

@@ -22,9 +22,9 @@ pub use coo::{mvm_coo, mvmt_coo};
 pub use csc::{mvm_csc, mvmt_csc, ts_csc};
 pub use csr::{mvm_csr, mvmt_csr, ts_csr};
 pub use dense::{mvm_dense, ts_dense};
-pub use dia::{mvm_dia, ts_dia};
-pub use ell::{mvm_ell, ts_ell};
-pub use jad::{mvm_jad, ts_jad};
+pub use dia::{mvm_dia, mvmt_dia, ts_dia};
+pub use ell::{mvm_ell, mvmt_ell, ts_ell};
+pub use jad::{mvm_jad, mvmt_jad, ts_jad};
 pub use sky::{mvm_sky, ts_sky};
 pub use vecops::{axpy, dot, nrm2, spdot_hash, spdot_merge};
 
@@ -94,5 +94,4 @@ pub(crate) mod testutil {
             );
         }
     }
-
 }

@@ -160,7 +160,14 @@ mod tests {
 
     #[test]
     fn specs_have_sparse_candidates() {
-        for p in [mvm(), mvm_transposed(), ts(), row_sums(), diag_extract(), residual()] {
+        for p in [
+            mvm(),
+            mvm_transposed(),
+            ts(),
+            row_sums(),
+            diag_extract(),
+            residual(),
+        ] {
             assert!(!p.matrices().is_empty(), "{}", p.name);
         }
     }

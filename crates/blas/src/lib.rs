@@ -19,13 +19,19 @@
 //! On top, [`solvers`] implements format-independent iterative methods
 //! (conjugate gradients, Jacobi, power iteration) exactly the way the
 //! paper's introduction motivates: high-level algorithms written once
-//! against an abstract matrix-vector product. [`parallel`] adds a
-//! row-partitioned parallel MVM using scoped threads (a paper-era
-//! extension exercising the shared-memory substrate).
+//! against an abstract matrix-vector product. [`par`] is the parallel
+//! execution subsystem — a persistent worker pool, nnz-balanced
+//! partitioning, parallel MVM/transpose-MVM for every stored format, a
+//! level-scheduled triangular solve and parallel vector operations —
+//! exercising the shared-memory substrate the paper's compilation
+//! framework targets.
 
 pub mod generic_rhs;
 pub mod handwritten;
 pub mod kernels;
-pub mod parallel;
+pub mod par;
 pub mod solvers;
 pub mod synth;
+
+/// Former name of the [`par`] subsystem, kept for source compatibility.
+pub use par as parallel;

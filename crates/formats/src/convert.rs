@@ -4,7 +4,16 @@ use crate::scalar::Scalar;
 use crate::{Coo, Csc, Csr, Dense, Dia, DiagSplit, Ell, Jad, Triplets};
 
 /// Names of all matrix formats with universal conversion support.
-pub const FORMAT_NAMES: &[&str] = &["dense", "coo", "csr", "csc", "dia", "ell", "jad", "diagsplit"];
+pub const FORMAT_NAMES: &[&str] = &[
+    "dense",
+    "coo",
+    "csr",
+    "csc",
+    "dia",
+    "ell",
+    "jad",
+    "diagsplit",
+];
 
 /// A dynamically-chosen matrix format (conversion and experiment-harness
 /// convenience; kernels always work with the concrete types).

@@ -59,7 +59,14 @@ pub struct ChainCursor {
 
 impl ChainCursor {
     /// Creates a cursor over the raw index range `lo..hi`.
-    pub fn over_range(chain: usize, level: usize, parent: Position, lo: i64, hi: i64, reverse: bool) -> ChainCursor {
+    pub fn over_range(
+        chain: usize,
+        level: usize,
+        parent: Position,
+        lo: i64,
+        hi: i64,
+        reverse: bool,
+    ) -> ChainCursor {
         ChainCursor {
             chain,
             level,
@@ -112,7 +119,13 @@ pub trait SparseView: SparseMatrix {
     ///
     /// Supported per the level's [`SearchKind`](crate::view::SearchKind);
     /// `SearchKind::None` levels panic.
-    fn search(&self, chain: usize, level: usize, parent: Position, keys: &[i64]) -> Option<Position>;
+    fn search(
+        &self,
+        chain: usize,
+        level: usize,
+        parent: Position,
+        keys: &[i64],
+    ) -> Option<Position>;
 
     /// Reads the stored value at a leaf position of `chain`.
     fn value_at(&self, chain: usize, pos: Position) -> f64;

@@ -150,7 +150,13 @@ impl SparseView for Coo<f64> {
         true
     }
 
-    fn search(&self, chain: usize, level: usize, _parent: Position, keys: &[i64]) -> Option<Position> {
+    fn search(
+        &self,
+        chain: usize,
+        level: usize,
+        _parent: Position,
+        keys: &[i64],
+    ) -> Option<Position> {
         assert_eq!(chain, 0);
         assert_eq!(level, 0);
         if keys[0] < 0 || keys[1] < 0 {

@@ -79,6 +79,14 @@ impl<T: Scalar> Csc<T> {
     pub fn nnz(&self) -> usize {
         self.values.len()
     }
+
+    /// Splits the columns into at most `nblocks` contiguous blocks of
+    /// approximately equal stored-entry count (see
+    /// [`crate::partition::split_ptr_by_cost`]); the boundaries are a
+    /// deterministic function of the pattern.
+    pub fn partition_cols(&self, nblocks: usize) -> Vec<usize> {
+        crate::partition::split_ptr_by_cost(&self.colptr, nblocks)
+    }
 }
 
 impl SparseMatrix for Csc<f64> {
@@ -165,7 +173,13 @@ impl SparseView for Csc<f64> {
         true
     }
 
-    fn search(&self, chain: usize, level: usize, parent: Position, keys: &[i64]) -> Option<Position> {
+    fn search(
+        &self,
+        chain: usize,
+        level: usize,
+        parent: Position,
+        keys: &[i64],
+    ) -> Option<Position> {
         assert_eq!(chain, 0);
         let k = keys[0];
         if k < 0 {

@@ -78,6 +78,14 @@ impl<T: Scalar> Csr<T> {
     pub fn nnz(&self) -> usize {
         self.values.len()
     }
+
+    /// Splits the rows into at most `nblocks` contiguous blocks of
+    /// approximately equal stored-entry count (see
+    /// [`crate::partition::split_ptr_by_cost`]); the boundaries are a
+    /// deterministic function of the pattern.
+    pub fn partition_rows(&self, nblocks: usize) -> Vec<usize> {
+        crate::partition::split_ptr_by_cost(&self.rowptr, nblocks)
+    }
 }
 
 impl SparseMatrix for Csr<f64> {
@@ -165,7 +173,13 @@ impl SparseView for Csr<f64> {
         true
     }
 
-    fn search(&self, chain: usize, level: usize, parent: Position, keys: &[i64]) -> Option<Position> {
+    fn search(
+        &self,
+        chain: usize,
+        level: usize,
+        parent: Position,
+        keys: &[i64],
+    ) -> Option<Position> {
         assert_eq!(chain, 0);
         let k = keys[0];
         if k < 0 {

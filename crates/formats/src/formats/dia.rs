@@ -207,7 +207,9 @@ impl SparseView for Dia<f64> {
                 assert!(!reverse, "dia diagonal level enumerates forward only");
                 ChainCursor::over_range(chain, 0, parent, 0, self.diags.len() as i64, false)
             }
-            1 => ChainCursor::over_range(chain, 1, parent, self.lo[parent], self.hi[parent], reverse),
+            1 => {
+                ChainCursor::over_range(chain, 1, parent, self.lo[parent], self.hi[parent], reverse)
+            }
             _ => panic!("dia has 2 levels"),
         }
     }
@@ -231,7 +233,13 @@ impl SparseView for Dia<f64> {
         true
     }
 
-    fn search(&self, chain: usize, level: usize, parent: Position, keys: &[i64]) -> Option<Position> {
+    fn search(
+        &self,
+        chain: usize,
+        level: usize,
+        parent: Position,
+        keys: &[i64],
+    ) -> Option<Position> {
         assert_eq!(chain, 0);
         match level {
             0 => self.diags.binary_search(&keys[0]).ok(),

@@ -183,7 +183,13 @@ impl SparseView for DiagSplit<f64> {
         }
     }
 
-    fn search(&self, chain: usize, level: usize, parent: Position, keys: &[i64]) -> Option<Position> {
+    fn search(
+        &self,
+        chain: usize,
+        level: usize,
+        parent: Position,
+        keys: &[i64],
+    ) -> Option<Position> {
         match chain {
             0 => {
                 let k = keys[0];
@@ -220,7 +226,13 @@ mod tests {
         Triplets::from_entries(
             3,
             3,
-            &[(0, 0, 2.0), (1, 1, 3.0), (2, 2, 4.0), (1, 0, -1.0), (0, 2, 5.0)],
+            &[
+                (0, 0, 2.0),
+                (1, 1, 3.0),
+                (2, 2, 4.0),
+                (1, 0, -1.0),
+                (0, 2, 5.0),
+            ],
         )
     }
 

@@ -182,7 +182,13 @@ impl SparseView for Ell<f64> {
         true
     }
 
-    fn search(&self, chain: usize, level: usize, parent: Position, keys: &[i64]) -> Option<Position> {
+    fn search(
+        &self,
+        chain: usize,
+        level: usize,
+        parent: Position,
+        keys: &[i64],
+    ) -> Option<Position> {
         assert_eq!(chain, 0);
         let k = keys[0];
         if k < 0 {
@@ -213,7 +219,14 @@ mod tests {
         Triplets::from_entries(
             3,
             4,
-            &[(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0), (2, 3, 6.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+                (2, 3, 6.0),
+            ],
         )
     }
 

@@ -233,7 +233,10 @@ impl SparseView for Jad<f64> {
     }
 
     fn cursor(&self, chain: usize, level: usize, parent: Position, reverse: bool) -> ChainCursor {
-        assert!(!reverse || (chain == 1 && level == 0), "only the jad row level reverses");
+        assert!(
+            !reverse || (chain == 1 && level == 0),
+            "only the jad row level reverses"
+        );
         match (chain, level) {
             // Flat: one coupled level over all entries in diagonal order.
             (0, 0) => ChainCursor::over_range(0, 0, parent, 0, self.nnz() as i64, false),
@@ -269,7 +272,13 @@ impl SparseView for Jad<f64> {
         true
     }
 
-    fn search(&self, chain: usize, level: usize, parent: Position, keys: &[i64]) -> Option<Position> {
+    fn search(
+        &self,
+        chain: usize,
+        level: usize,
+        parent: Position,
+        keys: &[i64],
+    ) -> Option<Position> {
         match (chain, level) {
             (1, 0) => {
                 let k = keys[0];
@@ -402,7 +411,16 @@ mod tests {
         // (rr, c) pairs in storage order: diagonal 0 rr=0..4, then diag 1...
         assert_eq!(
             seen,
-            vec![(0, 0), (1, 0), (2, 1), (3, 1), (0, 2), (1, 2), (2, 2), (0, 3)]
+            vec![
+                (0, 0),
+                (1, 0),
+                (2, 1),
+                (3, 1),
+                (0, 2),
+                (1, 2),
+                (2, 2),
+                (0, 3)
+            ]
         );
     }
 

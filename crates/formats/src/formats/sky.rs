@@ -8,7 +8,9 @@
 //! level).
 
 use crate::scalar::Scalar;
-use crate::view::{detect_properties, Bound, FormatView, Order, SearchKind, StoredGuarantee, ViewExpr};
+use crate::view::{
+    detect_properties, Bound, FormatView, Order, SearchKind, StoredGuarantee, ViewExpr,
+};
 use crate::{ChainCursor, Position, SparseMatrix, SparseView, Triplets};
 
 /// Lower skyline matrix.
@@ -133,10 +135,7 @@ impl SparseView for Sky<f64> {
         let mut v = sky_format_view();
         let (b, mut g) = detect_properties(&self.entries(), self.n, self.n);
         v.bounds = b;
-        if !g
-            .iter()
-            .any(|x| matches!(x, StoredGuarantee::FullDiagonal))
-        {
+        if !g.iter().any(|x| matches!(x, StoredGuarantee::FullDiagonal)) {
             g.push(StoredGuarantee::FullDiagonal);
         }
         v.guarantees = g;
@@ -177,7 +176,13 @@ impl SparseView for Sky<f64> {
         true
     }
 
-    fn search(&self, chain: usize, level: usize, parent: Position, keys: &[i64]) -> Option<Position> {
+    fn search(
+        &self,
+        chain: usize,
+        level: usize,
+        parent: Position,
+        keys: &[i64],
+    ) -> Option<Position> {
         assert_eq!(chain, 0);
         let k = keys[0];
         if k < 0 {

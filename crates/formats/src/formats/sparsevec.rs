@@ -126,7 +126,13 @@ impl SparseView for SparseVec<f64> {
         true
     }
 
-    fn search(&self, chain: usize, level: usize, _parent: Position, keys: &[i64]) -> Option<Position> {
+    fn search(
+        &self,
+        chain: usize,
+        level: usize,
+        _parent: Position,
+        keys: &[i64],
+    ) -> Option<Position> {
         assert_eq!((chain, level), (0, 0));
         if keys[0] < 0 {
             return None;
@@ -247,7 +253,13 @@ impl SparseView for HashVec<f64> {
         true
     }
 
-    fn search(&self, chain: usize, level: usize, _parent: Position, keys: &[i64]) -> Option<Position> {
+    fn search(
+        &self,
+        chain: usize,
+        level: usize,
+        _parent: Position,
+        keys: &[i64],
+    ) -> Option<Position> {
         assert_eq!((chain, level), (0, 0));
         if keys[0] < 0 {
             return None;
@@ -292,12 +304,24 @@ mod tests {
     fn search_kinds() {
         let sv = SparseVec::from_pairs(10, &[(3, 1.0), (6, 2.0)]);
         let hv = HashVec::from_pairs(10, &[(3, 1.0), (6, 2.0)]);
-        assert_eq!(sv.search(0, 0, 0, &[6]).map(|p| sv.value_at(0, p)), Some(2.0));
-        assert_eq!(hv.search(0, 0, 0, &[6]).map(|p| hv.value_at(0, p)), Some(2.0));
+        assert_eq!(
+            sv.search(0, 0, 0, &[6]).map(|p| sv.value_at(0, p)),
+            Some(2.0)
+        );
+        assert_eq!(
+            hv.search(0, 0, 0, &[6]).map(|p| hv.value_at(0, p)),
+            Some(2.0)
+        );
         assert_eq!(sv.search(0, 0, 0, &[5]), None);
         assert_eq!(hv.search(0, 0, 0, &[5]), None);
-        assert_eq!(sv.format_view().alternatives()[0][0].levels[0].search, SearchKind::Sorted);
-        assert_eq!(hv.format_view().alternatives()[0][0].levels[0].search, SearchKind::Hash);
+        assert_eq!(
+            sv.format_view().alternatives()[0][0].levels[0].search,
+            SearchKind::Sorted
+        );
+        assert_eq!(
+            hv.format_view().alternatives()[0][0].levels[0].search,
+            SearchKind::Hash
+        );
     }
 
     #[test]

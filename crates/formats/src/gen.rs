@@ -16,7 +16,10 @@ use rand::{Rng, SeedableRng};
 /// Uniformly random sparse matrix with exactly `nnz` distinct stored
 /// positions (values in `[-1, 1)`).
 pub fn random_sparse(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> Triplets<f64> {
-    assert!(nnz <= nrows * ncols, "requested more entries than positions");
+    assert!(
+        nnz <= nrows * ncols,
+        "requested more entries than positions"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut seen = std::collections::HashSet::with_capacity(nnz * 2);
     let mut t = Triplets::new(nrows, ncols);
@@ -249,11 +252,7 @@ mod tests {
         assert_eq!(s.nrows, 1072);
         assert_eq!(s.ncols, 1072);
         // Within a pair of the Harwell–Boeing count (12444).
-        assert!(
-            (s.nnz as i64 - 12444).abs() <= 2,
-            "nnz = {}",
-            s.nnz
-        );
+        assert!((s.nnz as i64 - 12444).abs() <= 2, "nnz = {}", s.nnz);
         assert!(s.structurally_symmetric);
         // Full diagonal present.
         for i in 0..1072 {

@@ -31,6 +31,7 @@ pub mod cursor;
 pub mod formats;
 pub mod gen;
 pub mod io;
+pub mod partition;
 pub mod scalar;
 pub mod triplet;
 pub mod view;
@@ -48,7 +49,9 @@ pub use formats::sky::Sky;
 pub use formats::sparsevec::{HashVec, SparseVec};
 pub use scalar::Scalar;
 pub use triplet::Triplets;
-pub use view::{Chain, FlatLevel, FormatView, Order, SearchKind, StoredGuarantee, Transform, ViewExpr};
+pub use view::{
+    Chain, FlatLevel, FormatView, Order, SearchKind, StoredGuarantee, Transform, ViewExpr,
+};
 
 /// The high-level (dense) API: what the algorithm designer programs
 /// against. Everything is addressed by dense row/column coordinates;

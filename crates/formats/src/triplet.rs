@@ -43,7 +43,10 @@ impl<T: Scalar> Triplets<T> {
     /// # Panics
     /// Panics if the coordinate is out of range.
     pub fn push(&mut self, r: usize, c: usize, v: T) {
-        assert!(r < self.nrows && c < self.ncols, "entry ({r},{c}) out of range");
+        assert!(
+            r < self.nrows && c < self.ncols,
+            "entry ({r},{c}) out of range"
+        );
         self.entries.push((r, c, v));
     }
 
@@ -198,11 +201,7 @@ mod tests {
 
     #[test]
     fn lower_triangle() {
-        let t = Triplets::from_entries(
-            3,
-            3,
-            &[(0, 1, 9.0), (1, 0, 2.0), (2, 2, 3.0), (2, 0, 4.0)],
-        );
+        let t = Triplets::from_entries(3, 3, &[(0, 1, 9.0), (1, 0, 2.0), (2, 2, 3.0), (2, 0, 4.0)]);
         let l = t.lower_triangle_full_diag(1.0);
         assert_eq!(l.get(0, 1), 0.0); // upper dropped
         assert_eq!(l.get(1, 0), 2.0);

@@ -291,9 +291,12 @@ impl FormatView {
 
     /// True if the format guarantees storage of the whole diagonal.
     pub fn has_full_diagonal(&self) -> bool {
-        self.guarantees
-            .iter()
-            .any(|g| matches!(g, StoredGuarantee::FullDiagonal | StoredGuarantee::AllPositions))
+        self.guarantees.iter().any(|g| {
+            matches!(
+                g,
+                StoredGuarantee::FullDiagonal | StoredGuarantee::AllPositions
+            )
+        })
     }
 }
 
@@ -408,10 +411,7 @@ fn flatten(e: &ViewExpr) -> Vec<Vec<Chain>> {
     }
 }
 
-fn map_chains(
-    alts: Vec<Vec<Chain>>,
-    f: impl Fn(&mut Chain) + Copy,
-) -> Vec<Vec<Chain>> {
+fn map_chains(alts: Vec<Vec<Chain>>, f: impl Fn(&mut Chain) + Copy) -> Vec<Vec<Chain>> {
     alts.into_iter()
         .map(|alt| {
             alt.into_iter()

@@ -206,10 +206,7 @@ impl Program {
                 match n {
                     Node::Loop(l) => {
                         if p.params.iter().any(|q| q == &l.var) {
-                            return Err(format!(
-                                "loop variable {:?} shadows a parameter",
-                                l.var
-                            ));
+                            return Err(format!("loop variable {:?} shadows a parameter", l.var));
                         }
                         if scope.iter().any(|s| s == &l.var) {
                             return Err(format!("loop variable {:?} shadows an outer loop", l.var));

@@ -210,10 +210,7 @@ fn build_class(
     match level {
         Some(l) => {
             for k in 0..l {
-                sys.add_eq(
-                    &LinExpr::var(n, src_vars[k]),
-                    &LinExpr::var(n, dst_vars[k]),
-                );
+                sys.add_eq(&LinExpr::var(n, src_vars[k]), &LinExpr::var(n, dst_vars[k]));
             }
             // src_l + 1 <= dst_l
             let lhs = &LinExpr::var(n, dst_vars[l]) - &LinExpr::var(n, src_vars[l]);
@@ -222,10 +219,7 @@ fn build_class(
         None => {
             let shared = s.shared_loops(d);
             for k in 0..shared {
-                sys.add_eq(
-                    &LinExpr::var(n, src_vars[k]),
-                    &LinExpr::var(n, dst_vars[k]),
-                );
+                sys.add_eq(&LinExpr::var(n, src_vars[k]), &LinExpr::var(n, dst_vars[k]));
             }
         }
     }
@@ -290,9 +284,9 @@ mod tests {
 
         // D1 (paper): S1 writes b[j], S2 reads b[j]: flow S1 -> S2 with
         // j1 = j2 (loop-independent: same j iteration, S1 textually first).
-        let d1 = classes.iter().find(|c| {
-            c.src == 0 && c.dst == 1 && c.kind == DepKind::Flow && c.level.is_none()
-        });
+        let d1 = classes
+            .iter()
+            .find(|c| c.src == 0 && c.dst == 1 && c.kind == DepKind::Flow && c.level.is_none());
         assert!(d1.is_some(), "missing D1 among {:?}", summaries(&classes));
         // Its polyhedron must contain (j@s, j@d, i@d, N) = (1, 1, 2, 5)
         // and exclude j@s != j@d.
@@ -302,9 +296,9 @@ mod tests {
 
         // D2 (paper): S2 writes b[i], S1 reads b[j] with j1 = i2, carried
         // by the outer j loop (j2 < j1): here the *source* is S2.
-        let d2 = classes.iter().find(|c| {
-            c.src == 1 && c.dst == 0 && c.kind == DepKind::Flow && c.level == Some(0)
-        });
+        let d2 = classes
+            .iter()
+            .find(|c| c.src == 1 && c.dst == 0 && c.kind == DepKind::Flow && c.level == Some(0));
         assert!(d2.is_some(), "missing D2 among {:?}", summaries(&classes));
         // vars: [j@s, i@s, j@d, N]; point j@s=0, i@s=2, j@d=2, N=5 is in D2.
         let d2 = d2.unwrap();

@@ -150,7 +150,9 @@ fn read_ref(r: &LhsRef, ivars: &HashMap<String, i64>, env: &DenseEnv) -> Result<
         }
         let (i, j) = (idxs[0], idxs[1]);
         if i < 0 || j < 0 || i as usize >= m.nrows() || j as usize >= m.ncols() {
-            return Err(ExecError(format!("matrix access {r} out of range at ({i},{j})")));
+            return Err(ExecError(format!(
+                "matrix access {r} out of range at ({i},{j})"
+            )));
         }
         return Ok(m.get(i as usize, j as usize));
     }

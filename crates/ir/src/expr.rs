@@ -288,7 +288,10 @@ mod tests {
         // (2i + j + 1)[i := j + 3] = 2j + 6 + j + 1 = 3j + 7
         let e = AffineExpr::from_terms(&[("i", 2), ("j", 1)], 1);
         let repl = AffineExpr::from_terms(&[("j", 1)], 3);
-        assert_eq!(e.substitute("i", &repl), AffineExpr::from_terms(&[("j", 3)], 7));
+        assert_eq!(
+            e.substitute("i", &repl),
+            AffineExpr::from_terms(&[("j", 3)], 7)
+        );
         // substituting an absent var is identity
         assert_eq!(e.substitute("z", &repl), e);
     }

@@ -36,7 +36,9 @@ pub mod exec;
 pub mod expr;
 pub mod parser;
 
-pub use ast::{ArrayDecl, ArrayKind, LhsRef, Loop, Node, Program, Role, Statement, StmtInfo, ValueExpr};
+pub use ast::{
+    ArrayDecl, ArrayKind, LhsRef, Loop, Node, Program, Role, Statement, StmtInfo, ValueExpr,
+};
 pub use deps::{analyze, DepClass, DepKind};
 pub use exec::{run_dense, DenseEnv};
 pub use expr::AffineExpr;

@@ -157,10 +157,7 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.toks
-            .get(self.i)
-            .map(|&(_, o)| o)
-            .unwrap_or(usize::MAX)
+        self.toks.get(self.i).map(|&(_, o)| o).unwrap_or(usize::MAX)
     }
 
     fn error(&self, msg: impl Into<String>) -> ParseError {

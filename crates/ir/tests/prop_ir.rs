@@ -8,17 +8,13 @@ use proptest::prelude::*;
 /// A small random affine expression over the given variables.
 fn arb_affine(vars: Vec<String>) -> impl Strategy<Value = AffineExpr> {
     let nv = vars.len();
-    (
-        proptest::collection::vec(-3i64..=3, nv),
-        -4i64..=4,
-    )
-        .prop_map(move |(coeffs, cst)| {
-            let mut e = AffineExpr::constant(cst);
-            for (v, c) in vars.iter().zip(coeffs) {
-                e.add_term(v, c);
-            }
-            e
-        })
+    (proptest::collection::vec(-3i64..=3, nv), -4i64..=4).prop_map(move |(coeffs, cst)| {
+        let mut e = AffineExpr::constant(cst);
+        for (v, c) in vars.iter().zip(coeffs) {
+            e.add_term(v, c);
+        }
+        e
+    })
 }
 
 /// A random single-loop program over one vector.

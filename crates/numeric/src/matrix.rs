@@ -409,11 +409,7 @@ mod tests {
 
     #[test]
     fn rational_entries() {
-        let a = Matrix::from_vec(
-            1,
-            2,
-            vec![Rational::new(1, 2), Rational::new(1, 3)],
-        );
+        let a = Matrix::from_vec(1, 2, vec![Rational::new(1, 2), Rational::new(1, 3)]);
         let x = a.solve(&[Rational::new(5, 6)]).unwrap();
         assert_eq!(a.mul_vec(&x), vec![Rational::new(5, 6)]);
     }

@@ -199,8 +199,14 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // Compare a/b vs c/d as a*d vs c*b (denominators positive).
-        let lhs = self.num.checked_mul(other.den).expect("rational cmp overflow");
-        let rhs = other.num.checked_mul(self.den).expect("rational cmp overflow");
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational cmp overflow");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational cmp overflow");
         lhs.cmp(&rhs)
     }
 }
@@ -410,7 +416,11 @@ mod tests {
 
     #[test]
     fn sum_product() {
-        let v = [Rational::new(1, 2), Rational::new(1, 3), Rational::new(1, 6)];
+        let v = [
+            Rational::new(1, 2),
+            Rational::new(1, 3),
+            Rational::new(1, 6),
+        ];
         assert_eq!(v.iter().copied().sum::<Rational>(), Rational::ONE);
         let p: Rational = v.iter().copied().product();
         assert_eq!(p, Rational::new(1, 36));

@@ -91,7 +91,10 @@ impl LinExpr {
         assert!(n >= self.coeffs.len());
         let mut coeffs = self.coeffs.clone();
         coeffs.resize(n, Rational::ZERO);
-        LinExpr { coeffs, cst: self.cst }
+        LinExpr {
+            coeffs,
+            cst: self.cst,
+        }
     }
 
     /// Scales all denominators away and divides by the content, producing
@@ -132,11 +135,7 @@ impl LinExpr {
                     if c.is_zero() {
                         continue;
                     }
-                    let name = self
-                        .1
-                        .get(i)
-                        .map(|s| s.as_str())
-                        .unwrap_or("?");
+                    let name = self.1.get(i).map(|s| s.as_str()).unwrap_or("?");
                     if first {
                         if c == Rational::ONE {
                             write!(f, "{name}")?;

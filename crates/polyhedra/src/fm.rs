@@ -38,7 +38,10 @@ pub fn eliminate_var(sys: &System, j: usize) -> System {
                 e.add_scaled(&eq.expr, -(cj / a));
             }
             debug_assert!(e.coeffs[j].is_zero());
-            out.add(Constraint { expr: e, kind: c.kind });
+            out.add(Constraint {
+                expr: e,
+                kind: c.kind,
+            });
         }
         out.drop_var_column(j);
         return out;
@@ -96,8 +99,8 @@ fn prune_dominated(sys: &mut System) {
             if a.expr.coeffs == b.expr.coeffs {
                 // Same normal vector: the row with the *larger* constant is
                 // weaker. Keep the tighter one; break ties by index.
-                let redundant = a.expr.cst > b.expr.cst
-                    || (a.expr.cst == b.expr.cst && i > k && keep[k]);
+                let redundant =
+                    a.expr.cst > b.expr.cst || (a.expr.cst == b.expr.cst && i > k && keep[k]);
                 if redundant {
                     keep[i] = false;
                 }

@@ -333,9 +333,7 @@ pub fn chain_constraints(
         .levels
         .iter()
         .enumerate()
-        .flat_map(|(l, lev)| {
-            lev.attrs.iter().enumerate().map(move |(s, a)| (l, s, a))
-        })
+        .flat_map(|(l, lev)| lev.attrs.iter().enumerate().map(move |(s, a)| (l, s, a)))
         .filter_map(|(l, s, a)| {
             dims.iter()
                 .find(|d| d.level == l && d.slot == s)
@@ -381,7 +379,11 @@ pub fn dim_value_in_dense(r: &RefInst, dim_idx: usize) -> Option<AffineExpr> {
     }
     for t in &r.chain.inv {
         if let Transform::Affine { out, terms, cst } = t {
-            if out == attr && terms.iter().all(|(a, _)| r.dense_attrs.iter().any(|d| d == a)) {
+            if out == attr
+                && terms
+                    .iter()
+                    .all(|(a, _)| r.dense_attrs.iter().any(|d| d == a))
+            {
                 let mut e = AffineExpr::constant(*cst);
                 for (a, c) in terms {
                     e.add_term(a, *c);
@@ -491,7 +493,10 @@ mod tests {
         let r1 = &cfgs[0].refs[1]; // S2: L[i][j]
         assert_eq!(r1.dims[0].attr, "d");
         // d = r - c = i - j
-        assert_eq!(r1.dims[0].value, AffineExpr::from_terms(&[("i", 1), ("j", -1)], 0));
+        assert_eq!(
+            r1.dims[0].value,
+            AffineExpr::from_terms(&[("i", 1), ("j", -1)], 0)
+        );
         assert_eq!(r1.dims[1].attr, "o");
         assert!(r1.dims[1].value.is_var("j"));
     }

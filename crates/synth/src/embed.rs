@@ -112,8 +112,7 @@ fn foreign_expr(
             .map(|(v, _, _)| v.as_str())
             .collect();
         let all_shared = expr.vars().iter().all(|v| {
-            shared_vars.contains(v)
-                || !cfg.stmts[owner].info.loops.iter().any(|(lv, _, _)| lv == v)
+            shared_vars.contains(v) || !cfg.stmts[owner].info.loops.iter().any(|(lv, _, _)| lv == v)
         });
         if all_shared {
             return expr.clone();

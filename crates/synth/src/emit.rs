@@ -89,7 +89,11 @@ fn subst_index(e: &ExecStmt, idx: &bernoulli_ir::AffineExpr, params: &[String]) 
             out.add_term(Atom::Var(v.to_string()), c);
             continue;
         }
-        let (pe, d) = e.bindings.iter().find(|(bv, _, _)| bv == v).map(|(_, pe, d)| (pe, d))?;
+        let (pe, d) = e
+            .bindings
+            .iter()
+            .find(|(bv, _, _)| bv == v)
+            .map(|(_, pe, d)| (pe, d))?;
         if *d != 1 {
             return None;
         }
@@ -187,7 +191,12 @@ fn find_promotion(p: &Program, plan: &Plan) -> Option<Promotion> {
         if e.sources[0].is_some() {
             return None; // sparse write
         }
-        if e.bindings.iter().any(|(_, _, d)| *d != 1) || e.guards.iter().find(|g| matches!(g, Guard::Divides(..))).is_some() {
+        if e.bindings.iter().any(|(_, _, d)| *d != 1)
+            || e.guards
+                .iter()
+                .find(|g| matches!(g, Guard::Divides(..)))
+                .is_some()
+        {
             return None;
         }
         let idx = subst_index(e, &e.body.lhs.idxs[0], &p.params)?;
@@ -331,7 +340,11 @@ fn find_deferred_div(
         if k == div_idx || e.depth != nsteps {
             continue;
         }
-        if !e.guards.iter().any(|g| matches!(g, Guard::Ge(h) if pexpr_eq(h, &before))) {
+        if !e
+            .guards
+            .iter()
+            .any(|g| matches!(g, Guard::Ge(h) if pexpr_eq(h, &before)))
+        {
             return None;
         }
     }
@@ -453,16 +466,19 @@ impl Emitter<'_> {
                 e.terms.iter().all(|(a, _)| matches!(a, Atom::Slot(_)))
             };
             if inner.len() == 2
-                && inner.iter().all(|e| e.guards.len() == 1 && slot_only(&e.guards[0]))
-                && inner.iter().all(|e| e.bindings.iter().all(|(_, _, d)| *d == 1))
+                && inner
+                    .iter()
+                    .all(|e| e.guards.len() == 1 && slot_only(&e.guards[0]))
+                && inner
+                    .iter()
+                    .all(|e| e.bindings.iter().all(|(_, _, d)| *d == 1))
                 && guards_disjoint(&inner[0].guards[0], &inner[1].guards[0])
             {
-                let (first, second) =
-                    if matches!(inner[0].guards[0], Guard::Ge(_)) {
-                        (&inner[0], &inner[1])
-                    } else {
-                        (&inner[1], &inner[0])
-                    };
+                let (first, second) = if matches!(inner[0].guards[0], Guard::Ge(_)) {
+                    (&inner[0], &inner[1])
+                } else {
+                    (&inner[1], &inner[0])
+                };
                 self.exec_chained(first, second)?;
                 return Ok(());
             }
@@ -608,7 +624,9 @@ impl Emitter<'_> {
                 self.line(&format!("let {v0} = {m}.diags[{pv}];"));
             }
             ("dia", 0, 1) => {
-                self.line(&format!("for {v0} in {m}.lo[{parent}]..{m}.hi[{parent}] {{"));
+                self.line(&format!(
+                    "for {v0} in {m}.lo[{parent}]..{m}.hi[{parent}] {{"
+                ));
                 self.indent += 1;
                 self.line(&format!(
                     "let {pv} = {m}.ptr[{parent}] + ({v0} - {m}.lo[{parent}]) as usize;"
@@ -858,7 +876,11 @@ impl Emitter<'_> {
                 ok_var(r2, l2),
                 pos_var(r2, l2)
             ));
-            self.line(&format!("let _ = ({}, {});", ok_var(r2, l2), pos_var(r2, l2)));
+            self.line(&format!(
+                "let _ = ({}, {});",
+                ok_var(r2, l2),
+                pos_var(r2, l2)
+            ));
         }
         Ok(())
     }

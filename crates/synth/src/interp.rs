@@ -166,7 +166,8 @@ impl Runtime<'_, '_, '_> {
                     return Ok(());
                 }
                 let view = self.view(&primary.matrix)?;
-                let mut cur = view.cursor(primary.chain, primary.level, parent, step.dir == Dir::Rev);
+                let mut cur =
+                    view.cursor(primary.chain, primary.level, parent, step.dir == Dir::Rev);
                 // We cannot hold `view` across the mutable recursion;
                 // re-fetch inside the loop.
                 loop {
@@ -328,7 +329,10 @@ impl Runtime<'_, '_, '_> {
     fn run_exec(&mut self, ei: usize) -> Result<(), PlanError> {
         let e = &self.plan.execs[ei];
         // Required refs present?
-        if e.required_refs.iter().any(|&r| self.missing_at[r].is_some()) {
+        if e.required_refs
+            .iter()
+            .any(|&r| self.missing_at[r].is_some())
+        {
             return Ok(());
         }
         // Bindings.
@@ -366,18 +370,11 @@ impl Runtime<'_, '_, '_> {
         let e = &self.plan.execs[ei];
         match &e.sources[0] {
             None => {
-                let idx: Vec<i64> = e
-                    .body
-                    .lhs
-                    .idxs
-                    .iter()
-                    .map(|x| x.eval(&vars))
-                    .collect();
-                let vec = self
-                    .env
-                    .vectors
-                    .get_mut(&e.body.lhs.array)
-                    .ok_or_else(|| PlanError(format!("vector {:?} not bound", e.body.lhs.array)))?;
+                let idx: Vec<i64> = e.body.lhs.idxs.iter().map(|x| x.eval(&vars)).collect();
+                let vec =
+                    self.env.vectors.get_mut(&e.body.lhs.array).ok_or_else(|| {
+                        PlanError(format!("vector {:?} not bound", e.body.lhs.array))
+                    })?;
                 let i = idx[0];
                 if idx.len() != 1 || i < 0 || i as usize >= vec.len() {
                     return Err(PlanError(format!(
@@ -412,14 +409,11 @@ impl Runtime<'_, '_, '_> {
                 match exec.sources.get(access).and_then(|s| s.as_ref()) {
                     Some(ValueSource::Position { ref_id }) => {
                         let meta = &self.plan.refs[*ref_id];
-                        let pos = *self
-                            .pos
-                            .get(&(*ref_id, meta.levels - 1))
-                            .ok_or_else(|| {
-                                PlanError(format!(
-                                    "reference {ref_id} has no innermost position (read {r})"
-                                ))
-                            })?;
+                        let pos = *self.pos.get(&(*ref_id, meta.levels - 1)).ok_or_else(|| {
+                            PlanError(format!(
+                                "reference {ref_id} has no innermost position (read {r})"
+                            ))
+                        })?;
                         self.view(&meta.matrix)?.value_at(meta.chain, pos)
                     }
                     Some(ValueSource::Random { ref_id }) => {

@@ -145,15 +145,7 @@ pub fn check_legality(
                 if dcopy.orig != class.dst {
                     continue;
                 }
-                if let Some(v) = walk_class(
-                    cfg,
-                    space,
-                    emb,
-                    class,
-                    sk,
-                    dk,
-                    &mut must_increase,
-                ) {
+                if let Some(v) = walk_class(cfg, space, emb, class, sk, dk, &mut must_increase) {
                     return Legality {
                         ok: false,
                         must_increase,
@@ -382,7 +374,8 @@ mod tests {
         assert!(leg.must_increase[0], "i must increase");
         // Reverse the embedding (i -> -i): illegal.
         let mut emb2 = emb.clone();
-        emb2.maps[0][0] = &(-&bernoulli_ir::AffineExpr::var("i")) + &bernoulli_ir::AffineExpr::constant(0);
+        emb2.maps[0][0] =
+            &(-&bernoulli_ir::AffineExpr::var("i")) + &bernoulli_ir::AffineExpr::constant(0);
         let leg2 = check_legality(&cfg, &space, &emb2, &deps, &relax, true);
         assert!(!leg2.ok);
     }

@@ -244,12 +244,31 @@ pub fn lower_plans(
     };
     let mut done: Vec<LState> = Vec::new();
     explore(
-        p, cfg, space, emb, groups, must_increase, views, &stepped, 0, init, &mut done,
+        p,
+        cfg,
+        space,
+        emb,
+        groups,
+        must_increase,
+        views,
+        &stepped,
+        0,
+        init,
+        &mut done,
     );
     done.into_iter()
         .filter_map(|st| {
             finish_plan(
-                p, cfg, space, emb, groups, views, deps, relaxable, relax_reductions, st,
+                p,
+                cfg,
+                space,
+                emb,
+                groups,
+                views,
+                deps,
+                relaxable,
+                relax_reductions,
+                st,
             )
         })
         .collect()
@@ -307,13 +326,31 @@ fn explore(
     }
     for &(r, l) in &primaries {
         if let Some(next) = try_level_source(
-            cfg, space, emb, groups, must_increase, stepped, gi, &st, r, l,
+            cfg,
+            space,
+            emb,
+            groups,
+            must_increase,
+            stepped,
+            gi,
+            &st,
+            r,
+            l,
         ) {
             tried_any = true;
             let consumed = consumed_groups(cfg, space, groups, stepped, gi, r, l);
             explore(
-                p, cfg, space, emb, groups, must_increase, views, stepped,
-                gi + consumed, next, done,
+                p,
+                cfg,
+                space,
+                emb,
+                groups,
+                must_increase,
+                views,
+                stepped,
+                gi + consumed,
+                next,
+                done,
             );
         }
     }
@@ -328,12 +365,30 @@ fn explore(
                 continue;
             }
             if let Some(next) = try_merge_source(
-                cfg, space, emb, groups, must_increase, stepped, gi, &st, (ra, la), (rb, lb),
+                cfg,
+                space,
+                emb,
+                groups,
+                must_increase,
+                stepped,
+                gi,
+                &st,
+                (ra, la),
+                (rb, lb),
             ) {
                 tried_any = true;
                 explore(
-                    p, cfg, space, emb, groups, must_increase, views, stepped,
-                    gi + 1, next, done,
+                    p,
+                    cfg,
+                    space,
+                    emb,
+                    groups,
+                    must_increase,
+                    views,
+                    stepped,
+                    gi + 1,
+                    next,
+                    done,
                 );
             }
         }
@@ -341,11 +396,30 @@ fn explore(
 
     // Option C: interval enumeration + searches.
     if let Some(next) = try_interval_source(
-        p, cfg, space, emb, groups, stepped, gi, &st, &participants, has_iter,
+        p,
+        cfg,
+        space,
+        emb,
+        groups,
+        stepped,
+        gi,
+        &st,
+        &participants,
+        has_iter,
     ) {
         tried_any = true;
         explore(
-            p, cfg, space, emb, groups, must_increase, views, stepped, gi + 1, next, done,
+            p,
+            cfg,
+            space,
+            emb,
+            groups,
+            must_increase,
+            views,
+            stepped,
+            gi + 1,
+            next,
+            done,
         );
     }
 
@@ -435,10 +509,7 @@ fn try_level_source(
         for &d in &groups.groups[g] {
             if must_increase[d] {
                 // The per-dim value order of the primary's dims.
-                let prim_dim = rinst
-                    .dims
-                    .iter()
-                    .find(|rd| rd.level == l && rd.slot == s)?;
+                let prim_dim = rinst.dims.iter().find(|rd| rd.level == l && rd.slot == s)?;
                 if prim_dim.order != Order::Increasing {
                     return None;
                 }
@@ -463,7 +534,13 @@ fn try_level_source(
     }
 
     // Position the primary; mark restriction if the level is compressed.
-    position_ref(&mut next, r, l, hash2(1, r as u64 * 31 + l as u64), !level.interval);
+    position_ref(
+        &mut next,
+        r,
+        l,
+        hash2(1, r as u64 * 31 + l as u64),
+        !level.interval,
+    );
 
     // Other participants of the consumed groups.
     let mut sharers: Vec<(usize, usize)> = Vec::new();
@@ -478,7 +555,15 @@ fn try_level_source(
                 let rd = &cfg.refs[ref_id].dims[dim_idx];
                 // Record this attr's value for the pending level binding.
                 let slot = next.dim_slot[&d];
-                record_pending(&mut next, cfg, ref_id, rd.level, rd.slot, PExpr::slot(slot), rd.perm.clone());
+                record_pending(
+                    &mut next,
+                    cfg,
+                    ref_id,
+                    rd.level,
+                    rd.slot,
+                    PExpr::slot(slot),
+                    rd.perm.clone(),
+                );
                 // Sharing: same matrix, same chain, same provenance above.
                 let other = &cfg.refs[ref_id];
                 let can_share = other.matrix == rinst.matrix
@@ -498,7 +583,13 @@ fn try_level_source(
     }
     for &(ref_id, lev) in &sharers {
         // Sharers adopt the primary's provenance.
-        position_ref(&mut next, ref_id, lev, hash2(1, r as u64 * 31 + l as u64), !level.interval);
+        position_ref(
+            &mut next,
+            ref_id,
+            lev,
+            hash2(1, r as u64 * 31 + l as u64),
+            !level.interval,
+        );
         // Their pending entry is resolved by sharing.
         next.pending.remove(&(ref_id, lev));
     }
@@ -608,7 +699,15 @@ fn try_merge_source(
                 continue;
             }
             let rd = &cfg.refs[ref_id].dims[dim_idx];
-            record_pending(&mut next, cfg, ref_id, rd.level, rd.slot, PExpr::slot(slot), rd.perm.clone());
+            record_pending(
+                &mut next,
+                cfg,
+                ref_id,
+                rd.level,
+                rd.slot,
+                PExpr::slot(slot),
+                rd.perm.clone(),
+            );
         }
     }
     record_equations(cfg, space, emb, groups, stepped, gi, 1, &mut next, false);
@@ -657,8 +756,7 @@ fn try_interval_source(
 ) -> Option<LState> {
     let g = stepped[gi];
     // Determine bounds.
-    let bounds: Option<(PExpr, PExpr)> = if let Some(&(r, _l, _s, dim_idx)) = participants.first()
-    {
+    let bounds: Option<(PExpr, PExpr)> = if let Some(&(r, _l, _s, dim_idx)) = participants.first() {
         // Data-led: the range of the dimension's dense image (e.g. the
         // column extent for DIA's offset `o = c`, `[-(N-1), M)` for its
         // diagonal `d = r - c`).
@@ -705,7 +803,15 @@ fn try_interval_source(
     for &(r, l, s, dim_idx) in participants {
         let rd = &cfg.refs[r].dims[dim_idx];
         let _ = s;
-        record_pending(&mut next, cfg, r, l, rd.slot, PExpr::slot(slot), rd.perm.clone());
+        record_pending(
+            &mut next,
+            cfg,
+            r,
+            l,
+            rd.slot,
+            PExpr::slot(slot),
+            rd.perm.clone(),
+        );
     }
     record_equations(cfg, space, emb, groups, stepped, gi, 1, &mut next, true);
     flush_pending(cfg, &mut next);
@@ -734,9 +840,7 @@ fn hash2(tag: u64, x: u64) -> u64 {
 }
 
 fn prov_equal(st: &LState, a: usize, b: usize, upto_level: usize) -> bool {
-    (0..upto_level).all(|l| {
-        st.prov.get(&(a, l)).copied() == st.prov.get(&(b, l)).copied()
-    })
+    (0..upto_level).all(|l| st.prov.get(&(a, l)).copied() == st.prov.get(&(b, l)).copied())
 }
 
 fn position_ref(st: &mut LState, r: usize, l: usize, prov: u64, compressed: bool) {
@@ -791,10 +895,7 @@ fn flush_pending(cfg: &Config, st: &mut LState) {
         for (r, l) in ready {
             let keys = st.pending.get(&(r, l)).unwrap();
             let rinst = &cfg.refs[r];
-            let content = format!(
-                "{}#{}@{l}:{:?}",
-                rinst.matrix, rinst.chain.id, keys
-            );
+            let content = format!("{}#{}@{l}:{:?}", rinst.matrix, rinst.chain.id, keys);
             match by_content.iter_mut().find(|(c, _)| *c == content) {
                 Some((_, v)) => v.push((r, l)),
                 None => by_content.push((content, vec![(r, l)])),
@@ -932,7 +1033,7 @@ fn extent_range(
     let mut hi = PExpr::constant(image.cst());
     for (a, c) in image.terms() {
         let ext = extent_expr(p, &rinst.matrix, a)?; // exclusive bound
-        // max attr value is ext - 1.
+                                                     // max attr value is ext - 1.
         if c > 0 {
             for (at, cc) in &ext.terms {
                 hi.add_term(at.clone(), c * cc);
@@ -987,11 +1088,7 @@ fn affine_to_pexpr(
 /// Greedy multi-pass solution of a statement's match equations:
 /// `var -> (expr over slots/params, divisor)`. Only *real* equations
 /// participate.
-fn solve_bindings(
-    cfg: &Config,
-    stmt: usize,
-    eqs: &[EqItem],
-) -> HashMap<String, (PExpr, i64)> {
+fn solve_bindings(cfg: &Config, stmt: usize, eqs: &[EqItem]) -> HashMap<String, (PExpr, i64)> {
     let loops: Vec<String> = cfg.stmts[stmt]
         .info
         .loops
@@ -1164,8 +1261,7 @@ fn finish_plan(
         for &rid in &scopy.refs {
             let rinst = &cfg.refs[rid];
             let nlevels = rinst.chain.levels.len();
-            let full = (0..nlevels)
-                .all(|l| st.positioned.get(&(rid, l)).copied().unwrap_or(false));
+            let full = (0..nlevels).all(|l| st.positioned.get(&(rid, l)).copied().unwrap_or(false));
             // An aggregation (∪) copy covers exactly its chain's stored
             // entries; it must reach them *through the chain* (full
             // positioning), or a random-access fallback would re-read
@@ -1281,8 +1377,10 @@ fn finish_plan(
                     return None;
                 }
                 if exec_known.implies(&g) {
-                    st.notes
-                        .push(format!("S{}.{k}: dropped implied bound {g}", scopy.orig + 1));
+                    st.notes.push(format!(
+                        "S{}.{k}: dropped implied bound {g}",
+                        scopy.orig + 1
+                    ));
                 } else {
                     guards.push(g);
                 }
@@ -1465,12 +1563,7 @@ fn add_stored_entry_knowledge(
             .enumerate()
             .flat_map(|(l, lev)| lev.attrs.iter().enumerate().map(move |(sl, a)| (l, sl, a)))
             .find(|(_, _, a)| a.as_str() == attr)
-            .and_then(|(l, sl, _)| {
-                rinst
-                    .dims
-                    .iter()
-                    .position(|d| d.level == l && d.slot == sl)
-            })
+            .and_then(|(l, sl, _)| rinst.dims.iter().position(|d| d.level == l && d.slot == sl))
             .and_then(|di| {
                 space.dims.iter().position(|sd| {
                     matches!(sd.kind, DimKind::Data { ref_id: r2, dim_idx }
@@ -1570,12 +1663,7 @@ fn add_view_bound_knowledge(
 /// polyhedron over `[loop vars..., params...]`, with the name→index map.
 fn copy_domain(p: &Program, cfg: &Config, k: usize) -> (System, HashMap<String, usize>) {
     let scopy = &cfg.stmts[k];
-    let mut names: Vec<String> = scopy
-        .info
-        .loops
-        .iter()
-        .map(|(v, _, _)| v.clone())
-        .collect();
+    let mut names: Vec<String> = scopy.info.loops.iter().map(|(v, _, _)| v.clone()).collect();
     for q in &p.params {
         names.push(q.clone());
     }
@@ -1775,9 +1863,7 @@ fn verify_exec_order(
                 if de.orig != class.dst {
                     continue;
                 }
-                verify_pair(
-                    cfg, class, se, de, sei, dei, eqs, steps, step_ordered,
-                )?;
+                verify_pair(cfg, class, se, de, sei, dei, eqs, steps, step_ordered)?;
             }
         }
     }

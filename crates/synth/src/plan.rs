@@ -76,11 +76,7 @@ impl PExpr {
     ///
     /// # Panics
     /// Panics on an unbound variable or out-of-range slot.
-    pub fn eval(
-        &self,
-        slots: &[i64],
-        vars: &std::collections::HashMap<String, i64>,
-    ) -> i64 {
+    pub fn eval(&self, slots: &[i64], vars: &std::collections::HashMap<String, i64>) -> i64 {
         let mut acc = self.cst;
         for (a, c) in &self.terms {
             let v = match a {
@@ -152,7 +148,11 @@ pub struct LevelRef {
 
 impl fmt::Display for LevelRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}#{}[chain {} level {}]", self.matrix, self.ref_id, self.chain, self.level)
+        write!(
+            f,
+            "{}#{}[chain {} level {}]",
+            self.matrix, self.ref_id, self.chain, self.level
+        )
     }
 }
 
@@ -315,7 +315,11 @@ impl fmt::Display for Plan {
             let slots = slots.join(", ");
             match &s.kind {
                 StepKind::Interval { lo, hi } => {
-                    writeln!(f, "{pad}for {slots} = enumerate [{lo}, {hi}) {dir} {{  // binds {}", s.binds.join(", "))?;
+                    writeln!(
+                        f,
+                        "{pad}for {slots} = enumerate [{lo}, {hi}) {dir} {{  // binds {}",
+                        s.binds.join(", ")
+                    )?;
                 }
                 StepKind::Level { primary, perms } => {
                     let perm_note = if perms.iter().any(|p| p.is_some()) {

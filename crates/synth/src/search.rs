@@ -79,7 +79,9 @@ pub enum SynthError {
     Config(crate::config::ConfigError),
     /// No legal, zero-safe plan was found; the payload describes the last
     /// rejection reasons observed.
-    NoLegalPlan { reasons: Vec<String> },
+    NoLegalPlan {
+        reasons: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for SynthError {
@@ -154,8 +156,7 @@ pub fn synthesize_all(
     // orders — the dense fallback that is always realizable (random
     // access per element) for kernels whose statement structure defeats
     // every data-centric order.
-    'passes: for (unconstrained, iteration_centric) in
-        [(false, false), (true, false), (true, true)]
+    'passes: for (unconstrained, iteration_centric) in [(false, false), (true, false), (true, true)]
     {
         for cfg in &configs {
             let spaces = candidate_spaces_opt(
@@ -236,10 +237,5 @@ pub fn describe_candidate(c: &Candidate) -> String {
         .iter()
         .map(|(m, a)| format!("{m}:alt{a}"))
         .collect();
-    format!(
-        "cost {:.1} [{}]\n{}",
-        c.cost,
-        choices.join(", "),
-        c.plan
-    )
+    format!("cost {:.1} [{}]\n{}", c.cost, choices.join(", "), c.plan)
 }

@@ -227,12 +227,7 @@ fn covered_by_guarantee(
     }
     // Build the statement's iteration domain and check it forces
     // access_r == access_c.
-    let mut names: Vec<String> = scopy
-        .info
-        .loops
-        .iter()
-        .map(|(v, _, _)| v.clone())
-        .collect();
+    let mut names: Vec<String> = scopy.info.loops.iter().map(|(v, _, _)| v.clone()).collect();
     for q in &p.params {
         names.push(q.clone());
     }
@@ -277,7 +272,10 @@ mod tests {
         // accesses: 0 = write y[i]; 1 = read y[i]; 2 = A[i][j]; 3 = x[j]
         assert!(annihilated_by(&s, 2), "zero A entries contribute nothing");
         assert!(annihilated_by(&s, 3), "zero x entries contribute nothing");
-        assert!(!annihilated_by(&s, 1), "the accumulator itself is not a factor");
+        assert!(
+            !annihilated_by(&s, 1),
+            "the accumulator itself is not a factor"
+        );
     }
 
     #[test]

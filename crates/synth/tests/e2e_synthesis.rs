@@ -165,7 +165,16 @@ fn ts_dense_format() {
 #[test]
 fn mvm_all_formats() {
     let t = square_workload();
-    for fmt in ["csr", "csc", "coo", "dia", "ell", "jad", "dense", "diagsplit"] {
+    for fmt in [
+        "csr",
+        "csc",
+        "coo",
+        "dia",
+        "ell",
+        "jad",
+        "dense",
+        "diagsplit",
+    ] {
         check_mvm(fmt, &t);
     }
 }
@@ -215,8 +224,7 @@ fn cost_model_prefers_data_centric() {
             .with_matrix("A", 64.0, 64.0, 400.0),
         ..SynthOptions::default()
     };
-    let (cands, _, _) =
-        synthesize_all(&p, &[("A", f.as_view().format_view())], &opts).unwrap();
+    let (cands, _, _) = synthesize_all(&p, &[("A", f.as_view().format_view())], &opts).unwrap();
     assert!(cands.len() >= 2, "need both plan families");
     use bernoulli_synth::plan::StepKind;
     let is_data_centric = |plan: &bernoulli_synth::Plan| {

@@ -48,8 +48,12 @@ fn main() {
     });
 
     // All format instantiations solve the same system.
-    for (label, x) in [("synth csr", &x2), ("synth jad", &x3), ("synth dia", &x4), ("par csr", &x5)]
-    {
+    for (label, x) in [
+        ("synth csr", &x2),
+        ("synth jad", &x3),
+        ("synth dia", &x4),
+        ("par csr", &x5),
+    ] {
         let max_diff = x1
             .iter()
             .zip(x.iter())

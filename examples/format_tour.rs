@@ -64,7 +64,10 @@ fn main() {
     // Show the JAD construction details (Fig. 14d).
     let jad = Jad::from_triplets(&t);
     println!("\nJAD construction (paper Fig. 14d):");
-    println!("  iperm  = {:?}   (permuted row -> original row)", jad.iperm);
+    println!(
+        "  iperm  = {:?}   (permuted row -> original row)",
+        jad.iperm
+    );
     println!("  dptr   = {:?}", jad.dptr);
     println!("  colind = {:?}", jad.colind);
     println!("  values = {:?}", jad.values);

@@ -48,7 +48,10 @@ fn main() {
     // Case 1: both vectors sorted -> the compiler merge-joins.
     let s1 = synthesize(
         &spec,
-        &[("x", sparsevec_format_view()), ("y", sparsevec_format_view())],
+        &[
+            ("x", sparsevec_format_view()),
+            ("y", sparsevec_format_view()),
+        ],
         &opts,
     )
     .expect("sorted+sorted synthesizes");

@@ -113,8 +113,12 @@ fn ts_results_are_exact_across_formats() {
     use bernoulli::formats::convert::AnyFormat;
     for fmt in ["csr", "csc", "jad", "ell", "dia", "diagsplit"] {
         let f = AnyFormat::from_triplets(fmt, &t);
-        let s = synthesize(&spec, &[("L", f.as_view().format_view())], &SynthOptions::default())
-            .unwrap_or_else(|e| panic!("{fmt}: {e}"));
+        let s = synthesize(
+            &spec,
+            &[("L", f.as_view().format_view())],
+            &SynthOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{fmt}: {e}"));
         let mut env = ExecEnv::new();
         env.set_param("N", 24);
         env.bind_sparse("L", f.as_view());
@@ -197,7 +201,6 @@ fn run_stats_reflect_data_centric_work() {
     env.bind_vec("y", vec![0.0; 30]);
     env.bind_sparse("A", &a);
     let stats = run_plan(&s.plan, &mut env).unwrap();
-    use bernoulli::formats::SparseMatrix as _;
     assert_eq!(stats.executions, a.nnz() as u64);
     assert_eq!(stats.searches, 0);
     assert_eq!(stats.iterations, (30 + a.nnz()) as u64);

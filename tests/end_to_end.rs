@@ -60,7 +60,16 @@ fn check(
     close(&expect, &got);
 }
 
-const ALL: &[&str] = &["csr", "csc", "coo", "dia", "ell", "jad", "dense", "diagsplit"];
+const ALL: &[&str] = &[
+    "csr",
+    "csc",
+    "coo",
+    "dia",
+    "ell",
+    "jad",
+    "dense",
+    "diagsplit",
+];
 
 #[test]
 fn mvm_transposed_all_formats() {
@@ -120,7 +129,15 @@ fn ts_on_can1072_scale_through_facade() {
     let l = gen::can_1072_like().lower_triangle_full_diag(1.0);
     let b = gen::dense_vector(1072, 2);
     for fmt in ["csr", "csc", "jad"] {
-        check(&spec, "L", fmt, &l, &[("N", 1072)], &[("b", b.clone())], "b");
+        check(
+            &spec,
+            "L",
+            fmt,
+            &l,
+            &[("N", 1072)],
+            &[("b", b.clone())],
+            "b",
+        );
     }
 }
 
