@@ -53,7 +53,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Result of [`vec`].
+/// Result of [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

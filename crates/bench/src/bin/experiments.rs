@@ -2,7 +2,13 @@
 //! EXPERIMENTS.md, and writes each table as machine-readable
 //! `BENCH_<experiment>.json` in the working directory.
 //!
-//! Usage: `cargo run --release -p bernoulli-bench --bin experiments -- [all|fig12|mvm|join|order|costmodel|parallel]`
+//! Usage: `cargo run --release -p bernoulli-bench --bin experiments -- [all|fig12|mvm|join|order|costmodel|parallel|trace]`
+//!
+//! `trace` exercises the synthesis pipeline and the parallel runtime
+//! under the observability layer and writes `BENCH_trace.json`. It
+//! always emits workload-derived series; compiling with
+//! `--features trace` adds the instrumented counters from
+//! `bernoulli-trace` (and sets `"trace_feature": true`).
 
 #![allow(clippy::needless_range_loop, clippy::type_complexity)]
 use bernoulli_bench::report::{obj, Json};
@@ -37,6 +43,7 @@ fn main() {
         "order" => order(),
         "costmodel" => costmodel(),
         "parallel" => parallel_scaling(),
+        "trace" => trace(),
         "all" => {
             fig12();
             mvm();
@@ -44,10 +51,11 @@ fn main() {
             order();
             costmodel();
             parallel_scaling();
+            trace();
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: experiments [all|fig12|mvm|join|order|costmodel|parallel]");
+            eprintln!("usage: experiments [all|fig12|mvm|join|order|costmodel|parallel|trace]");
             std::process::exit(1);
         }
     }
@@ -725,6 +733,246 @@ fn parallel_scaling() {
                         })
                         .collect(),
                 ),
+            ),
+        ]),
+    );
+    println!();
+}
+
+/// S33 — observability: runs a synthesis sweep and a parallel-runtime
+/// sweep, then writes every metric series to `BENCH_trace.json`.
+///
+/// Two layers of series are emitted:
+/// - **computed** — derived from workload structure and search results
+///   (plan step kinds, examined/candidate counts, nnz/flops, schedule
+///   depth, partition chunk counts); present in every build, so the
+///   report has ≥8 series spanning synthesis and runtime even with
+///   tracing compiled out;
+/// - **series** — the `bernoulli-trace` registry snapshot (embedding
+///   rejections, Farkas/emptiness test counts, chunk steals, pool busy
+///   time, ...); populated only when built with `--features trace`.
+fn trace() {
+    use bernoulli_formats::formats::sparsevec::{hashvec_format_view, sparsevec_format_view};
+    use bernoulli_synth::plan::StepKind;
+
+    println!("== S33: observability trace (BENCH_trace.json) ==");
+    bernoulli_trace::reset();
+
+    // --- Synthesis sweep: one search per (kernel, format) pair, the
+    // join pair exercising both merge and hash-search lowering. The
+    // spdot runs carry sparse-vector statistics so the cost model
+    // prefers stored-entry enumeration over the dense interval (same
+    // steering as `examples/join_strategies.rs`).
+    let spdot_stats = bernoulli_synth::WorkloadStats::default()
+        .with_param("N", 10_000.0)
+        .with_matrix("x", 10_000.0, 1.0, 300.0)
+        .with_matrix("y", 10_000.0, 1.0, 500.0);
+    let matrix_stats = bernoulli_synth::WorkloadStats::default()
+        .with_param("N", 1072.0)
+        .with_param("M", 1072.0)
+        .with_matrix("A", 1072.0, 1072.0, 12_444.0)
+        .with_matrix("L", 1072.0, 1072.0, 6_758.0);
+    let with_stats = |stats: &bernoulli_synth::WorkloadStats| SynthOptions {
+        stats: stats.clone(),
+        ..SynthOptions::default()
+    };
+    let synth_runs: Vec<(&str, bernoulli_ir::Program, Vec<(&str, _)>, SynthOptions)> = vec![
+        (
+            "mvm/csr",
+            kernels::mvm(),
+            vec![("A", synth::view_for("mvm", "csr"))],
+            with_stats(&matrix_stats),
+        ),
+        (
+            "ts/csr",
+            kernels::ts(),
+            vec![("L", synth::view_for("ts", "csr"))],
+            with_stats(&matrix_stats),
+        ),
+        (
+            "ts/jad",
+            kernels::ts(),
+            vec![("L", synth::view_for("ts", "jad"))],
+            with_stats(&matrix_stats),
+        ),
+        (
+            "spdot/merge",
+            kernels::spdot(),
+            vec![
+                ("x", sparsevec_format_view()),
+                ("y", sparsevec_format_view()),
+            ],
+            with_stats(&spdot_stats),
+        ),
+        (
+            "spdot/hash",
+            kernels::spdot(),
+            vec![("x", sparsevec_format_view()), ("y", hashvec_format_view())],
+            with_stats(&spdot_stats),
+        ),
+    ];
+    let mut examined_total = 0usize;
+    let mut kept_total = 0usize;
+    let (mut join_level, mut join_merge, mut join_interval) = (0usize, 0usize, 0usize);
+    let mut per_workload = Vec::new();
+    for (label, program, views, opts) in &synth_runs {
+        let (cands, examined, _) =
+            synthesize_all(program, views, opts).unwrap_or_else(|e| panic!("{label}: {e}"));
+        examined_total += examined;
+        kept_total += cands.len();
+        let best = cands.first().expect("at least one candidate");
+        let (mut lv, mut mg, mut iv) = (0usize, 0usize, 0usize);
+        for step in &best.plan.steps {
+            match step.kind {
+                StepKind::Level { .. } => lv += 1,
+                StepKind::MergeJoin { .. } => mg += 1,
+                StepKind::Interval { .. } => iv += 1,
+            }
+        }
+        join_level += lv;
+        join_merge += mg;
+        join_interval += iv;
+        println!(
+            "  synth {label:<12} examined={examined:<4} kept={:<3} best steps: level={lv} merge={mg} interval={iv}",
+            cands.len()
+        );
+        per_workload.push(obj(vec![
+            ("workload", Json::str(*label)),
+            ("examined", Json::num(examined as f64)),
+            ("kept", Json::num(cands.len() as f64)),
+            ("best_cost", Json::num(best.cost)),
+            ("steps_level", Json::num(lv as f64)),
+            ("steps_merge_join", Json::num(mg as f64)),
+            ("steps_interval", Json::num(iv as f64)),
+        ]));
+    }
+
+    // --- Runtime sweep: can_1072-like MVM, scheduled TS and a dot
+    // product at every partition granularity the equivalence tests
+    // use. ---
+    const GRANULARITIES: [usize; 5] = [1, 2, 3, 7, 16];
+    let t = can1072();
+    let (m, n, nnz) = (t.nrows(), t.ncols(), t.nnz());
+    let csr = Csr::from_triplets(&t);
+    let x = gen::dense_vector(n, 7);
+    let tl = can1072_lower();
+    let l = Csr::from_triplets(&tl);
+    let sched = par::LevelSchedule::build(&l);
+    let b0 = gen::dense_vector(m, 42);
+    let vn = 100_000;
+    let vx = gen::dense_vector(vn, 1);
+    let vy = gen::dense_vector(vn, 2);
+    let mut mvm_chunks = 0usize;
+    for &g in &GRANULARITIES {
+        mvm_chunks += csr.partition_rows(g).len() - 1;
+        let mut y = vec![0.0; m];
+        par::par_mvm_csr(&csr, &x, &mut y, g);
+        black_box(y);
+        let mut b = b0.clone();
+        par::par_ts_csr_scheduled(&l, &sched, &mut b, g);
+        black_box(b);
+        black_box(par::par_dot(&vx, &vy, g));
+    }
+    let lanes = par::Pool::global().nthreads();
+    println!(
+        "  runtime: {} granularities on can_1072-like (nnz={nnz}), schedule {} levels (avg width {:.1}), pool lanes={lanes}",
+        GRANULARITIES.len(),
+        sched.nlevels(),
+        sched.avg_width()
+    );
+
+    // Workload-derived series: present in every build.
+    let runs = GRANULARITIES.len() as f64;
+    let computed: Vec<(&str, f64)> = vec![
+        ("synth.workloads", synth_runs.len() as f64),
+        ("synth.embeddings_examined", examined_total as f64),
+        ("synth.candidates_kept", kept_total as f64),
+        ("synth.join.level", join_level as f64),
+        ("synth.join.merge", join_merge as f64),
+        ("synth.join.interval", join_interval as f64),
+        ("par.mvm_csr.calls", runs),
+        ("par.mvm_csr.nnz", runs * nnz as f64),
+        ("par.mvm_csr.flops", runs * mvm_flops(nnz)),
+        ("par.mvm_csr.chunks", mvm_chunks as f64),
+        ("par.ts.solves", runs),
+        ("par.ts.nnz", runs * tl.nnz() as f64),
+        ("par.ts.levels", sched.nlevels() as f64),
+        ("par.ts.avg_width", sched.avg_width()),
+        ("par.dot.elems", runs * vn as f64),
+    ];
+
+    // Instrumented series: empty unless built with `--features trace`.
+    let snap = bernoulli_trace::snapshot();
+    let find = |name: &str| snap.iter().find(|(k, _)| *k == name).map(|(_, s)| *s);
+    let utilization = match (find("par.pool.busy"), find("par.pool.wall")) {
+        (Some(busy), Some(wall)) if wall.sum > 0.0 => Some(busy.sum / wall.sum / lanes as f64),
+        _ => None,
+    };
+
+    println!("  computed series: {}", computed.len());
+    if bernoulli_trace::ENABLED {
+        println!("  instrumented series: {}", snap.len());
+        for (name, s) in &snap {
+            println!(
+                "    {name:<32} {:<7} count={:<8} sum={:<14.0} max={:.0}",
+                s.kind.name(),
+                s.count,
+                s.sum,
+                s.max
+            );
+        }
+        if let Some(u) = utilization {
+            println!("  pool utilization (busy/wall/lanes): {:.2}", u);
+        }
+    } else {
+        println!("  instrumented series: 0 (trace feature disabled)");
+    }
+
+    report::write(
+        "BENCH_trace.json",
+        &obj(vec![
+            ("experiment", Json::str("trace")),
+            ("trace_feature", Json::Bool(bernoulli_trace::ENABLED)),
+            ("input", Json::str("can_1072-like")),
+            ("nrows", Json::num(m as f64)),
+            ("nnz", Json::num(nnz as f64)),
+            ("pool_lanes", Json::num(lanes as f64)),
+            (
+                "granularities",
+                Json::Arr(GRANULARITIES.iter().map(|&g| Json::num(g as f64)).collect()),
+            ),
+            ("synthesis", Json::Arr(per_workload)),
+            (
+                "computed",
+                Json::Arr(
+                    computed
+                        .iter()
+                        .map(|(name, v)| {
+                            obj(vec![("name", Json::str(*name)), ("value", Json::num(*v))])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "series",
+                Json::Arr(
+                    snap.iter()
+                        .map(|(name, s)| {
+                            obj(vec![
+                                ("name", Json::str(*name)),
+                                ("kind", Json::str(s.kind.name())),
+                                ("count", Json::num(s.count as f64)),
+                                ("sum", Json::num(s.sum)),
+                                ("max", Json::num(s.max)),
+                                ("mean", Json::num(s.mean())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "pool_utilization",
+                utilization.map_or(Json::Null, Json::num),
             ),
         ]),
     );

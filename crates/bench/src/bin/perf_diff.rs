@@ -1,0 +1,219 @@
+//! Compares two `BENCH_*.json` reports and flags throughput
+//! regressions — the non-blocking perf gate CI runs against the
+//! committed `BENCH_mvm.json` baseline.
+//!
+//! Usage: `perf_diff <baseline.json> <current.json> [threshold]`
+//!
+//! Walks both reports, pairs up every higher-is-better throughput leaf
+//! (`synth`, `nist_c`, `nist_f`, `mflops`, `seq_mflops`,
+//! `csr_parallel_4`) by its labeled path, and prints the relative
+//! change. Exits 1 if any metric dropped by more than `threshold`
+//! (default 0.25), 0 otherwise; missing-on-either-side metrics are
+//! reported but never fail the gate, so reports can grow fields.
+
+use bernoulli_bench::report::{parse, Json};
+
+/// Throughput leaves (higher is better). Time-per-op fields (`*_us`)
+/// are deliberately excluded: their medians live in the same reports
+/// but regressions there are already visible through these.
+const METRICS: [&str; 6] = [
+    "synth",
+    "nist_c",
+    "nist_f",
+    "mflops",
+    "seq_mflops",
+    "csr_parallel_4",
+];
+
+/// Flattens a report into `(labeled path, value)` pairs; objects
+/// contribute their identifying field (`input`, `format`, `name`,
+/// `workload`, `threads`) to the path so rows pair up even if array
+/// order changes.
+fn flatten(j: &Json, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match j {
+        Json::Obj(fields) => {
+            let label = fields.iter().find_map(|(k, v)| {
+                if matches!(k.as_str(), "input" | "format" | "name" | "workload") {
+                    v.as_str().map(str::to_string)
+                } else if k == "threads" {
+                    v.as_num().map(|n| format!("t{n}"))
+                } else {
+                    None
+                }
+            });
+            let base = match label {
+                Some(l) => format!("{prefix}/{l}"),
+                None => prefix.to_string(),
+            };
+            for (k, v) in fields {
+                match v {
+                    Json::Num(x) if METRICS.contains(&k.as_str()) => {
+                        out.push((format!("{base}.{k}"), *x));
+                    }
+                    Json::Obj(_) | Json::Arr(_) => flatten(v, &base, out),
+                    _ => {}
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for item in items {
+                flatten(item, prefix, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Pairs baseline and current metrics and returns the regressed paths
+/// (relative drop > `threshold`).
+fn regressions(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    threshold: f64,
+) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    for (path, old) in baseline {
+        if let Some((_, new)) = current.iter().find(|(p, _)| p == path) {
+            if *old > 0.0 && *new < *old * (1.0 - threshold) {
+                out.push((path.clone(), *old, *new));
+            }
+        }
+    }
+    out
+}
+
+fn load(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perf_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let json = parse(&text).unwrap_or_else(|e| {
+        eprintln!("perf_diff: cannot parse {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut flat = Vec::new();
+    flatten(&json, "", &mut flat);
+    flat
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: perf_diff <baseline.json> <current.json> [threshold]");
+        std::process::exit(2);
+    }
+    let threshold: f64 = args
+        .get(3)
+        .map(|s| s.parse().expect("threshold parses as a float"))
+        .unwrap_or(0.25);
+
+    let baseline = load(&args[1]);
+    let current = load(&args[2]);
+    println!(
+        "perf_diff: {} baseline metrics vs {} current (threshold {:.0}%)",
+        baseline.len(),
+        current.len(),
+        threshold * 100.0
+    );
+    for (path, old) in &baseline {
+        match current.iter().find(|(p, _)| p == path) {
+            Some((_, new)) => {
+                let change = if *old > 0.0 { (new - old) / old } else { 0.0 };
+                println!(
+                    "  {path:<48} {old:>10.1} -> {new:>10.1}  ({change:+7.1}%)",
+                    change = change * 100.0
+                );
+            }
+            None => println!("  {path:<48} {old:>10.1} -> (missing)"),
+        }
+    }
+
+    let regressed = regressions(&baseline, &current, threshold);
+    if regressed.is_empty() {
+        println!(
+            "perf_diff: OK — no metric dropped more than {:.0}%",
+            threshold * 100.0
+        );
+    } else {
+        println!("perf_diff: {} metric(s) regressed:", regressed.len());
+        for (path, old, new) in &regressed {
+            println!(
+                "  REGRESSION {path}: {old:.1} -> {new:.1} ({:+.1}%)",
+                (new - old) / old * 100.0
+            );
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bernoulli_bench::report::obj;
+
+    fn sample(csr_synth: f64) -> Json {
+        obj(vec![
+            ("experiment", Json::str("mvm")),
+            ("unit", Json::str("MFLOP/s")),
+            (
+                "inputs",
+                Json::Arr(vec![obj(vec![
+                    ("input", Json::str("can1072")),
+                    ("nnz", Json::num(12444.0)),
+                    (
+                        "formats",
+                        Json::Arr(vec![
+                            obj(vec![
+                                ("format", Json::str("csr")),
+                                ("synth", Json::num(csr_synth)),
+                                ("nist_c", Json::num(900.0)),
+                            ]),
+                            obj(vec![
+                                ("format", Json::str("ell")),
+                                ("synth", Json::num(700.0)),
+                                ("nist_c", Json::num(710.0)),
+                            ]),
+                        ]),
+                    ),
+                    ("csr_parallel_4", Json::num(1500.0)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn flatten_labels_rows_and_skips_non_metrics() {
+        let mut flat = Vec::new();
+        flatten(&sample(800.0), "", &mut flat);
+        let keys: Vec<&str> = flat.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(keys.contains(&"/can1072/csr.synth"));
+        assert!(keys.contains(&"/can1072/ell.nist_c"));
+        assert!(keys.contains(&"/can1072.csr_parallel_4"));
+        // `nnz` is shape metadata, not a throughput metric.
+        assert!(!keys.iter().any(|k| k.contains("nnz")));
+        assert_eq!(flat.len(), 5);
+    }
+
+    #[test]
+    fn regression_detection_respects_threshold() {
+        let mut base = Vec::new();
+        flatten(&sample(800.0), "", &mut base);
+        // 10% drop on csr.synth: within the 25% threshold.
+        let mut ok = Vec::new();
+        flatten(&sample(720.0), "", &mut ok);
+        assert!(regressions(&base, &ok, 0.25).is_empty());
+        // 50% drop: flagged, and only that metric.
+        let mut bad = Vec::new();
+        flatten(&sample(400.0), "", &mut bad);
+        let r = regressions(&base, &bad, 0.25);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].0, "/can1072/csr.synth");
+        // Metrics missing from the current report never fail the gate.
+        let shorter: Vec<(String, f64)> = bad
+            .iter()
+            .filter(|(k, _)| !k.ends_with(".synth"))
+            .cloned()
+            .collect();
+        assert!(regressions(&base, &shorter, 0.25).is_empty());
+    }
+}

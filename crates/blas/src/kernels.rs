@@ -5,9 +5,16 @@
 
 use bernoulli_ir::{parse_program, Program};
 
+/// Parses a spec source, counting each instantiation under
+/// `blas.spec_parses` (one series across all kernels; `max` stays 1).
+fn spec(src: &str, what: &str) -> Program {
+    bernoulli_trace::counter!("blas.spec_parses");
+    parse_program(src).unwrap_or_else(|e| panic!("{what} spec parses: {e}"))
+}
+
 /// Matrix–vector multiplication `y += A·x` (paper Fig. 3).
 pub fn mvm() -> Program {
-    parse_program(
+    spec(
         r#"
         program mvm(M, N) {
           in matrix A[M][N];
@@ -20,13 +27,13 @@ pub fn mvm() -> Program {
           }
         }
         "#,
+        "mvm",
     )
-    .expect("mvm spec parses")
 }
 
 /// Transposed matrix–vector multiplication `y += Aᵀ·x`.
 pub fn mvm_transposed() -> Program {
-    parse_program(
+    spec(
         r#"
         program mvmt(M, N) {
           in matrix A[M][N];
@@ -39,14 +46,14 @@ pub fn mvm_transposed() -> Program {
           }
         }
         "#,
+        "mvmt",
     )
-    .expect("mvmt spec parses")
 }
 
 /// Lower triangular solve `L·b' = b`, result overwriting `b`
 /// (paper Fig. 4, the running example).
 pub fn ts() -> Program {
-    parse_program(
+    spec(
         r#"
         program ts(N) {
           in matrix L[N][N];
@@ -59,8 +66,8 @@ pub fn ts() -> Program {
           }
         }
         "#,
+        "ts",
     )
-    .expect("ts spec parses")
 }
 
 /// Sparse dot product `s += Σ x[i]·y[i]` of two sparse vectors — the
@@ -68,7 +75,7 @@ pub fn ts() -> Program {
 /// as vectors; binding sparse-vector views to them turns the dense loop
 /// into a merge or hash join.
 pub fn spdot() -> Program {
-    parse_program(
+    spec(
         r#"
         program spdot(N) {
           in vector x[N];
@@ -79,14 +86,14 @@ pub fn spdot() -> Program {
           }
         }
         "#,
+        "spdot",
     )
-    .expect("spdot spec parses")
 }
 
 /// Row sums `r[i] += Σ_j A[i][j]` — a second reduction exercising the
 /// framework on a different output shape.
 pub fn row_sums() -> Program {
-    parse_program(
+    spec(
         r#"
         program rowsums(M, N) {
           in matrix A[M][N];
@@ -98,8 +105,8 @@ pub fn row_sums() -> Program {
           }
         }
         "#,
+        "rowsums",
     )
-    .expect("rowsums spec parses")
 }
 
 /// Scaled matrix accumulation into a dense vector of the diagonal:
@@ -107,7 +114,7 @@ pub fn row_sums() -> Program {
 /// extraction) — exercises guard simplification against triangular
 /// bounds.
 pub fn diag_extract() -> Program {
-    parse_program(
+    spec(
         r#"
         program diagx(N) {
           in matrix A[N][N];
@@ -117,15 +124,15 @@ pub fn diag_extract() -> Program {
           }
         }
         "#,
+        "diagx",
     )
-    .expect("diagx spec parses")
 }
 
 /// Residual `r = b − A·x` — an imperfectly-nested two-statement kernel
 /// (initialize, then accumulate) whose first statement must be hoisted
 /// out of the nonzero enumeration.
 pub fn residual() -> Program {
-    parse_program(
+    spec(
         r#"
         program residual(M, N) {
           in matrix A[M][N];
@@ -140,8 +147,8 @@ pub fn residual() -> Program {
           }
         }
         "#,
+        "residual",
     )
-    .expect("residual spec parses")
 }
 
 #[cfg(test)]

@@ -19,6 +19,20 @@ use super::{partition, pool::Pool, SlicePtr};
 use bernoulli_formats::partition::split_even;
 use bernoulli_formats::{Csc, Csr, Dia, Ell, Jad, Scalar};
 
+/// Per-kernel call/nnz/flop counters (`par.<kernel>.{calls,nnz,flops}`);
+/// one multiply-add per stored entry, so flops = 2·nnz. Compiled out
+/// with tracing disabled, like every `bernoulli_trace` macro.
+macro_rules! mvm_trace {
+    ($kernel:literal, $nnz:expr) => {
+        if bernoulli_trace::ENABLED {
+            let nnz = $nnz;
+            bernoulli_trace::counter!(concat!("par.", $kernel, ".calls"));
+            bernoulli_trace::counter!(concat!("par.", $kernel, ".nnz"), nnz);
+            bernoulli_trace::counter!(concat!("par.", $kernel, ".flops"), 2 * nnz);
+        }
+    };
+}
+
 /// `y[i] += vals[i] * x[i]` over three equal-length slices.
 ///
 /// The DIA kernels stream whole diagonal segments through this; taking
@@ -40,6 +54,7 @@ fn fma_stream<T: Scalar>(y: &mut [T], vals: &[T], x: &[T]) {
 pub fn par_mvm_csr<T: Scalar + Send + Sync>(a: &Csr<T>, x: &[T], y: &mut [T], nthreads: usize) {
     assert_eq!(x.len(), a.ncols, "x length");
     assert_eq!(y.len(), a.nrows, "y length");
+    mvm_trace!("mvm_csr", a.values.len());
     let bounds = a.partition_rows(nthreads.max(1));
     let yp = SlicePtr::new(y);
     Pool::global().run(bounds.len() - 1, &|chunk| {
@@ -62,6 +77,7 @@ pub fn par_mvm_csr<T: Scalar + Send + Sync>(a: &Csr<T>, x: &[T], y: &mut [T], nt
 pub fn par_mvmt_csc<T: Scalar + Send + Sync>(a: &Csc<T>, x: &[T], y: &mut [T], nthreads: usize) {
     assert_eq!(x.len(), a.nrows, "x length");
     assert_eq!(y.len(), a.ncols, "y length");
+    mvm_trace!("mvmt_csc", a.values.len());
     let bounds = a.partition_cols(nthreads.max(1));
     let yp = SlicePtr::new(y);
     Pool::global().run(bounds.len() - 1, &|chunk| {
@@ -83,6 +99,7 @@ pub fn par_mvmt_csc<T: Scalar + Send + Sync>(a: &Csc<T>, x: &[T], y: &mut [T], n
 pub fn par_mvm_ell<T: Scalar + Send + Sync>(a: &Ell<T>, x: &[T], y: &mut [T], nthreads: usize) {
     assert_eq!(x.len(), a.ncols, "x length");
     assert_eq!(y.len(), a.nrows, "y length");
+    mvm_trace!("mvm_ell", a.rowlen.iter().sum::<usize>());
     let bounds = partition::ell_row_blocks(a, nthreads.max(1));
     let yp = SlicePtr::new(y);
     Pool::global().run(bounds.len() - 1, &|chunk| {
@@ -112,6 +129,7 @@ pub fn par_mvm_ell<T: Scalar + Send + Sync>(a: &Ell<T>, x: &[T], y: &mut [T], nt
 pub fn par_mvm_jad<T: Scalar + Send + Sync>(a: &Jad<T>, x: &[T], y: &mut [T], nthreads: usize) {
     assert_eq!(x.len(), a.ncols, "x length");
     assert_eq!(y.len(), a.nrows, "y length");
+    mvm_trace!("mvm_jad", a.values.len());
     let bounds = partition::jad_row_blocks(a, nthreads.max(1));
     let yp = SlicePtr::new(y);
     Pool::global().run(bounds.len() - 1, &|chunk| {
@@ -136,6 +154,7 @@ pub fn par_mvm_jad<T: Scalar + Send + Sync>(a: &Jad<T>, x: &[T], y: &mut [T], nt
 pub fn par_mvm_dia<T: Scalar + Send + Sync>(a: &Dia<T>, x: &[T], y: &mut [T], nthreads: usize) {
     assert_eq!(x.len(), a.ncols, "x length");
     assert_eq!(y.len(), a.nrows, "y length");
+    mvm_trace!("mvm_dia", a.values.len());
     let bounds = partition::dia_row_blocks(a, nthreads.max(1));
     let yp = SlicePtr::new(y);
     Pool::global().run(bounds.len() - 1, &|chunk| {
@@ -170,6 +189,7 @@ pub fn par_mvm_dia<T: Scalar + Send + Sync>(a: &Dia<T>, x: &[T], y: &mut [T], nt
 pub fn par_mvmt_dia<T: Scalar + Send + Sync>(a: &Dia<T>, x: &[T], y: &mut [T], nthreads: usize) {
     assert_eq!(x.len(), a.nrows, "x length");
     assert_eq!(y.len(), a.ncols, "y length");
+    mvm_trace!("mvmt_dia", a.values.len());
     let bounds = partition::dia_col_blocks(a, nthreads.max(1));
     let yp = SlicePtr::new(y);
     Pool::global().run(bounds.len() - 1, &|chunk| {
@@ -202,6 +222,7 @@ pub fn par_mvmt_dia<T: Scalar + Send + Sync>(a: &Dia<T>, x: &[T], y: &mut [T], n
 pub fn par_mvm_csc<T: Scalar + Send + Sync>(a: &Csc<T>, x: &[T], y: &mut [T], nthreads: usize) {
     assert_eq!(x.len(), a.ncols, "x length");
     assert_eq!(y.len(), a.nrows, "y length");
+    mvm_trace!("mvm_csc", a.values.len());
     let bounds = a.partition_cols(nthreads.max(1));
     scatter_reduce(&bounds, a.nrows, y, nthreads, &|chunk, buf| {
         for j in bounds[chunk]..bounds[chunk + 1] {
@@ -218,6 +239,7 @@ pub fn par_mvm_csc<T: Scalar + Send + Sync>(a: &Csc<T>, x: &[T], y: &mut [T], nt
 pub fn par_mvmt_csr<T: Scalar + Send + Sync>(a: &Csr<T>, x: &[T], y: &mut [T], nthreads: usize) {
     assert_eq!(x.len(), a.nrows, "x length");
     assert_eq!(y.len(), a.ncols, "y length");
+    mvm_trace!("mvmt_csr", a.values.len());
     let bounds = a.partition_rows(nthreads.max(1));
     scatter_reduce(&bounds, a.ncols, y, nthreads, &|chunk, buf| {
         for i in bounds[chunk]..bounds[chunk + 1] {
@@ -234,6 +256,7 @@ pub fn par_mvmt_csr<T: Scalar + Send + Sync>(a: &Csr<T>, x: &[T], y: &mut [T], n
 pub fn par_mvmt_ell<T: Scalar + Send + Sync>(a: &Ell<T>, x: &[T], y: &mut [T], nthreads: usize) {
     assert_eq!(x.len(), a.nrows, "x length");
     assert_eq!(y.len(), a.ncols, "y length");
+    mvm_trace!("mvmt_ell", a.rowlen.iter().sum::<usize>());
     let bounds = partition::ell_row_blocks(a, nthreads.max(1));
     scatter_reduce(&bounds, a.ncols, y, nthreads, &|chunk, buf| {
         for i in bounds[chunk]..bounds[chunk + 1] {
@@ -252,6 +275,7 @@ pub fn par_mvmt_ell<T: Scalar + Send + Sync>(a: &Ell<T>, x: &[T], y: &mut [T], n
 pub fn par_mvmt_jad<T: Scalar + Send + Sync>(a: &Jad<T>, x: &[T], y: &mut [T], nthreads: usize) {
     assert_eq!(x.len(), a.nrows, "x length");
     assert_eq!(y.len(), a.ncols, "y length");
+    mvm_trace!("mvmt_jad", a.values.len());
     let bounds = partition::jad_row_blocks(a, nthreads.max(1));
     scatter_reduce(&bounds, a.ncols, y, nthreads, &|chunk, buf| {
         for rr in bounds[chunk]..bounds[chunk + 1] {

@@ -78,17 +78,36 @@ struct Job {
 unsafe impl Send for Job {}
 
 impl Job {
-    fn run_chunks(&self) {
+    /// Claims and runs chunks until the shared counter is exhausted.
+    /// `is_worker` distinguishes pool workers from the submitting lane
+    /// for the steal accounting: the submitter owns the job, so every
+    /// chunk a worker claims counts as stolen.
+    fn run_chunks(&self, is_worker: bool) {
         let func = unsafe { &*self.func };
-        let result = catch_unwind(AssertUnwindSafe(|| loop {
-            let chunk = self.next_chunk.fetch_add(1, Ordering::Relaxed);
-            if chunk >= self.nchunks {
-                break;
+        let busy = bernoulli_trace::timer!("par.pool.busy");
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut executed = 0u64;
+            loop {
+                let chunk = self.next_chunk.fetch_add(1, Ordering::Relaxed);
+                if chunk >= self.nchunks {
+                    break;
+                }
+                func(chunk);
+                executed += 1;
             }
-            func(chunk);
+            executed
         }));
-        if result.is_err() {
-            self.latch.poisoned.store(true, Ordering::Release);
+        drop(busy);
+        match result {
+            Ok(executed) => {
+                if is_worker {
+                    bernoulli_trace::counter!("par.pool.chunks_stolen", executed);
+                    if executed > 0 {
+                        bernoulli_trace::counter!("par.pool.workers_engaged");
+                    }
+                }
+            }
+            Err(_) => self.latch.poisoned.store(true, Ordering::Release),
         }
     }
 }
@@ -110,7 +129,11 @@ impl Pool {
                     .name(format!("bernoulli-par-{k}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
-                            job.run_chunks();
+                            job.run_chunks(true);
+                            // Fold this job's trace events in *before*
+                            // releasing the latch, so a snapshot taken
+                            // right after `run` returns sees them.
+                            bernoulli_trace::flush_local();
                             job.latch.count_down();
                         }
                     })
@@ -146,7 +169,11 @@ impl Pool {
         if nchunks == 0 {
             return;
         }
+        bernoulli_trace::counter!("par.pool.jobs");
+        bernoulli_trace::counter!("par.pool.chunks", nchunks);
+        bernoulli_trace::span!("par.pool.wall");
         if nchunks == 1 || self.workers.is_empty() {
+            bernoulli_trace::counter!("par.pool.jobs_inline");
             for chunk in 0..nchunks {
                 f(chunk);
             }
@@ -180,7 +207,7 @@ impl Pool {
             nchunks,
             latch: Arc::clone(&latch),
         };
-        own.run_chunks();
+        own.run_chunks(false);
         latch.wait();
         if latch.poisoned.load(Ordering::Acquire) {
             panic!("pool worker panicked");

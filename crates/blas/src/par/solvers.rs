@@ -58,7 +58,10 @@ pub fn cg(
     max_iter: usize,
     nthreads: usize,
 ) -> SolveStats {
-    cg_with(&ParOps::new(nthreads), matvec, b, x, tol, max_iter)
+    let stats = cg_with(&ParOps::new(nthreads), matvec, b, x, tol, max_iter);
+    bernoulli_trace::counter!("par.cg.solves");
+    bernoulli_trace::counter!("par.cg.iters", stats.iterations);
+    stats
 }
 
 /// Parallel Jacobi iteration with a caller-supplied matrix product.
@@ -72,7 +75,10 @@ pub fn jacobi(
     max_iter: usize,
     nthreads: usize,
 ) -> SolveStats {
-    jacobi_with(&ParOps::new(nthreads), matvec, diag, b, x, tol, max_iter)
+    let stats = jacobi_with(&ParOps::new(nthreads), matvec, diag, b, x, tol, max_iter);
+    bernoulli_trace::counter!("par.jacobi.solves");
+    bernoulli_trace::counter!("par.jacobi.iters", stats.iterations);
+    stats
 }
 
 /// Fully parallel CG over a CSR matrix: [`par_mvm_csr`] plus

@@ -1,0 +1,133 @@
+//! Contract tests for the runtime trace counters.
+//!
+//! With the `trace` feature on, the workload-shaped counters
+//! (`par.<kernel>.{calls,nnz,flops,...}`) must be a pure function of
+//! the inputs — identical between repeated runs at one granularity,
+//! and identical across every partition granularity the equivalence
+//! tests use (scheduling-dependent series like chunk steals and pool
+//! timers are explicitly *not* covered by that contract). With the
+//! feature off, running the same kernels must record nothing at all.
+//!
+//! Everything lives in a single `#[test]` per mode: the trace registry
+//! is process-global, and this integration test owning its whole
+//! process is what keeps concurrent tests from polluting the counts.
+
+use bernoulli_blas::par;
+use bernoulli_formats::{gen, Csr};
+
+const GRANULARITIES: [usize; 5] = [1, 2, 3, 7, 16];
+
+/// The series whose values must be deterministic, with their expected
+/// sums for one run of [`run_workload`] (nnz/flops filled per input).
+const DETERMINISTIC: [&str; 8] = [
+    "par.mvm_csr.calls",
+    "par.mvm_csr.nnz",
+    "par.mvm_csr.flops",
+    "par.ts.solves",
+    "par.ts.nnz",
+    "par.ts.solve_levels",
+    "par.dot.calls",
+    "par.dot.elems",
+];
+
+/// One fixed workload: a CSR MVM, a scheduled triangular solve, and a
+/// dot product, all at partition granularity `g`.
+fn run_workload(
+    a: &Csr<f64>,
+    l: &Csr<f64>,
+    sched: &par::LevelSchedule,
+    x: &[f64],
+    b0: &[f64],
+    g: usize,
+) {
+    let mut y = vec![0.0; a.nrows];
+    par::par_mvm_csr(a, x, &mut y, g);
+    std::hint::black_box(y);
+    let mut b = b0.to_vec();
+    par::par_ts_csr_scheduled(l, sched, &mut b, g);
+    std::hint::black_box(b);
+    std::hint::black_box(par::par_dot(x, x, g));
+}
+
+/// Snapshot restricted to the deterministic series, as
+/// `(name, count, sum)` rows.
+fn deterministic_snapshot() -> Vec<(&'static str, u64, f64)> {
+    bernoulli_trace::snapshot()
+        .into_iter()
+        .filter(|(name, _)| DETERMINISTIC.contains(name))
+        .map(|(name, s)| (name, s.count, s.sum))
+        .collect()
+}
+
+#[cfg(feature = "trace")]
+#[test]
+fn counters_deterministic_across_granularities() {
+    let t = gen::structurally_symmetric(500, 3000, 40, 3);
+    let a = Csr::from_triplets(&t);
+    let tl = t.lower_triangle_full_diag(3.0);
+    let l = Csr::from_triplets(&tl);
+    let sched = par::LevelSchedule::build(&l);
+    let x = gen::dense_vector(500, 5);
+    let b0 = gen::dense_vector(500, 7);
+
+    let mut per_granularity = Vec::new();
+    for g in GRANULARITIES {
+        bernoulli_trace::reset();
+        run_workload(&a, &l, &sched, &x, &b0, g);
+        let first = deterministic_snapshot();
+        assert_eq!(
+            first.len(),
+            DETERMINISTIC.len(),
+            "granularity {g}: every deterministic series present"
+        );
+
+        // Run-to-run: same granularity, bitwise-identical counters.
+        bernoulli_trace::reset();
+        run_workload(&a, &l, &sched, &x, &b0, g);
+        assert_eq!(first, deterministic_snapshot(), "granularity {g} reruns");
+        per_granularity.push(first);
+    }
+
+    // Cross-granularity: the partition granularity must not leak into
+    // workload-shaped counters.
+    for (g, snap) in GRANULARITIES.iter().zip(&per_granularity) {
+        assert_eq!(
+            snap, &per_granularity[0],
+            "granularity {g} vs {}",
+            GRANULARITIES[0]
+        );
+    }
+
+    // And the values are the workload's actual shape, not just
+    // self-consistent noise.
+    let get = |name: &str| {
+        per_granularity[0]
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .unwrap()
+            .2
+    };
+    assert_eq!(get("par.mvm_csr.nnz"), a.values.len() as f64);
+    assert_eq!(get("par.mvm_csr.flops"), 2.0 * a.values.len() as f64);
+    assert_eq!(get("par.ts.nnz"), l.values.len() as f64);
+    assert_eq!(get("par.ts.solve_levels"), sched.nlevels() as f64);
+    assert_eq!(get("par.dot.elems"), 500.0);
+}
+
+#[cfg(not(feature = "trace"))]
+#[test]
+fn disabled_tracing_records_nothing() {
+    let t = gen::structurally_symmetric(500, 3000, 40, 3);
+    let a = Csr::from_triplets(&t);
+    let tl = t.lower_triangle_full_diag(3.0);
+    let l = Csr::from_triplets(&tl);
+    let sched = par::LevelSchedule::build(&l);
+    let x = gen::dense_vector(500, 5);
+    let b0 = gen::dense_vector(500, 7);
+    for g in GRANULARITIES {
+        run_workload(&a, &l, &sched, &x, &b0, g);
+    }
+    bernoulli_trace::flush_local();
+    assert!(bernoulli_trace::snapshot().is_empty());
+    assert!(deterministic_snapshot().is_empty());
+}

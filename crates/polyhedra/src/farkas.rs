@@ -43,6 +43,8 @@ pub fn farkas_nonneg_conditions(
     cst_in_u: &LinExpr,
     u_names: &[String],
 ) -> System {
+    bernoulli_trace::counter!("polyhedra.farkas_calls");
+    bernoulli_trace::span!("polyhedra.farkas");
     let nx = p.num_vars();
     assert_eq!(coeff_in_u.len(), nx, "one ψ coefficient per x variable");
     let nu = u_names.len();

@@ -11,6 +11,7 @@ use crate::{Constraint, ConstraintKind, LinExpr, System};
 /// tight for integers whenever the equality has a ±1 coefficient on `j`.
 pub fn eliminate_var(sys: &System, j: usize) -> System {
     assert!(j < sys.num_vars(), "variable index out of range");
+    bernoulli_trace::counter!("polyhedra.fm_eliminations");
 
     // Prefer substitution through an equality with the smallest |coeff|.
     let eq_idx = sys

@@ -181,6 +181,8 @@ impl System {
     /// makes it exact for the integer polyhedra produced by the loop nests
     /// we handle. `true` means *definitely empty*.
     pub fn is_empty(&self) -> bool {
+        bernoulli_trace::counter!("polyhedra.emptiness_tests");
+        bernoulli_trace::span!("polyhedra.emptiness");
         if self.has_contradiction() {
             return true;
         }
@@ -216,6 +218,7 @@ impl System {
     /// Implemented as emptiness of `self ∧ ¬c`; for a `≥` constraint over
     /// integer points, `¬(e ≥ 0)` is `-e - 1 ≥ 0`.
     pub fn implies(&self, c: &Constraint) -> bool {
+        bernoulli_trace::counter!("polyhedra.implication_tests");
         match c.kind {
             ConstraintKind::Ge => {
                 let mut neg = self.clone();

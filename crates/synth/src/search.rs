@@ -136,6 +136,8 @@ pub fn synthesize_all(
     views: &[(&str, FormatView)],
     opts: &SynthOptions,
 ) -> Result<(Vec<Candidate>, usize, Vec<String>), SynthError> {
+    bernoulli_trace::counter!("synth.searches");
+    bernoulli_trace::span!("synth.search");
     p.validate().map_err(SynthError::InvalidProgram)?;
     let view_map: HashMap<String, FormatView> = views
         .iter()
@@ -144,6 +146,7 @@ pub fn synthesize_all(
     let deps = analyze(p);
     let relaxable = relaxable_classes(p, &deps);
     let configs = enumerate_configs(p, &view_map).map_err(SynthError::Config)?;
+    bernoulli_trace::counter!("synth.configs", configs.len());
 
     let mut out: Vec<Candidate> = Vec::new();
     let mut examined = 0usize;
@@ -165,16 +168,19 @@ pub fn synthesize_all(
                 opts.include_iteration_centric || iteration_centric,
                 unconstrained,
             );
+            bernoulli_trace::counter!("synth.spaces", spaces.len());
             for space in &spaces {
                 let mut got_plan = false;
                 for emb in embedding_variants(cfg, space, opts.max_embeddings) {
                     examined += 1;
+                    bernoulli_trace::counter!("synth.embeddings_examined");
                     // The dimension walk is a direction-inference pre-pass;
                     // the lowered plan is re-verified authoritatively, so a
                     // "violation" here only means directions are partial.
                     let leg =
                         check_legality(cfg, space, &emb, &deps, &relaxable, opts.relax_reductions);
                     if let Some(v) = &leg.violation {
+                        bernoulli_trace::counter!("synth.embeddings_rejected");
                         if reasons.len() < 16 {
                             reasons.push(v.clone());
                         }
@@ -194,6 +200,7 @@ pub fn synthesize_all(
                     ) {
                         match check_zero_safety(p, cfg, &plan, &view_map) {
                             Ok(notes) => {
+                                bernoulli_trace::counter!("synth.plans_lowered");
                                 let cost = estimate_cost(p, cfg, &plan, &opts.stats);
                                 got_plan = true;
                                 out.push(Candidate {
@@ -204,6 +211,7 @@ pub fn synthesize_all(
                                 });
                             }
                             Err(e) => {
+                                bernoulli_trace::counter!("synth.plans_zero_unsafe");
                                 if reasons.len() < 16 {
                                     reasons.push(e.to_string());
                                 }
@@ -223,6 +231,7 @@ pub fn synthesize_all(
 
     out.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
     out.truncate(opts.keep);
+    bernoulli_trace::counter!("synth.candidates_kept", out.len());
     if out.is_empty() && reasons.is_empty() {
         reasons.push("no candidate lowered successfully".to_string());
     }

@@ -1,0 +1,454 @@
+//! Structured tracing and metrics for the synthesis pipeline and the
+//! parallel runtime.
+//!
+//! The synthesizer makes many silent decisions (embedding selection,
+//! redundant-dimension elimination, join-strategy choice) and the
+//! parallel runtime has equally invisible behavior (chunk stealing,
+//! pool utilization). This crate gives both a shared vocabulary:
+//! named **counter** and **timer** series, recorded through macros that
+//! cost nothing when the `enabled` feature is off.
+//!
+//! # Model
+//!
+//! A *series* is identified by a `&'static str` name, lowercase and
+//! dot-separated by convention (`subsystem.metric`, e.g.
+//! `polyhedra.emptiness_tests`, `par.pool.chunks_stolen`). Each series
+//! accumulates `{count, sum, max}`:
+//!
+//! - **counters** ([`counter!`]) add an integer delta per event
+//!   (`sum` is the running total, `count` the number of events);
+//! - **timers** ([`span!`] / [`timer!`]) add elapsed nanoseconds per
+//!   scope (`sum` is total ns, `mean()` the per-scope average).
+//!
+//! Events land in a **thread-local buffer** (no synchronization on the
+//! hot path) and are folded into a process-global registry when the
+//! thread exits, when [`flush_local`] is called (the worker pool does
+//! this at the end of every job), or when [`snapshot`] is taken by the
+//! reporting thread. `bench`'s `experiments -- trace` serializes the
+//! snapshot through its `report` JSON writer as `BENCH_trace.json`.
+//!
+//! # Zero cost when disabled
+//!
+//! With the `enabled` feature off (the default), [`ENABLED`] is a
+//! `const false`: every macro expands to an `if false { ... }` the
+//! optimizer deletes, [`SpanGuard`] is a zero-sized type with an empty
+//! `Drop`, and [`snapshot`] returns an empty vector. The tests at the
+//! bottom of this file assert both properties (guard size and a timing
+//! bound on ten million disabled counter events).
+//!
+//! ```
+//! bernoulli_trace::counter!("doc.events");
+//! bernoulli_trace::counter!("doc.bytes", 128usize);
+//! {
+//!     bernoulli_trace::span!("doc.scope");
+//!     // ... traced work ...
+//! }
+//! // Disabled build: empty. Enabled build: the three series above.
+//! let series = bernoulli_trace::snapshot();
+//! assert_eq!(series.is_empty(), !bernoulli_trace::ENABLED);
+//! ```
+
+/// `true` iff the crate was compiled with the `enabled` feature.
+///
+/// The macros branch on this constant — not on `#[cfg]` at the call
+/// site — so instrumented crates never need feature gates of their own
+/// and the disabled path still type-checks every operand.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// What a series measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Integer deltas; `sum` is the running total.
+    Counter,
+    /// Elapsed scopes; `sum` is total nanoseconds.
+    Timer,
+}
+
+impl Kind {
+    /// Lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Timer => "timer",
+        }
+    }
+}
+
+/// Accumulated statistics of one named series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Series {
+    pub kind: Kind,
+    /// Number of recorded events (increments or closed scopes).
+    pub count: u64,
+    /// Total of all deltas (counter units or nanoseconds).
+    pub sum: f64,
+    /// Largest single delta.
+    pub max: f64,
+}
+
+// `new`/`add`/`merge` are only reachable from `imp` (and tests) in the
+// enabled build; keep them compiled either way so the type's behavior
+// can't drift between the two modes.
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+impl Series {
+    fn new(kind: Kind) -> Series {
+        Series {
+            kind,
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    fn add(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    fn merge(&mut self, other: &Series) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Average delta per event (0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{Kind, Series};
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    type Registry = HashMap<&'static str, Series>;
+
+    fn global() -> MutexGuard<'static, Registry> {
+        static G: OnceLock<Mutex<Registry>> = OnceLock::new();
+        // A poisoned registry only means a traced thread panicked; the
+        // counts themselves stay meaningful.
+        match G.get_or_init(|| Mutex::new(HashMap::new())).lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+
+    /// Thread-local buffer, folded into the global registry on drop so
+    /// short-lived threads lose nothing.
+    struct LocalBuf(RefCell<Registry>);
+
+    impl Drop for LocalBuf {
+        fn drop(&mut self) {
+            flush_map(self.0.get_mut());
+        }
+    }
+
+    thread_local! {
+        static LOCAL: LocalBuf = LocalBuf(RefCell::new(HashMap::new()));
+    }
+
+    fn flush_map(map: &mut Registry) {
+        if map.is_empty() {
+            return;
+        }
+        let mut g = global();
+        for (name, s) in map.drain() {
+            g.entry(name).and_modify(|t| t.merge(&s)).or_insert(s);
+        }
+    }
+
+    pub fn record(name: &'static str, kind: Kind, v: f64) {
+        // try_with: recording during thread teardown is silently dropped
+        // rather than panicking.
+        let _ = LOCAL.try_with(|l| {
+            l.0.borrow_mut()
+                .entry(name)
+                .or_insert_with(|| Series::new(kind))
+                .add(v);
+        });
+    }
+
+    pub fn flush_local() {
+        let _ = LOCAL.try_with(|l| flush_map(&mut l.0.borrow_mut()));
+    }
+
+    pub fn snapshot() -> Vec<(&'static str, Series)> {
+        flush_local();
+        let g = global();
+        let mut v: Vec<(&'static str, Series)> = g.iter().map(|(k, s)| (*k, *s)).collect();
+        v.sort_by_key(|&(k, _)| k);
+        v
+    }
+
+    pub fn reset() {
+        let _ = LOCAL.try_with(|l| l.0.borrow_mut().clear());
+        global().clear();
+    }
+}
+
+/// Adds `delta` to the counter series `name`. Prefer the [`counter!`]
+/// macro, which compiles to nothing when tracing is disabled.
+#[inline]
+pub fn record_counter(name: &'static str, delta: u64) {
+    #[cfg(feature = "enabled")]
+    imp::record(name, Kind::Counter, delta as f64);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, delta);
+}
+
+/// Adds `ns` nanoseconds to the timer series `name`. Prefer [`span!`]
+/// or [`timer!`].
+#[inline]
+pub fn record_timer_ns(name: &'static str, ns: u64) {
+    #[cfg(feature = "enabled")]
+    imp::record(name, Kind::Timer, ns as f64);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, ns);
+}
+
+/// Folds this thread's buffered events into the global registry.
+///
+/// Long-lived threads that record but never exit (worker pools) should
+/// call this at job boundaries; [`snapshot`] flushes the calling thread
+/// automatically.
+#[inline]
+pub fn flush_local() {
+    #[cfg(feature = "enabled")]
+    imp::flush_local();
+}
+
+/// All series recorded so far, sorted by name. Flushes the calling
+/// thread's buffer first. Empty when tracing is disabled.
+pub fn snapshot() -> Vec<(&'static str, Series)> {
+    #[cfg(feature = "enabled")]
+    {
+        imp::snapshot()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Clears the global registry and the calling thread's buffer (other
+/// threads' unflushed buffers are unaffected; the pool flushes its
+/// workers at the end of every job, so between jobs they hold nothing).
+pub fn reset() {
+    #[cfg(feature = "enabled")]
+    imp::reset();
+}
+
+/// Scope timer: measures from construction to drop and records the
+/// elapsed nanoseconds under `name`. Zero-sized and inert when tracing
+/// is disabled.
+pub struct SpanGuard {
+    #[cfg(feature = "enabled")]
+    name: &'static str,
+    #[cfg(feature = "enabled")]
+    start: std::time::Instant,
+}
+
+impl SpanGuard {
+    #[inline]
+    pub fn new(name: &'static str) -> SpanGuard {
+        #[cfg(feature = "enabled")]
+        {
+            SpanGuard {
+                name,
+                start: std::time::Instant::now(),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = name;
+            SpanGuard {}
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        record_timer_ns(self.name, self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Increments a counter series: `counter!("name")` adds 1,
+/// `counter!("name", delta)` adds `delta` (any integer type; cast to
+/// `u64`). Compiles to nothing when tracing is disabled — the delta
+/// expression is never evaluated.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::counter!($name, 1u64)
+    };
+    ($name:expr, $delta:expr) => {
+        if $crate::ENABLED {
+            $crate::record_counter($name, ($delta) as u64);
+        }
+    };
+}
+
+/// Times the rest of the enclosing scope under a timer series:
+/// `span!("name");` binds a hidden [`SpanGuard`] dropped at scope end.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _trace_span = $crate::SpanGuard::new($name);
+    };
+}
+
+/// Expression form of [`span!`]: returns the [`SpanGuard`] so the
+/// caller controls its lifetime (`let t = timer!("name"); ...; drop(t)`).
+#[macro_export]
+macro_rules! timer {
+    ($name:expr) => {
+        $crate::SpanGuard::new($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ---- Both modes -------------------------------------------------
+
+    #[test]
+    fn enabled_constant_matches_feature() {
+        assert_eq!(ENABLED, cfg!(feature = "enabled"));
+    }
+
+    #[test]
+    fn series_mean_and_kind_names() {
+        let mut s = Series::new(Kind::Counter);
+        assert_eq!(s.mean(), 0.0);
+        s.add(3.0);
+        s.add(5.0);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 8.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean(), 4.0);
+        assert_eq!(Kind::Counter.name(), "counter");
+        assert_eq!(Kind::Timer.name(), "timer");
+    }
+
+    // ---- Disabled mode: the zero-cost contract ----------------------
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_guard_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_path_records_nothing() {
+        counter!("test.counter");
+        counter!("test.weighted", 17usize);
+        {
+            span!("test.span");
+        }
+        let _t = timer!("test.timer");
+        drop(_t);
+        flush_local();
+        assert!(snapshot().is_empty());
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_delta_is_never_evaluated() {
+        fn boom() -> u64 {
+            panic!("delta must not be evaluated when disabled");
+        }
+        counter!("test.lazy", boom());
+    }
+
+    /// The timing half of the zero-cost assertion: ten million disabled
+    /// counter events must be indistinguishable from an empty loop
+    /// (well under a second even in debug builds); any path that
+    /// touched a map or a lock would blow this bound by orders of
+    /// magnitude.
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_counters_cost_nothing() {
+        let t0 = std::time::Instant::now();
+        for i in 0..10_000_000u64 {
+            counter!("test.hot", i);
+        }
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(1),
+            "disabled tracing not compiled out: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    // ---- Enabled mode -----------------------------------------------
+    //
+    // The registry is process-global, so the enabled tests run as one
+    // function to avoid cross-test interference.
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn enabled_end_to_end() {
+        reset();
+
+        // Counters accumulate count/sum/max.
+        counter!("t.events");
+        counter!("t.events");
+        counter!("t.bytes", 100usize);
+        counter!("t.bytes", 28u64);
+        // Timers record non-zero elapsed time.
+        {
+            span!("t.scope");
+            std::hint::black_box(0);
+        }
+        let snap = snapshot();
+        let get = |name: &str| -> Series {
+            snap.iter()
+                .find(|(n, _)| *n == name)
+                .unwrap_or_else(|| panic!("missing series {name}"))
+                .1
+        };
+        assert_eq!(get("t.events").count, 2);
+        assert_eq!(get("t.events").sum, 2.0);
+        assert_eq!(get("t.bytes").count, 2);
+        assert_eq!(get("t.bytes").sum, 128.0);
+        assert_eq!(get("t.bytes").max, 100.0);
+        assert_eq!(get("t.scope").kind, Kind::Timer);
+        assert_eq!(get("t.scope").count, 1);
+
+        // Snapshot is sorted by name.
+        let names: Vec<&str> = snap.iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+
+        // Exiting threads fold their buffers in without explicit flush.
+        std::thread::spawn(|| {
+            counter!("t.cross_thread", 7u32);
+        })
+        .join()
+        .unwrap();
+        let snap = snapshot();
+        assert!(snap
+            .iter()
+            .any(|(n, s)| *n == "t.cross_thread" && s.sum == 7.0));
+
+        // Reset clears everything.
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}
