@@ -2,13 +2,18 @@
 //! EXPERIMENTS.md, and writes each table as machine-readable
 //! `BENCH_<experiment>.json` in the working directory.
 //!
-//! Usage: `cargo run --release -p bernoulli-bench --bin experiments -- [all|fig12|mvm|join|order|costmodel|parallel|trace]`
+//! Usage: `cargo run --release -p bernoulli-bench --bin experiments -- [all|fig12|mvm|join|order|costmodel|parallel|trace|synth]`
 //!
 //! `trace` exercises the synthesis pipeline and the parallel runtime
 //! under the observability layer and writes `BENCH_trace.json`. It
 //! always emits workload-derived series; compiling with
 //! `--features trace` adds the instrumented counters from
 //! `bernoulli-trace` (and sets `"trace_feature": true`).
+//!
+//! `synth` measures the synthesis search itself (S34): sequential vs
+//! pool-parallel wall time, warm-cache speedup, polyhedral memo-cache
+//! hit rates and branch-and-bound pruning counts over the same five
+//! workloads, writing `BENCH_synth.json`.
 
 #![allow(clippy::needless_range_loop, clippy::type_complexity)]
 use bernoulli_bench::report::{obj, Json};
@@ -44,6 +49,7 @@ fn main() {
         "costmodel" => costmodel(),
         "parallel" => parallel_scaling(),
         "trace" => trace(),
+        "synth" => synth_perf(),
         "all" => {
             fig12();
             mvm();
@@ -52,10 +58,13 @@ fn main() {
             costmodel();
             parallel_scaling();
             trace();
+            synth_perf();
         }
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("usage: experiments [all|fig12|mvm|join|order|costmodel|parallel|trace]");
+            eprintln!(
+                "usage: experiments [all|fig12|mvm|join|order|costmodel|parallel|trace|synth]"
+            );
             std::process::exit(1);
         }
     }
@@ -751,18 +760,20 @@ fn parallel_scaling() {
 /// - **series** — the `bernoulli-trace` registry snapshot (embedding
 ///   rejections, Farkas/emptiness test counts, chunk steals, pool busy
 ///   time, ...); populated only when built with `--features trace`.
-fn trace() {
+///
+/// The five synthesis workloads shared by the `trace` and `synth`
+/// experiments: one search per (kernel, format) pair, the join pair
+/// exercising both merge and hash-search lowering. The spdot runs carry
+/// sparse-vector statistics so the cost model prefers stored-entry
+/// enumeration over the dense interval (same steering as
+/// `examples/join_strategies.rs`).
+fn synth_workloads() -> Vec<(
+    &'static str,
+    bernoulli_ir::Program,
+    Vec<(&'static str, bernoulli_formats::view::FormatView)>,
+    SynthOptions,
+)> {
     use bernoulli_formats::formats::sparsevec::{hashvec_format_view, sparsevec_format_view};
-    use bernoulli_synth::plan::StepKind;
-
-    println!("== S33: observability trace (BENCH_trace.json) ==");
-    bernoulli_trace::reset();
-
-    // --- Synthesis sweep: one search per (kernel, format) pair, the
-    // join pair exercising both merge and hash-search lowering. The
-    // spdot runs carry sparse-vector statistics so the cost model
-    // prefers stored-entry enumeration over the dense interval (same
-    // steering as `examples/join_strategies.rs`).
     let spdot_stats = bernoulli_synth::WorkloadStats::default()
         .with_param("N", 10_000.0)
         .with_matrix("x", 10_000.0, 1.0, 300.0)
@@ -776,7 +787,7 @@ fn trace() {
         stats: stats.clone(),
         ..SynthOptions::default()
     };
-    let synth_runs: Vec<(&str, bernoulli_ir::Program, Vec<(&str, _)>, SynthOptions)> = vec![
+    vec![
         (
             "mvm/csr",
             kernels::mvm(),
@@ -810,7 +821,17 @@ fn trace() {
             vec![("x", sparsevec_format_view()), ("y", hashvec_format_view())],
             with_stats(&spdot_stats),
         ),
-    ];
+    ]
+}
+
+fn trace() {
+    use bernoulli_synth::plan::StepKind;
+
+    println!("== S33: observability trace (BENCH_trace.json) ==");
+    bernoulli_trace::reset();
+
+    // --- Synthesis sweep over the shared workloads. ---
+    let synth_runs = synth_workloads();
     let mut examined_total = 0usize;
     let mut kept_total = 0usize;
     let (mut join_level, mut join_merge, mut join_interval) = (0usize, 0usize, 0usize);
@@ -974,6 +995,167 @@ fn trace() {
                 "pool_utilization",
                 utilization.map_or(Json::Null, Json::num),
             ),
+        ]),
+    );
+    println!();
+}
+
+/// S34 — synthesis performance: memoized polyhedral queries, parallel
+/// cost-pruned search and the whole-search plan cache, measured over
+/// the same five workloads as the trace experiment. Writes
+/// `BENCH_synth.json`.
+fn synth_perf() {
+    use bernoulli_polyhedra as poly;
+    use bernoulli_synth::{plan_cache_clear, plan_cache_stats, synthesize_all_report};
+
+    println!("== S34: synthesis performance (BENCH_synth.json) ==");
+    let lanes = par::Pool::global().nthreads();
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!("  pool lanes={lanes}, host cores={cores}");
+
+    let workloads = synth_workloads();
+    let mut rows = Vec::new();
+    for (label, program, views, base_opts) in &workloads {
+        let opts_seq = SynthOptions {
+            parallel: false,
+            cache_plans: false,
+            ..base_opts.clone()
+        };
+        let opts_par = SynthOptions {
+            parallel: true,
+            cache_plans: false,
+            ..base_opts.clone()
+        };
+
+        // Cold timings: the polyhedral memo caches are cleared *inside*
+        // the timed closure so every rep pays the full first-search
+        // cost. The plan cache is off so the search actually runs.
+        let t_seq = time_best_of(3, 4, || {
+            poly::clear_caches();
+            black_box(synthesize_all_report(program, views, &opts_seq).unwrap());
+        });
+        let t_par = time_best_of(3, 4, || {
+            poly::clear_caches();
+            black_box(synthesize_all_report(program, views, &opts_par).unwrap());
+        });
+        // Warm polyhedral caches: the repeated-synthesis steady state
+        // (still searching — only the polyhedral answers are memoized).
+        poly::clear_caches();
+        let rep = synthesize_all_report(program, views, &opts_seq).unwrap();
+        let t_warm = time_best_of(3, 4, || {
+            black_box(synthesize_all_report(program, views, &opts_seq).unwrap());
+        });
+
+        // Intra-search polyhedral hit rate, from the single cold search
+        // above (before the warm reps re-queried everything).
+        poly::clear_caches();
+        let rep_par = synthesize_all_report(program, views, &opts_par).unwrap();
+        let ps = poly::cache_stats();
+        let total_q = (ps.empty_hits + ps.empty_misses + ps.fm_hits + ps.fm_misses).max(1);
+        let poly_hit = (ps.empty_hits + ps.fm_hits) as f64 / total_q as f64;
+
+        // Determinism spot-check: the pool-parallel search must return
+        // exactly the sequential ranking (the synth_search_parallel
+        // suite proves this per pool size; assert it here too so the
+        // published numbers compare identical work).
+        assert_eq!(rep.examined, rep_par.examined, "{label}: examined diverged");
+        assert_eq!(
+            rep.candidates.len(),
+            rep_par.candidates.len(),
+            "{label}: kept diverged"
+        );
+        for (a, b) in rep.candidates.iter().zip(&rep_par.candidates) {
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "{label}: cost diverged");
+        }
+
+        // Branch-and-bound engagement in best-plan mode (keep=1, what
+        // `synthesize` needs): once the seed incumbent holds a plan, how
+        // many embeddings the admissible floor spares from lowering.
+        let opts_k1 = SynthOptions {
+            keep: 1,
+            parallel: false,
+            cache_plans: false,
+            ..base_opts.clone()
+        };
+        let rep1 = synthesize_all_report(program, views, &opts_k1).unwrap();
+        let rep1_np = synthesize_all_report(
+            program,
+            views,
+            &SynthOptions {
+                prune: false,
+                ..opts_k1.clone()
+            },
+        )
+        .unwrap();
+        // Admissibility check: pruning must not change the best plan.
+        assert_eq!(
+            rep1.candidates.first().map(|c| c.cost.to_bits()),
+            rep1_np.candidates.first().map(|c| c.cost.to_bits()),
+            "{label}: pruning changed the best candidate"
+        );
+
+        // Plan cache: the second identical call must be a pure lookup.
+        plan_cache_clear();
+        let opts_cached = SynthOptions {
+            parallel: false,
+            cache_plans: true,
+            ..base_opts.clone()
+        };
+        let first = synthesize_all_report(program, views, &opts_cached).unwrap();
+        let second = synthesize_all_report(program, views, &opts_cached).unwrap();
+        assert!(
+            !first.plan_cache_hit,
+            "{label}: first call hit a stale entry"
+        );
+        assert!(second.plan_cache_hit, "{label}: second call missed");
+        let t_cached = time_best_of(3, 32, || {
+            black_box(synthesize_all_report(program, views, &opts_cached).unwrap());
+        });
+
+        println!(
+            "  {label:<12} seq {:7.2} ms  par {:7.2} ms  warm {:7.2} ms  cached {:7.1} us  poly-hit {:5.1}%  pruned(keep=1) {}/{}",
+            t_seq * 1e3,
+            t_par * 1e3,
+            t_warm * 1e3,
+            t_cached * 1e6,
+            poly_hit * 100.0,
+            rep1.pruned,
+            rep1_np.examined,
+        );
+
+        rows.push(obj(vec![
+            ("workload", Json::str(*label)),
+            ("examined", Json::num(rep.examined as f64)),
+            ("kept", Json::num(rep.candidates.len() as f64)),
+            ("seq_ms", Json::num(t_seq * 1e3)),
+            ("par_ms", Json::num(t_par * 1e3)),
+            ("warm_ms", Json::num(t_warm * 1e3)),
+            ("cached_us", Json::num(t_cached * 1e6)),
+            ("seq_per_s", Json::num(1.0 / t_seq)),
+            ("par_per_s", Json::num(1.0 / t_par)),
+            ("warm_per_s", Json::num(1.0 / t_warm)),
+            ("poly_cache_hit_rate", Json::num(poly_hit)),
+            ("poly_empty_hit_rate", Json::num(ps.empty_hit_rate())),
+            ("poly_fm_hit_rate", Json::num(ps.fm_hit_rate())),
+            ("pruned_keep1", Json::num(rep1.pruned as f64)),
+            ("examined_keep1", Json::num(rep1.examined as f64)),
+            ("examined_keep1_noprune", Json::num(rep1_np.examined as f64)),
+            ("plan_cache_second_hit", Json::Bool(second.plan_cache_hit)),
+        ]));
+    }
+
+    let pc = plan_cache_stats();
+    report::write(
+        "BENCH_synth.json",
+        &obj(vec![
+            ("experiment", Json::str("synth")),
+            ("pool_lanes", Json::num(lanes as f64)),
+            ("host_cores", Json::num(cores as f64)),
+            ("workloads", Json::Arr(rows)),
+            ("plan_cache_hits", Json::num(pc.hits as f64)),
+            ("plan_cache_misses", Json::num(pc.misses as f64)),
         ]),
     );
     println!();

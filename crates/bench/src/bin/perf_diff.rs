@@ -13,16 +13,22 @@
 
 use bernoulli_bench::report::{parse, Json};
 
-/// Throughput leaves (higher is better). Time-per-op fields (`*_us`)
-/// are deliberately excluded: their medians live in the same reports
-/// but regressions there are already visible through these.
-const METRICS: [&str; 6] = [
+/// Throughput leaves (higher is better). Time-per-op fields (`*_us`,
+/// `*_ms`) are deliberately excluded: their medians live in the same
+/// reports but regressions there are already visible through these.
+/// The `*_per_s` and `poly_cache_hit_rate` leaves come from the S34
+/// synthesis-performance report (`BENCH_synth.json`).
+const METRICS: [&str; 10] = [
     "synth",
     "nist_c",
     "nist_f",
     "mflops",
     "seq_mflops",
     "csr_parallel_4",
+    "seq_per_s",
+    "par_per_s",
+    "warm_per_s",
+    "poly_cache_hit_rate",
 ];
 
 /// Flattens a report into `(labeled path, value)` pairs; objects

@@ -1,0 +1,183 @@
+//! The S34 determinism contract: the synthesis search returns
+//! byte-identical ranked candidates, `examined` and `pruned` counts
+//! whether it runs sequentially or fanned out over a worker pool of any
+//! size — and branch-and-bound pruning never changes the kept
+//! candidates, only how much lowering work it took to find them.
+
+use bernoulli_blas::{kernels, synth};
+use bernoulli_formats::formats::sparsevec::{hashvec_format_view, sparsevec_format_view};
+use bernoulli_formats::view::FormatView;
+use bernoulli_ir::Program;
+use bernoulli_pool::Pool;
+use bernoulli_synth::{
+    synthesize_all_report, synthesize_all_with_pool, SearchReport, SynthOptions, WorkloadStats,
+};
+
+type Workload = (
+    &'static str,
+    Program,
+    Vec<(&'static str, FormatView)>,
+    SynthOptions,
+);
+
+/// The five trace workloads, mirroring `experiments -- synth`.
+fn workloads() -> Vec<Workload> {
+    let spdot_stats = WorkloadStats::default()
+        .with_param("N", 10_000.0)
+        .with_matrix("x", 10_000.0, 1.0, 300.0)
+        .with_matrix("y", 10_000.0, 1.0, 500.0);
+    let matrix_stats = WorkloadStats::default()
+        .with_param("N", 1072.0)
+        .with_param("M", 1072.0)
+        .with_matrix("A", 1072.0, 1072.0, 12_444.0)
+        .with_matrix("L", 1072.0, 1072.0, 6_758.0);
+    let with_stats = |stats: &WorkloadStats| SynthOptions {
+        stats: stats.clone(),
+        // The plan cache would make every call after the first a lookup;
+        // these tests compare genuine searches.
+        cache_plans: false,
+        ..SynthOptions::default()
+    };
+    vec![
+        (
+            "mvm/csr",
+            kernels::mvm(),
+            vec![("A", synth::view_for("mvm", "csr"))],
+            with_stats(&matrix_stats),
+        ),
+        (
+            "ts/csr",
+            kernels::ts(),
+            vec![("L", synth::view_for("ts", "csr"))],
+            with_stats(&matrix_stats),
+        ),
+        (
+            "ts/jad",
+            kernels::ts(),
+            vec![("L", synth::view_for("ts", "jad"))],
+            with_stats(&matrix_stats),
+        ),
+        (
+            "spdot/merge",
+            kernels::spdot(),
+            vec![
+                ("x", sparsevec_format_view()),
+                ("y", sparsevec_format_view()),
+            ],
+            with_stats(&spdot_stats),
+        ),
+        (
+            "spdot/hash",
+            kernels::spdot(),
+            vec![("x", sparsevec_format_view()), ("y", hashvec_format_view())],
+            with_stats(&spdot_stats),
+        ),
+    ]
+}
+
+fn assert_identical(label: &str, a: &SearchReport, b: &SearchReport) {
+    assert_eq!(a.examined, b.examined, "{label}: examined diverged");
+    assert_eq!(a.pruned, b.pruned, "{label}: pruned diverged");
+    assert_eq!(a.reasons, b.reasons, "{label}: reasons diverged");
+    assert_eq!(
+        a.candidates.len(),
+        b.candidates.len(),
+        "{label}: candidate count diverged"
+    );
+    for (i, (x, y)) in a.candidates.iter().zip(&b.candidates).enumerate() {
+        assert_eq!(
+            x.cost.to_bits(),
+            y.cost.to_bits(),
+            "{label}: candidate {i} cost diverged"
+        );
+        assert_eq!(x.choices, y.choices, "{label}: candidate {i} choices");
+        assert_eq!(
+            x.safety_notes, y.safety_notes,
+            "{label}: candidate {i} safety notes"
+        );
+        assert_eq!(
+            x.plan.to_string(),
+            y.plan.to_string(),
+            "{label}: candidate {i} plan"
+        );
+    }
+}
+
+/// Property (satellite c): for every workload and pool size in
+/// {1, 2, 8}, the pooled search is byte-identical to the sequential
+/// one — same ranked candidates, costs, plans, `examined`, `pruned`.
+#[test]
+fn parallel_matches_sequential_for_all_pool_sizes() {
+    for (label, p, views, base) in workloads() {
+        let opts = SynthOptions {
+            parallel: false,
+            ..base
+        };
+        let seq = synthesize_all_report(&p, &views, &opts).unwrap();
+        assert!(
+            !seq.candidates.is_empty(),
+            "{label}: workload must synthesize"
+        );
+        for threads in [1usize, 2, 8] {
+            let pool = Pool::new(threads);
+            let par = synthesize_all_with_pool(&p, &views, &opts, &pool).unwrap();
+            assert_identical(&format!("{label}/threads={threads}"), &seq, &par);
+        }
+    }
+}
+
+/// Branch-and-bound in best-plan mode (keep=1) skips lowering work but
+/// must not change the result: prune on/off agree on the kept
+/// candidate bit-for-bit (the floor is admissible), and the pruned
+/// search stays deterministic across pool sizes.
+#[test]
+fn pruning_is_admissible_and_deterministic() {
+    let mut total_pruned = 0usize;
+    for (label, p, views, base) in workloads() {
+        let pruned_opts = SynthOptions {
+            keep: 1,
+            parallel: false,
+            ..base
+        };
+        let unpruned_opts = SynthOptions {
+            prune: false,
+            ..pruned_opts.clone()
+        };
+        let with = synthesize_all_report(&p, &views, &pruned_opts).unwrap();
+        let without = synthesize_all_report(&p, &views, &unpruned_opts).unwrap();
+        assert_eq!(
+            with.examined, without.examined,
+            "{label}: pruning must not change how many embeddings are considered"
+        );
+        assert_eq!(without.pruned, 0, "{label}: prune=false never prunes");
+        assert_eq!(
+            with.candidates.len(),
+            without.candidates.len(),
+            "{label}: pruning changed the number of kept candidates"
+        );
+        for (x, y) in with.candidates.iter().zip(&without.candidates) {
+            assert_eq!(
+                x.cost.to_bits(),
+                y.cost.to_bits(),
+                "{label}: pruning changed the best cost — floor is not admissible"
+            );
+            assert_eq!(
+                x.plan.to_string(),
+                y.plan.to_string(),
+                "{label}: pruning changed the best plan"
+            );
+        }
+        for threads in [1usize, 2, 8] {
+            let pool = Pool::new(threads);
+            let par = synthesize_all_with_pool(&p, &views, &pruned_opts, &pool).unwrap();
+            assert_identical(&format!("{label}/pruned/threads={threads}"), &with, &par);
+        }
+        total_pruned += with.pruned;
+    }
+    // The bound must actually engage somewhere (ts/jad prunes the
+    // cross-product-shaped embeddings of its fruitless configurations).
+    assert!(
+        total_pruned > 0,
+        "branch-and-bound never engaged on any workload"
+    );
+}

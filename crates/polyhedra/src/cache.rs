@@ -1,0 +1,444 @@
+//! Memoization of the polyhedral decision procedures (S34).
+//!
+//! The synthesizer re-runs Fourier–Motzkin eliminations and emptiness /
+//! implication tests on *structurally identical* constraint systems for
+//! every (configuration, order, embedding) triple it examines — 37
+//! triples for TS-on-JAD alone — and again for every repeated synthesis
+//! request. This module gives [`System::is_empty`] and
+//! [`eliminate_var`](crate::eliminate_var) a process-wide, sharded memo
+//! cache:
+//!
+//! - **Emptiness** is keyed by the [`CanonicalKey`] of the system —
+//!   constraints gcd-normalized to primitive integer rows,
+//!   sign-canonicalized equalities, sorted — so the cached answer is
+//!   shared across constraint insertion orders, positive scalings and
+//!   variable *renamings* (the key stores coefficients, not names).
+//!   [`System::implies`] is memoized through the same cache, since it
+//!   decides `self ∧ ¬c` emptiness.
+//! - **FM elimination** is keyed by the exact constraint sequence plus
+//!   the eliminated column, because the *order* of the resulting rows
+//!   must be byte-identical to an uncached run (downstream guard
+//!   simplification walks them in order). The cached value is the row
+//!   set of the projected system; variable names are re-attached from
+//!   the caller's system, so structurally identical systems over
+//!   different index names still share one entry.
+//!
+//! Both caches are sharded 16 ways to keep the parallel search's
+//! threads off each other's locks, capped per shard (a full shard is
+//! simply cleared — memoization is an optimization, never a correctness
+//! dependency), and instrumented twice over: `counter!` series
+//! (`polyhedra.cache.{empty,fm}_{hits,misses}`) for trace builds, and
+//! always-on atomics surfaced through [`cache_stats`] so the benchmark
+//! harness can report hit rates without the `trace` feature.
+
+use crate::system::{Constraint, ConstraintKind, System};
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+const NSHARDS: usize = 16;
+/// Per-shard entry cap; a shard that fills up is cleared wholesale.
+/// 16 shards × 4096 entries bounds each cache to ~64k systems.
+const SHARD_CAP: usize = 4096;
+
+/// One constraint as a hashable integer row:
+/// `(kind, [(numer, denom); nvars], (cst numer, cst denom))`.
+type Row = (u8, Vec<(i128, i128)>, (i128, i128));
+
+/// Canonical, name-free form of a [`System`] — the emptiness cache key.
+///
+/// Two systems get equal keys iff they have the same variable count and
+/// the same *set* of gcd-normalized constraints, regardless of the
+/// order constraints were added in, of positive per-constraint scaling
+/// (and sign for equalities), and of what the variables are called.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CanonicalKey {
+    nvars: usize,
+    rows: Vec<Row>,
+}
+
+fn raw_row(c: &Constraint) -> Row {
+    let kind = match c.kind {
+        ConstraintKind::Ge => 0u8,
+        ConstraintKind::Eq => 1u8,
+    };
+    let coeffs = c
+        .expr
+        .coeffs
+        .iter()
+        .map(|r| (r.numer(), r.denom()))
+        .collect();
+    (kind, coeffs, (c.expr.cst.numer(), c.expr.cst.denom()))
+}
+
+fn canonical_row(c: &Constraint) -> Row {
+    // `System::add` already normalizes rows to primitive integers, but
+    // canonicalize defensively so keys never depend on how a system was
+    // assembled.
+    let mut e = c.expr.clone();
+    e.normalize_primitive();
+    if c.kind == ConstraintKind::Eq {
+        // An equality is invariant under negation; fix the sign so the
+        // first nonzero coefficient (or the constant) is positive.
+        let lead = e
+            .coeffs
+            .iter()
+            .find(|r| !r.is_zero())
+            .copied()
+            .unwrap_or(e.cst);
+        if lead.is_negative() {
+            for x in e.coeffs.iter_mut() {
+                *x = -*x;
+            }
+            e.cst = -e.cst;
+        }
+    }
+    raw_row(&Constraint {
+        expr: e,
+        kind: c.kind,
+    })
+}
+
+/// Canonical cache key of a system (see [`CanonicalKey`]).
+pub fn canonical_key(sys: &System) -> CanonicalKey {
+    let mut rows: Vec<Row> = sys.constraints().iter().map(canonical_row).collect();
+    rows.sort_unstable();
+    rows.dedup();
+    CanonicalKey {
+        nvars: sys.num_vars(),
+        rows,
+    }
+}
+
+/// Exact-sequence key for one FM elimination: `(nvars, rows in system
+/// order, eliminated column)`. Deliberately *not* sorted — the cached
+/// result's row order must match what the uncached computation would
+/// have produced for this input order.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct FmKey {
+    nvars: usize,
+    rows: Vec<Row>,
+    j: usize,
+}
+
+pub(crate) fn fm_key(sys: &System, j: usize) -> FmKey {
+    FmKey {
+        nvars: sys.num_vars(),
+        rows: sys.constraints().iter().map(raw_row).collect(),
+        j,
+    }
+}
+
+/// A hash-sharded memo map with always-on hit/miss accounting.
+struct ShardedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
+    fn new() -> ShardedCache<K, V> {
+        ShardedCache {
+            shards: (0..NSHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, k: &K) -> &Mutex<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        k.hash(&mut h);
+        &self.shards[(h.finish() as usize) % NSHARDS]
+    }
+
+    /// Poison-tolerant lock: a panic mid-insert leaves at worst a
+    /// missing memo entry, never a wrong one.
+    fn lock<'a>(m: &'a Mutex<HashMap<K, V>>) -> std::sync::MutexGuard<'a, HashMap<K, V>> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+
+    fn lookup(&self, k: &K) -> Option<V> {
+        let got = Self::lock(self.shard(k)).get(k).cloned();
+        match got {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, k: K, v: V) {
+        let mut g = Self::lock(self.shard(&k));
+        if g.len() >= SHARD_CAP {
+            g.clear();
+        }
+        g.insert(k, v);
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            Self::lock(s).clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    fn counts(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+fn empty_cache() -> &'static ShardedCache<CanonicalKey, bool> {
+    static C: OnceLock<ShardedCache<CanonicalKey, bool>> = OnceLock::new();
+    C.get_or_init(ShardedCache::new)
+}
+
+fn fm_cache() -> &'static ShardedCache<FmKey, Vec<Constraint>> {
+    static C: OnceLock<ShardedCache<FmKey, Vec<Constraint>>> = OnceLock::new();
+    C.get_or_init(ShardedCache::new)
+}
+
+pub(crate) fn empty_lookup(k: &CanonicalKey) -> Option<bool> {
+    empty_cache().lookup(k)
+}
+
+pub(crate) fn empty_store(k: CanonicalKey, v: bool) {
+    empty_cache().store(k, v);
+}
+
+pub(crate) fn fm_lookup(k: &FmKey) -> Option<Vec<Constraint>> {
+    fm_cache().lookup(k)
+}
+
+pub(crate) fn fm_store(k: FmKey, v: Vec<Constraint>) {
+    fm_cache().store(k, v);
+}
+
+/// Hit/miss totals of the polyhedral memo caches since process start
+/// (or the last [`clear_caches`]). Always available — the counts do not
+/// depend on the `trace` feature.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub empty_hits: u64,
+    pub empty_misses: u64,
+    pub fm_hits: u64,
+    pub fm_misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction of the emptiness cache (0 when unused).
+    pub fn empty_hit_rate(&self) -> f64 {
+        let total = self.empty_hits + self.empty_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.empty_hits as f64 / total as f64
+        }
+    }
+
+    /// Hit fraction of the FM-elimination cache (0 when unused).
+    pub fn fm_hit_rate(&self) -> f64 {
+        let total = self.fm_hits + self.fm_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.fm_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Current hit/miss totals of both caches.
+pub fn cache_stats() -> CacheStats {
+    let (eh, em) = empty_cache().counts();
+    let (fh, fm) = fm_cache().counts();
+    CacheStats {
+        empty_hits: eh,
+        empty_misses: em,
+        fm_hits: fh,
+        fm_misses: fm,
+    }
+}
+
+/// Drops every memoized result and zeroes the hit/miss counts.
+/// Benchmarks call this to measure cold-cache behavior; correctness
+/// never depends on it.
+pub fn clear_caches() {
+    empty_cache().clear();
+    fm_cache().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinExpr;
+    use bernoulli_numeric::Rational;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// The caches are process-global and sibling tests in this crate run
+    /// `is_empty` concurrently, so stats-sensitive tests serialize on
+    /// this lock and only assert monotone (>=) properties — concurrent
+    /// activity can add hits/misses but, with no other caller of
+    /// `clear_caches`, never remove them.
+    fn stats_lock() -> std::sync::MutexGuard<'static, ()> {
+        static L: Mutex<()> = Mutex::new(());
+        match L.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// 0 <= i <= 9, i <= j, built with `add` calls in the given order.
+    fn box_sys(order: &[usize]) -> System {
+        let mut s = System::new(names(&["i", "j"]));
+        let i = LinExpr::var(2, 0);
+        let j = LinExpr::var(2, 1);
+        let cons = [
+            Constraint::ge0(i.clone()),
+            Constraint::ge0(&LinExpr::constant(2, 9) - &i),
+            Constraint::ge0(&j - &i),
+        ];
+        for &k in order {
+            s.add(cons[k].clone());
+        }
+        s
+    }
+
+    #[test]
+    fn key_invariant_under_constraint_permutation() {
+        let a = box_sys(&[0, 1, 2]);
+        let b = box_sys(&[2, 0, 1]);
+        let c = box_sys(&[1, 2, 0]);
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_eq!(a.canonical_key(), c.canonical_key());
+    }
+
+    #[test]
+    fn key_invariant_under_scaling() {
+        // 2i - 4 >= 0 normalizes to i - 2 >= 0.
+        let mut a = System::new(names(&["i"]));
+        let two_i = &LinExpr::var(1, 0) * Rational::int(2);
+        a.add(Constraint::ge0(&two_i - &LinExpr::constant(1, 4)));
+        let mut b = System::new(names(&["i"]));
+        b.add(Constraint::ge0(
+            &LinExpr::var(1, 0) - &LinExpr::constant(1, 2),
+        ));
+        assert_eq!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn key_invariant_under_equality_negation() {
+        // i - j = 0 and j - i = 0 are the same constraint.
+        let mut a = System::new(names(&["i", "j"]));
+        a.add(Constraint::eq0(&LinExpr::var(2, 0) - &LinExpr::var(2, 1)));
+        let mut b = System::new(names(&["i", "j"]));
+        b.add(Constraint::eq0(&LinExpr::var(2, 1) - &LinExpr::var(2, 0)));
+        assert_eq!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn key_invariant_under_variable_renaming_only() {
+        let a = box_sys(&[0, 1, 2]);
+        let mut b = System::new(names(&["p", "q"]));
+        let p = LinExpr::var(2, 0);
+        let q = LinExpr::var(2, 1);
+        b.add(Constraint::ge0(p.clone()));
+        b.add(Constraint::ge0(&LinExpr::constant(2, 9) - &p));
+        b.add(Constraint::ge0(&q - &p));
+        assert_eq!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn distinct_systems_get_distinct_keys() {
+        let a = box_sys(&[0, 1, 2]);
+        let mut b = box_sys(&[0, 1, 2]);
+        b.add(Constraint::ge0(
+            &LinExpr::constant(2, 100) - &LinExpr::var(2, 1),
+        ));
+        assert_ne!(a.canonical_key(), b.canonical_key());
+        // A >= constraint is not the same as its equality counterpart.
+        let mut c = System::new(names(&["i"]));
+        c.add(Constraint::ge0(LinExpr::var(1, 0)));
+        let mut d = System::new(names(&["i"]));
+        d.add(Constraint::eq0(LinExpr::var(1, 0)));
+        assert_ne!(c.canonical_key(), d.canonical_key());
+    }
+
+    #[test]
+    fn memoized_emptiness_matches_fresh_and_counts_hits() {
+        let _g = stats_lock();
+        let mut nonempty = box_sys(&[0, 1, 2]);
+        assert!(!nonempty.is_empty());
+        let base = cache_stats();
+        // Same constraints, different insertion order and names: the
+        // second query must hit the entry the first one populated.
+        let mut renamed = System::new(names(&["a", "b"]));
+        let a = LinExpr::var(2, 0);
+        let b = LinExpr::var(2, 1);
+        renamed.add(Constraint::ge0(&b - &a));
+        renamed.add(Constraint::ge0(a.clone()));
+        renamed.add(Constraint::ge0(&LinExpr::constant(2, 9) - &a));
+        assert!(!renamed.is_empty());
+        let after = cache_stats();
+        assert!(after.empty_hits > base.empty_hits, "{base:?} -> {after:?}");
+
+        // A genuinely different (empty) system misses, then hits, and the
+        // memoized verdict matches the fresh one.
+        nonempty.add(Constraint::ge0(
+            &LinExpr::var(2, 0) - &LinExpr::constant(2, 50),
+        ));
+        assert!(nonempty.is_empty());
+        assert!(nonempty.is_empty());
+        let fin = cache_stats();
+        assert!(
+            fin.empty_misses > after.empty_misses,
+            "{after:?} -> {fin:?}"
+        );
+        assert!(fin.empty_hits > after.empty_hits, "{after:?} -> {fin:?}");
+        assert!(fin.empty_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn clear_resets_stats() {
+        let _g = stats_lock();
+        let s = box_sys(&[0, 1, 2]);
+        assert!(!s.is_empty());
+        assert!(!s.is_empty());
+        clear_caches();
+        // Rebuilding from zero: the identical query misses again.
+        let before = cache_stats();
+        assert!(!s.is_empty());
+        let after = cache_stats();
+        assert!(after.empty_misses > before.empty_misses);
+    }
+
+    #[test]
+    fn fm_cache_returns_byte_identical_systems() {
+        let _g = stats_lock();
+        let s = box_sys(&[0, 1, 2]);
+        let cold = crate::eliminate_var(&s, 0);
+        let base = cache_stats();
+        let warm = crate::eliminate_var(&s, 0);
+        assert_eq!(cold, warm);
+        assert_eq!(cold.vars(), warm.vars());
+        let stats = cache_stats();
+        assert!(
+            stats.fm_hits > base.fm_hits,
+            "second elimination must hit: {base:?} -> {stats:?}"
+        );
+        assert!(stats.fm_hit_rate() > 0.0);
+    }
+}

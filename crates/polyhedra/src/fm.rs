@@ -9,10 +9,30 @@ use crate::{Constraint, ConstraintKind, LinExpr, System};
 /// is used for exact Gaussian substitution when available, which both
 /// avoids the quadratic lower×upper combination and keeps the result
 /// tight for integers whenever the equality has a ±1 coefficient on `j`.
+/// Memoized wrapper over the raw elimination: results are cached
+/// process-wide under an *exact* `(rows-in-order, column)` key — not the
+/// canonical one — because the row order of the projection feeds
+/// downstream guard simplification and must be byte-identical to an
+/// uncached run. Rows carry no variable names, so structurally identical
+/// systems over different index names share one entry; the survivor
+/// names are re-attached from `sys` on a hit.
 pub fn eliminate_var(sys: &System, j: usize) -> System {
     assert!(j < sys.num_vars(), "variable index out of range");
     bernoulli_trace::counter!("polyhedra.fm_eliminations");
+    let key = crate::cache::fm_key(sys, j);
+    if let Some(rows) = crate::cache::fm_lookup(&key) {
+        bernoulli_trace::counter!("polyhedra.cache.fm_hits");
+        let mut vars = sys.vars().to_vec();
+        vars.remove(j);
+        return System::from_parts(vars, rows);
+    }
+    bernoulli_trace::counter!("polyhedra.cache.fm_misses");
+    let out = eliminate_var_uncached(sys, j);
+    crate::cache::fm_store(key, out.constraints().to_vec());
+    out
+}
 
+fn eliminate_var_uncached(sys: &System, j: usize) -> System {
     // Prefer substitution through an equality with the smallest |coeff|.
     let eq_idx = sys
         .constraints()

@@ -25,11 +25,13 @@
 //! illegal one).
 
 #![allow(clippy::needless_range_loop)]
+pub mod cache;
 mod expr;
 mod farkas;
 mod fm;
 mod system;
 
+pub use cache::{cache_stats, clear_caches, CacheStats};
 pub use expr::LinExpr;
 pub use farkas::farkas_nonneg_conditions;
 pub use fm::{eliminate_var, variable_bounds};

@@ -180,12 +180,35 @@ impl System {
     /// Exact over the rationals; the integer tightening applied by [`Self::add`]
     /// makes it exact for the integer polyhedra produced by the loop nests
     /// we handle. `true` means *definitely empty*.
+    ///
+    /// Results are memoized process-wide by [`Self::canonical_key`] (see
+    /// [`crate::cache`]): repeated queries on structurally identical
+    /// systems — regardless of constraint order, scaling, or variable
+    /// names — skip the elimination entirely.
     pub fn is_empty(&self) -> bool {
         bernoulli_trace::counter!("polyhedra.emptiness_tests");
         bernoulli_trace::span!("polyhedra.emptiness");
         if self.has_contradiction() {
             return true;
         }
+        if self.cons.is_empty() {
+            return false; // the universe; not worth a cache entry
+        }
+        let key = crate::cache::canonical_key(self);
+        if let Some(v) = crate::cache::empty_lookup(&key) {
+            bernoulli_trace::counter!("polyhedra.cache.empty_hits");
+            return v;
+        }
+        bernoulli_trace::counter!("polyhedra.cache.empty_misses");
+        let v = self.is_empty_uncached();
+        crate::cache::empty_store(key, v);
+        v
+    }
+
+    /// The full Fourier–Motzkin emptiness decision, bypassing the memo
+    /// cache (the per-step [`eliminate_var`] calls still use the FM
+    /// memo, which is keyed exactly and reproduces identical rows).
+    fn is_empty_uncached(&self) -> bool {
         let mut cur = self.clone();
         // Eliminate variables one at a time, preferring variables that
         // appear in few constraints (cheap heuristic against FM blowup).
@@ -211,6 +234,15 @@ impl System {
             cur = eliminate_var(&cur, best);
         }
         cur.has_contradiction()
+    }
+
+    /// The canonical, name-free memo-cache key of this system:
+    /// constraints as gcd-normalized integer rows, equalities
+    /// sign-canonicalized, sorted and deduplicated. Equal keys ⟹ equal
+    /// integer point sets up to variable renaming; permuting or
+    /// (positively) rescaling constraints never changes the key.
+    pub fn canonical_key(&self) -> crate::cache::CanonicalKey {
+        crate::cache::canonical_key(self)
     }
 
     /// True iff `c` holds at every integer point of the system.

@@ -1,0 +1,388 @@
+//! Reusable compute pool: persistent workers with scoped, chunk-stealing
+//! execution and a deterministic parallel map.
+//!
+//! Hoisted out of `bernoulli-blas::par` (S32) so that both the generated
+//! kernels *and* the synthesizer's search (S34) share one process-wide
+//! set of worker threads. The original `crossbeam::scope` design spawned
+//! fresh OS threads on every kernel call — tens of microseconds of
+//! overhead against kernels that finish in ten. This pool spawns its
+//! workers once (lazily, on first parallel call), parks them on
+//! channels, and broadcasts each job to every worker; a job is a
+//! borrowed closure plus an atomic chunk counter, so workers *steal
+//! chunks*, not rows, and load imbalance between chunks self-corrects.
+//!
+//! Three entry points, from rawest to most convenient:
+//!
+//! - [`Pool::run`] — `f(chunk)` for every `chunk in 0..nchunks` through
+//!   a `&dyn Fn` (object-safe core; no allocation per call);
+//! - [`Pool::scope`] — the same with a generic closure;
+//! - [`Pool::par_map`] — maps a slice to a `Vec` of results whose order
+//!   matches the input order regardless of which worker computed what,
+//!   so callers get **deterministic** output for free.
+//!
+//! Borrowed data is safe for the same reason `std::thread::scope` is:
+//! [`Pool::run`] does not return until every worker has finished the
+//! job (a latch counts them down), so the erased-lifetime closure and
+//! everything it borrows strictly outlive its use. Determinism is *not*
+//! scheduling-dependent: every consumer built on the pool writes either
+//! to chunk-disjoint output slots or to per-chunk partial buffers that
+//! the caller reduces in fixed chunk order.
+//!
+//! The pool size comes from `BERNOULLI_THREADS`, falling back to
+//! [`std::thread::available_parallelism`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Environment variable overriding the worker-pool size.
+pub const THREADS_ENV: &str = "BERNOULLI_THREADS";
+
+/// Counts outstanding workers for one job; the submitting thread blocks
+/// on it until the count reaches zero.
+struct Latch {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+    poisoned: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(count),
+            all_done: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        while *left > 0 {
+            left = self.all_done.wait(left).unwrap();
+        }
+    }
+}
+
+/// One broadcast unit of work: chunks `0..nchunks` of a borrowed
+/// `Fn(usize)`, claimed through a shared counter.
+struct Job {
+    /// Borrowed closure with its lifetime erased; valid until `latch`
+    /// releases the submitter (see module docs for the soundness
+    /// argument).
+    func: *const (dyn Fn(usize) + Sync),
+    next_chunk: Arc<AtomicUsize>,
+    nchunks: usize,
+    latch: Arc<Latch>,
+}
+
+// SAFETY: `func` points at a `Sync` closure that the submitting thread
+// keeps alive until every worker has counted down `latch`, which happens
+// strictly after the last dereference.
+unsafe impl Send for Job {}
+
+impl Job {
+    /// Claims and runs chunks until the shared counter is exhausted.
+    /// `is_worker` distinguishes pool workers from the submitting lane
+    /// for the steal accounting: the submitter owns the job, so every
+    /// chunk a worker claims counts as stolen.
+    fn run_chunks(&self, is_worker: bool) {
+        let func = unsafe { &*self.func };
+        let busy = bernoulli_trace::timer!("par.pool.busy");
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut executed = 0u64;
+            loop {
+                let chunk = self.next_chunk.fetch_add(1, Ordering::Relaxed);
+                if chunk >= self.nchunks {
+                    break;
+                }
+                func(chunk);
+                executed += 1;
+            }
+            executed
+        }));
+        drop(busy);
+        match result {
+            Ok(executed) => {
+                if is_worker {
+                    bernoulli_trace::counter!("par.pool.chunks_stolen", executed);
+                    if executed > 0 {
+                        bernoulli_trace::counter!("par.pool.workers_engaged");
+                    }
+                }
+            }
+            Err(_) => self.latch.poisoned.store(true, Ordering::Release),
+        }
+    }
+}
+
+/// A persistent pool of parked worker threads.
+pub struct Pool {
+    workers: Vec<Sender<Job>>,
+}
+
+impl Pool {
+    /// Builds a pool executing on `nthreads` lanes: `nthreads - 1`
+    /// parked workers plus the submitting thread itself.
+    pub fn new(nthreads: usize) -> Pool {
+        let nworkers = nthreads.max(1) - 1;
+        let workers = (0..nworkers)
+            .map(|k| {
+                let (tx, rx) = channel::<Job>();
+                std::thread::Builder::new()
+                    .name(format!("bernoulli-par-{k}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job.run_chunks(true);
+                            // Fold this job's trace events in *before*
+                            // releasing the latch, so a snapshot taken
+                            // right after `run` returns sees them.
+                            bernoulli_trace::flush_local();
+                            job.latch.count_down();
+                        }
+                    })
+                    .expect("spawning pool worker");
+                tx
+            })
+            .collect();
+        Pool { workers }
+    }
+
+    /// The process-wide pool, created on first use with
+    /// [`default_threads`] lanes.
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| Pool::new(default_threads()))
+    }
+
+    /// Number of execution lanes (workers + the submitting thread).
+    pub fn nthreads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Executes `f(chunk)` for every `chunk in 0..nchunks`, distributing
+    /// chunks over the pool's lanes, and returns when all chunks are
+    /// done. The submitting thread participates, so `run` makes progress
+    /// even on a pool with zero workers.
+    ///
+    /// # Panics
+    /// Propagates a panic (as `"pool worker panicked"`) if any chunk
+    /// panicked on a worker; chunks running on the submitting thread
+    /// propagate their panic payload directly.
+    pub fn run(&self, nchunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if nchunks == 0 {
+            return;
+        }
+        bernoulli_trace::counter!("par.pool.jobs");
+        bernoulli_trace::counter!("par.pool.chunks", nchunks);
+        bernoulli_trace::span!("par.pool.wall");
+        if nchunks == 1 || self.workers.is_empty() {
+            bernoulli_trace::counter!("par.pool.jobs_inline");
+            for chunk in 0..nchunks {
+                f(chunk);
+            }
+            return;
+        }
+        // Erase the borrow lifetime; `latch.wait()` below restores the
+        // invariant that `f` outlives all uses.
+        let func = unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                f as *const _,
+            )
+        };
+        let fanout = self.workers.len().min(nchunks - 1);
+        let latch = Arc::new(Latch::new(fanout));
+        let next_chunk = Arc::new(AtomicUsize::new(0));
+        for tx in &self.workers[..fanout] {
+            let job = Job {
+                func,
+                next_chunk: Arc::clone(&next_chunk),
+                nchunks,
+                latch: Arc::clone(&latch),
+            };
+            // A send only fails if the worker died, which only happens
+            // on pool teardown at process exit.
+            tx.send(job).expect("pool worker disappeared");
+        }
+        // The submitting thread is a lane too.
+        let own = Job {
+            func,
+            next_chunk,
+            nchunks,
+            latch: Arc::clone(&latch),
+        };
+        own.run_chunks(false);
+        latch.wait();
+        if latch.poisoned.load(Ordering::Acquire) {
+            panic!("pool worker panicked");
+        }
+    }
+
+    /// Generic form of [`Pool::run`]: executes `f(chunk)` for every
+    /// `chunk in 0..nchunks` without requiring the caller to build a
+    /// `&dyn` reference.
+    pub fn scope<F: Fn(usize) + Sync>(&self, nchunks: usize, f: F) {
+        self.run(nchunks, &f);
+    }
+
+    /// Applies `f` to every element of `items` on the pool and collects
+    /// the results **in input order** — the output is a pure function of
+    /// `items` and `f`, independent of the pool size and of scheduling,
+    /// which is what lets the synthesis search fan out per-configuration
+    /// work and still return byte-identical rankings.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        // One mutex per slot: never contended (each chunk writes its own
+        // slot exactly once), so the lock cost is a single uncontended
+        // atomic per item — negligible against per-item work coarse
+        // enough to be worth scheduling.
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        self.run(items.len(), &|i| {
+            *slots[i].lock().unwrap() = Some(f(&items[i]));
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("pool chunk completed"))
+            .collect()
+    }
+}
+
+/// Pool size: `BERNOULLI_THREADS` if set (minimum 1), else the host's
+/// available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_chunk_exactly_once() {
+        let pool = Pool::new(4);
+        for nchunks in [0usize, 1, 2, 3, 64, 1000] {
+            let hits: Vec<AtomicU64> = (0..nchunks).map(|_| AtomicU64::new(0)).collect();
+            pool.run(nchunks, &|c| {
+                hits[c].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "nchunks = {nchunks}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.nthreads(), 1);
+        let sum = AtomicU64::new(0);
+        pool.run(10, &|c| {
+            sum.fetch_add(c as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn borrowed_data_visible_after_run() {
+        let pool = Pool::new(3);
+        let input: Vec<u64> = (0..100).collect();
+        let out: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        pool.run(100, &|c| {
+            out[c].store(input[c] * 2, Ordering::Relaxed);
+        });
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.load(Ordering::Relaxed), 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn scope_accepts_generic_closures() {
+        let pool = Pool::new(2);
+        let out: Vec<AtomicU64> = (0..32).map(|_| AtomicU64::new(0)).collect();
+        let base = 7u64;
+        pool.scope(32, |c| {
+            out[c].store(base + c as u64, Ordering::Relaxed);
+        });
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.load(Ordering::Relaxed), 7 + i as u64);
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        for nthreads in [1usize, 2, 4, 8] {
+            let pool = Pool::new(nthreads);
+            let items: Vec<u64> = (0..257).collect();
+            let got = pool.par_map(&items, |&x| x * x + 1);
+            let want: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+            assert_eq!(got, want, "nthreads = {nthreads}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let pool = Pool::new(4);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.par_map(&empty, |&x| x).is_empty());
+        assert_eq!(pool.par_map(&[41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn par_map_with_non_copy_results() {
+        let pool = Pool::new(3);
+        let items: Vec<usize> = (0..50).collect();
+        let got = pool.par_map(&items, |&n| vec![n; n % 5]);
+        for (n, v) in items.iter().zip(&got) {
+            assert_eq!(v.len(), n % 5);
+            assert!(v.iter().all(|x| x == n));
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = Pool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, &|c| {
+                if c % 2 == 1 {
+                    panic!("chunk {c} failed");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool stays usable after a panicked job.
+        let sum = AtomicU64::new(0);
+        pool.run(8, &|c| {
+            sum.fetch_add(c as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = Pool::global() as *const Pool;
+        let b = Pool::global() as *const Pool;
+        assert_eq!(a, b);
+        assert!(Pool::global().nthreads() >= 1);
+    }
+}

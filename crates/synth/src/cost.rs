@@ -133,6 +133,79 @@ fn level_trip(cfg: &Config, stats: &WorkloadStats, ref_id: usize, level: usize) 
     }
 }
 
+/// A cheap admissible lower bound on [`estimate_cost`] over every plan
+/// that lowering can produce for `(cfg, space, groups)` — the
+/// branch-and-bound oracle of the search (S34).
+///
+/// Each stepped group becomes one plan step, and [`estimate_cost`]
+/// multiplies the statement body (≥ 1 unit per execution) by every
+/// step's subtree trip count. Whatever enumeration the lowerer picks
+/// for a group, that step's subtree count is at least the *smallest*
+/// trip among the group's member dimensions: a `Level` step iterates
+/// its primary's trips (a member), a `MergeJoin` subtree is the min of
+/// its two sides (both members), and an `Interval` walks a dense
+/// extent, which the per-factor min against the parameter estimates
+/// covers. So the product over stepped groups of the per-group minimum
+/// trip is a true floor on the final multiplicity — and it *varies with
+/// the dimension order*, which is what lets branch-and-bound fire:
+/// cross-product-shaped orders get floors far above the costs of the
+/// nnz-shaped orders already kept.
+///
+/// Conservative clamps keep the bound admissible: iteration dimensions
+/// contribute 1, a `(ref, level)` already positioned by an earlier
+/// group contributes 1 (it will not be re-enumerated), and degenerate
+/// (non-finite) statistics return 0 — a floor that never prunes.
+pub fn cost_floor(
+    cfg: &Config,
+    space: &crate::spaces::Space,
+    groups: &crate::groups::GroupInfo,
+    stats: &WorkloadStats,
+) -> f64 {
+    use crate::spaces::DimKind;
+    let sane = stats.default_n.is_finite()
+        && stats.params.values().all(|v| v.is_finite())
+        && cfg.refs.iter().all(|r| {
+            let (rows, cols, nnz) = stats.mat(&r.matrix);
+            rows.is_finite() && cols.is_finite() && nnz.is_finite()
+        });
+    if !sane {
+        return 0.0;
+    }
+    let params_min = stats.params.values().fold(f64::INFINITY, |a, &b| a.min(b));
+    let mut floor = 1.0f64;
+    let mut positioned: Vec<(usize, usize)> = Vec::new();
+    for gi in groups.stepped_groups() {
+        let members = &groups.groups[gi];
+        let mut factor = f64::INFINITY;
+        for &d in members {
+            match space.dims[d].kind {
+                DimKind::Iter { .. } => factor = 1.0,
+                DimKind::Data { ref_id, dim_idx } => {
+                    let level = cfg.refs[ref_id].dims[dim_idx].level;
+                    if positioned.contains(&(ref_id, level)) {
+                        factor = 1.0;
+                    } else {
+                        let t = level_trip(cfg, stats, ref_id, level).min(params_min);
+                        factor = factor.min(t.max(1.0));
+                    }
+                }
+            }
+            if factor <= 1.0 {
+                break;
+            }
+        }
+        for &d in members {
+            if let DimKind::Data { ref_id, dim_idx } = space.dims[d].kind {
+                positioned.push((ref_id, cfg.refs[ref_id].dims[dim_idx].level));
+            }
+        }
+        if factor.is_finite() {
+            floor *= factor;
+        }
+    }
+    floor
+}
+
 /// Estimates the cost of a plan (abstract time units).
 pub fn estimate_cost(p: &Program, cfg: &Config, plan: &Plan, stats: &WorkloadStats) -> f64 {
     let _ = p;

@@ -54,8 +54,12 @@ pub mod spaces;
 pub mod zero;
 
 pub use config::{Config, RefInst, StmtCopy};
-pub use cost::WorkloadStats;
+pub use cost::{cost_floor, WorkloadStats};
 pub use emit::{emit_module, emit_rust, EmitError};
 pub use interp::{run_plan, ExecEnv, PlanError};
 pub use plan::{Plan, Step};
-pub use search::{synthesize, synthesize_all, Candidate, SynthError, SynthOptions, Synthesized};
+pub use search::{
+    plan_cache_clear, plan_cache_stats, synthesize, synthesize_all, synthesize_all_report,
+    synthesize_all_with_pool, Candidate, PlanCacheStats, SearchReport, SynthError, SynthOptions,
+    Synthesized,
+};

@@ -1,8 +1,36 @@
 //! The synthesis driver: search over configurations, dimension orders,
 //! embeddings and enumeration sources (paper §4.2–4.3).
+//!
+//! Since S34 the driver is built for speed without giving up
+//! reproducibility:
+//!
+//! - **Parallel fan-out** — each configuration's (order, embedding,
+//!   lowering) work is independent, so the per-pass configuration loop
+//!   runs over the shared worker pool ([`bernoulli_pool::Pool`]). The
+//!   merge is deterministic: outcomes are combined in configuration
+//!   order (the pool's `par_map` preserves input order) and ranked with
+//!   a stable sort, so parallel and sequential searches return
+//!   *byte-identical* candidates, `examined` and `pruned` counts.
+//! - **Branch-and-bound pruning** — when a configuration's bound heap
+//!   holds `keep` real candidate costs, an embedding whose admissible
+//!   cost floor ([`crate::cost::cost_floor`], a product over its stepped
+//!   groups of per-group minimum trip counts) strictly exceeds the worst
+//!   of them is dropped before the expensive lowering + zero-safety
+//!   work. The heap is seeded by a probe round (every configuration's
+//!   first embedding variant, fanned out before the real search) and
+//!   otherwise stays *local to the configuration*: the seed is frozen,
+//!   never updated across pool threads, because a live global bound
+//!   would prune differently depending on thread timing and break
+//!   determinism.
+//! - **Plan cache** — whole-search results are memoized by (program,
+//!   views, statistics, search knobs); repeated identical synthesis
+//!   requests return the ranked candidates without searching at all.
+//!   The polyhedral layer underneath keeps its own memo caches
+//!   ([`bernoulli_polyhedra::cache`]), which also accelerate *cold*
+//!   searches that re-test structurally identical systems.
 
-use crate::config::enumerate_configs;
-use crate::cost::{estimate_cost, WorkloadStats};
+use crate::config::{enumerate_configs, Config};
+use crate::cost::{cost_floor, estimate_cost, WorkloadStats};
 use crate::embed::embedding_variants;
 use crate::groups::compute_groups;
 use crate::legal::{check_legality, relaxable_classes};
@@ -12,7 +40,10 @@ use crate::spaces::candidate_spaces_opt;
 use crate::zero::check_zero_safety;
 use bernoulli_formats::view::FormatView;
 use bernoulli_ir::{analyze, Program};
-use std::collections::HashMap;
+use bernoulli_pool::Pool;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Knobs bounding the search (paper §4.3 heuristics).
 #[derive(Clone, Debug)]
@@ -31,6 +62,18 @@ pub struct SynthOptions {
     pub stats: WorkloadStats,
     /// Keep at most this many ranked candidates in `synthesize_all`.
     pub keep: usize,
+    /// Fan the per-configuration work out over the shared worker pool.
+    /// Candidates, `examined` and `pruned` are byte-identical to a
+    /// sequential run regardless of pool size.
+    pub parallel: bool,
+    /// Branch-and-bound: skip lowering embeddings whose admissible cost
+    /// floor already exceeds the configuration's worst kept candidate.
+    pub prune: bool,
+    /// Memoize whole-search results: a second call with the same
+    /// program, views, statistics and knobs returns the cached ranked
+    /// candidates. Identical results either way; disable to time the
+    /// search itself.
+    pub cache_plans: bool,
 }
 
 impl Default for SynthOptions {
@@ -42,6 +85,9 @@ impl Default for SynthOptions {
             include_iteration_centric: false,
             stats: WorkloadStats::default(),
             keep: 64,
+            parallel: true,
+            prune: true,
+            cache_plans: true,
         }
     }
 }
@@ -68,6 +114,22 @@ pub struct Synthesized {
     pub legal_candidates: usize,
     /// Total (config, order, embedding) triples examined.
     pub examined: usize,
+}
+
+/// Everything [`synthesize_all_report`] learned: the ranked candidates
+/// plus the search accounting the benchmarks and experiments read.
+#[derive(Clone, Debug)]
+pub struct SearchReport {
+    /// Surviving candidates, cheapest first (at most `opts.keep`).
+    pub candidates: Vec<Candidate>,
+    /// Total (config, order, embedding) triples examined.
+    pub examined: usize,
+    /// Embeddings skipped by branch-and-bound before lowering.
+    pub pruned: usize,
+    /// Deduplicated rejection reasons (capped).
+    pub reasons: Vec<String>,
+    /// True iff the whole result came from the plan cache.
+    pub plan_cache_hit: bool,
 }
 
 /// Why synthesis failed.
@@ -109,14 +171,16 @@ pub fn synthesize(
     views: &[(&str, FormatView)],
     opts: &SynthOptions,
 ) -> Result<Synthesized, SynthError> {
-    let mut all = synthesize_all(p, views, opts)?;
-    let examined = all.1;
-    let legal = all.0.len();
+    let mut all = synthesize_all_report(p, views, opts)?;
+    let examined = all.examined;
+    let legal = all.candidates.len();
     let best = all
-        .0
+        .candidates
         .drain(..)
         .next()
-        .ok_or(SynthError::NoLegalPlan { reasons: all.2 })?;
+        .ok_or(SynthError::NoLegalPlan {
+            reasons: all.reasons,
+        })?;
     Ok(Synthesized {
         plan: best.plan,
         cost: best.cost,
@@ -136,9 +200,101 @@ pub fn synthesize_all(
     views: &[(&str, FormatView)],
     opts: &SynthOptions,
 ) -> Result<(Vec<Candidate>, usize, Vec<String>), SynthError> {
+    let r = synthesize_all_report(p, views, opts)?;
+    Ok((r.candidates, r.examined, r.reasons))
+}
+
+/// [`synthesize_all`] with the full [`SearchReport`]. Honors
+/// `opts.parallel` by running on the process-global pool.
+pub fn synthesize_all_report(
+    p: &Program,
+    views: &[(&str, FormatView)],
+    opts: &SynthOptions,
+) -> Result<SearchReport, SynthError> {
+    let pool = opts.parallel.then(Pool::global);
+    run_search(p, views, opts, pool)
+}
+
+/// [`synthesize_all_report`] on a caller-supplied pool (ignores
+/// `opts.parallel`). The result is byte-identical for every pool size,
+/// including a sequential run — the determinism contract the
+/// `synth_search_parallel` suite enforces.
+pub fn synthesize_all_with_pool(
+    p: &Program,
+    views: &[(&str, FormatView)],
+    opts: &SynthOptions,
+    pool: &Pool,
+) -> Result<SearchReport, SynthError> {
+    run_search(p, views, opts, Some(pool))
+}
+
+/// Rejection reasons are deduplicated and capped at this many entries.
+const MAX_REASONS: usize = 16;
+
+fn push_reason(reasons: &mut Vec<String>, r: &str) {
+    if reasons.len() < MAX_REASONS && !reasons.iter().any(|x| x == r) {
+        reasons.push(r.to_string());
+    }
+}
+
+/// Max-heap key ordering costs by `total_cmp` (NaN sorts largest, so a
+/// degenerate cost model disables pruning rather than panicking).
+struct OrdF64(f64);
+
+impl PartialEq for OrdF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Everything one configuration's search produced; merged in
+/// configuration order so the fan-out stays deterministic.
+#[derive(Default)]
+struct ConfigOutcome {
+    cands: Vec<Candidate>,
+    examined: usize,
+    pruned: usize,
+    reasons: Vec<String>,
+}
+
+fn run_search(
+    p: &Program,
+    views: &[(&str, FormatView)],
+    opts: &SynthOptions,
+    pool: Option<&Pool>,
+) -> Result<SearchReport, SynthError> {
     bernoulli_trace::counter!("synth.searches");
     bernoulli_trace::span!("synth.search");
     p.validate().map_err(SynthError::InvalidProgram)?;
+
+    let key = opts.cache_plans.then(|| plan_cache_key(p, views, opts));
+    if let Some(k) = &key {
+        if let Some(c) = lock_cache().get(k).cloned() {
+            PLAN_HITS.fetch_add(1, Ordering::Relaxed);
+            bernoulli_trace::counter!("synth.plan_cache_hits");
+            return Ok(SearchReport {
+                candidates: c.candidates,
+                examined: c.examined,
+                pruned: c.pruned,
+                reasons: c.reasons,
+                plan_cache_hit: true,
+            });
+        }
+        PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
+        bernoulli_trace::counter!("synth.plan_cache_misses");
+    }
+
     let view_map: HashMap<String, FormatView> = views
         .iter()
         .map(|(n, v)| (n.to_string(), v.clone()))
@@ -148,8 +304,106 @@ pub fn synthesize_all(
     let configs = enumerate_configs(p, &view_map).map_err(SynthError::Config)?;
     bernoulli_trace::counter!("synth.configs", configs.len());
 
+    // One configuration's search, shared verbatim by the sequential and
+    // parallel paths (and, with `max_emb == 1`, by the probe round).
+    // The branch-and-bound heap holds the `keep` cheapest costs seen by
+    // this configuration *plus* the frozen probe seed; an embedding is
+    // pruned only when its floor *strictly* exceeds the heap's worst
+    // entry while the heap is full — every heap entry is a real
+    // candidate's cost, so the pruned plan could never have ranked among
+    // the global `keep` cheapest. The seed is computed once before the
+    // fan-out and shared read-only, never updated across pool threads:
+    // a live global bound would prune differently depending on thread
+    // timing and break determinism.
+    let search_config = |cfg: &Config,
+                         unconstrained: bool,
+                         iteration_centric: bool,
+                         max_emb: usize,
+                         seed: &[f64]| {
+        let mut o = ConfigOutcome::default();
+        let mut bound: BinaryHeap<OrdF64> = seed.iter().map(|&c| OrdF64(c)).collect();
+        let spaces = candidate_spaces_opt(
+            cfg,
+            opts.max_orders,
+            opts.include_iteration_centric || iteration_centric,
+            unconstrained,
+        );
+        bernoulli_trace::counter!("synth.spaces", spaces.len());
+        for space in &spaces {
+            let mut got_plan = false;
+            for emb in embedding_variants(cfg, space, max_emb) {
+                o.examined += 1;
+                bernoulli_trace::counter!("synth.embeddings_examined");
+                // The dimension walk is a direction-inference pre-pass;
+                // the lowered plan is re-verified authoritatively, so a
+                // "violation" here only means directions are partial.
+                let leg =
+                    check_legality(cfg, space, &emb, &deps, &relaxable, opts.relax_reductions);
+                if let Some(v) = &leg.violation {
+                    bernoulli_trace::counter!("synth.embeddings_rejected");
+                    push_reason(&mut o.reasons, v);
+                }
+                let groups = compute_groups(cfg, space, &emb);
+                // Branch-and-bound: the group structure is cheap (rank
+                // computation) while lowering + zero safety underneath do
+                // the polyhedral heavy lifting — prune between the two.
+                if opts.prune && opts.keep > 0 && bound.len() == opts.keep {
+                    let floor = cost_floor(cfg, space, &groups, &opts.stats);
+                    if let Some(worst) = bound.peek() {
+                        if floor > worst.0 {
+                            o.pruned += 1;
+                            bernoulli_trace::counter!("synth.plans_pruned");
+                            continue;
+                        }
+                    }
+                }
+                for plan in lower_plans(
+                    p,
+                    cfg,
+                    space,
+                    &emb,
+                    &groups,
+                    &leg.must_increase,
+                    &view_map,
+                    &deps,
+                    &relaxable,
+                    opts.relax_reductions,
+                ) {
+                    match check_zero_safety(p, cfg, &plan, &view_map) {
+                        Ok(notes) => {
+                            bernoulli_trace::counter!("synth.plans_lowered");
+                            let cost = estimate_cost(p, cfg, &plan, &opts.stats);
+                            got_plan = true;
+                            if opts.keep > 0 {
+                                bound.push(OrdF64(cost));
+                                if bound.len() > opts.keep {
+                                    bound.pop();
+                                }
+                            }
+                            o.cands.push(Candidate {
+                                plan,
+                                cost,
+                                choices: cfg.choices.clone(),
+                                safety_notes: notes,
+                            });
+                        }
+                        Err(e) => {
+                            bernoulli_trace::counter!("synth.plans_zero_unsafe");
+                            push_reason(&mut o.reasons, &e.to_string());
+                        }
+                    }
+                }
+                if got_plan {
+                    break; // embedding variants only matter on failure
+                }
+            }
+        }
+        o
+    };
+
     let mut out: Vec<Candidate> = Vec::new();
     let mut examined = 0usize;
+    let mut pruned = 0usize;
     let mut reasons: Vec<String> = Vec::new();
 
     // First pass: orders respecting each chain's nesting structure.
@@ -161,81 +415,214 @@ pub fn synthesize_all(
     // every data-centric order.
     'passes: for (unconstrained, iteration_centric) in [(false, false), (true, false), (true, true)]
     {
-        for cfg in &configs {
-            let spaces = candidate_spaces_opt(
-                cfg,
-                opts.max_orders,
-                opts.include_iteration_centric || iteration_centric,
-                unconstrained,
-            );
-            bernoulli_trace::counter!("synth.spaces", spaces.len());
-            for space in &spaces {
-                let mut got_plan = false;
-                for emb in embedding_variants(cfg, space, opts.max_embeddings) {
-                    examined += 1;
-                    bernoulli_trace::counter!("synth.embeddings_examined");
-                    // The dimension walk is a direction-inference pre-pass;
-                    // the lowered plan is re-verified authoritatively, so a
-                    // "violation" here only means directions are partial.
-                    let leg =
-                        check_legality(cfg, space, &emb, &deps, &relaxable, opts.relax_reductions);
-                    if let Some(v) = &leg.violation {
-                        bernoulli_trace::counter!("synth.embeddings_rejected");
-                        if reasons.len() < 16 {
-                            reasons.push(v.clone());
-                        }
-                    }
-                    let groups = compute_groups(cfg, space, &emb);
-                    for plan in lower_plans(
-                        p,
-                        cfg,
-                        space,
-                        &emb,
-                        &groups,
-                        &leg.must_increase,
-                        &view_map,
-                        &deps,
-                        &relaxable,
-                        opts.relax_reductions,
-                    ) {
-                        match check_zero_safety(p, cfg, &plan, &view_map) {
-                            Ok(notes) => {
-                                bernoulli_trace::counter!("synth.plans_lowered");
-                                let cost = estimate_cost(p, cfg, &plan, &opts.stats);
-                                got_plan = true;
-                                out.push(Candidate {
-                                    plan,
-                                    cost,
-                                    choices: cfg.choices.clone(),
-                                    safety_notes: notes,
-                                });
-                            }
-                            Err(e) => {
-                                bernoulli_trace::counter!("synth.plans_zero_unsafe");
-                                if reasons.len() < 16 {
-                                    reasons.push(e.to_string());
-                                }
-                            }
-                        }
-                    }
-                    if got_plan {
-                        break; // embedding variants only matter on failure
-                    }
-                }
+        // Deterministic incumbent: probe every configuration's *first*
+        // embedding variant, keep the `keep` cheapest probe costs, and
+        // seed every configuration's bound heap with them for the real
+        // search. The candidate-producing and expensive-but-fruitless
+        // configurations are usually disjoint, so a purely config-local
+        // bound never fills; the probe finds the producers at the cost
+        // of one embedding per configuration. Probe outcomes are
+        // discarded — the main search re-derives those candidates — so
+        // `examined`/`pruned` reflect the main search only, and the seed
+        // is a fixed multiset of real candidate costs whichever pool
+        // size computed it.
+        // Probing pays only when the bound heap can actually fill: each
+        // configuration's first embedding contributes a handful of
+        // candidates at most, so with `keep` far above the configuration
+        // count the probe is pure overhead and is skipped.
+        let mut seed: Vec<f64> = Vec::new();
+        if opts.prune && opts.keep > 0 && configs.len() > 1 && opts.keep <= 2 * configs.len() {
+            let probes: Vec<ConfigOutcome> = match pool {
+                Some(pl) => pl.par_map(&configs, |cfg| {
+                    search_config(cfg, unconstrained, iteration_centric, 1, &[])
+                }),
+                _ => configs
+                    .iter()
+                    .map(|cfg| search_config(cfg, unconstrained, iteration_centric, 1, &[]))
+                    .collect(),
+            };
+            let mut h: BinaryHeap<OrdF64> = probes
+                .iter()
+                .flat_map(|o| o.cands.iter().map(|c| OrdF64(c.cost)))
+                .collect();
+            while h.len() > opts.keep {
+                h.pop();
             }
+            seed = h.into_iter().map(|c| c.0).collect();
+        }
+        let outcomes: Vec<ConfigOutcome> = match pool {
+            // `par_map` returns results in input order, so the merge
+            // below is independent of which thread finished first.
+            Some(pl) if configs.len() > 1 => pl.par_map(&configs, |cfg| {
+                search_config(
+                    cfg,
+                    unconstrained,
+                    iteration_centric,
+                    opts.max_embeddings,
+                    &seed,
+                )
+            }),
+            _ => configs
+                .iter()
+                .map(|cfg| {
+                    search_config(
+                        cfg,
+                        unconstrained,
+                        iteration_centric,
+                        opts.max_embeddings,
+                        &seed,
+                    )
+                })
+                .collect(),
+        };
+        for o in outcomes {
+            examined += o.examined;
+            pruned += o.pruned;
+            for r in &o.reasons {
+                push_reason(&mut reasons, r);
+            }
+            out.extend(o.cands);
         }
         if !out.is_empty() {
             break 'passes;
         }
     }
 
-    out.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+    // Stable sort: equal costs keep (configuration, generation) order,
+    // and `total_cmp` ranks NaN costs last instead of panicking.
+    out.sort_by(|a, b| a.cost.total_cmp(&b.cost));
     out.truncate(opts.keep);
     bernoulli_trace::counter!("synth.candidates_kept", out.len());
     if out.is_empty() && reasons.is_empty() {
         reasons.push("no candidate lowered successfully".to_string());
     }
-    Ok((out, examined, reasons))
+    if let Some(k) = key {
+        let mut g = lock_cache();
+        if g.len() >= PLAN_CACHE_CAP {
+            g.clear();
+        }
+        g.insert(
+            k,
+            CachedSearch {
+                candidates: out.clone(),
+                examined,
+                pruned,
+                reasons: reasons.clone(),
+            },
+        );
+    }
+    Ok(SearchReport {
+        candidates: out,
+        examined,
+        pruned,
+        reasons,
+        plan_cache_hit: false,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Whole-search plan cache.
+
+#[derive(Clone)]
+struct CachedSearch {
+    candidates: Vec<Candidate>,
+    examined: usize,
+    pruned: usize,
+    reasons: Vec<String>,
+}
+
+/// Cached whole-search results; cleared wholesale when full.
+const PLAN_CACHE_CAP: usize = 128;
+
+static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn lock_cache() -> MutexGuard<'static, HashMap<String, CachedSearch>> {
+    static C: OnceLock<Mutex<HashMap<String, CachedSearch>>> = OnceLock::new();
+    match C.get_or_init(|| Mutex::new(HashMap::new())).lock() {
+        Ok(g) => g,
+        Err(poison) => poison.into_inner(),
+    }
+}
+
+/// The cache key covers everything the search result depends on: the
+/// program, the views (sorted by name — map order is irrelevant), the
+/// workload statistics (f64s by bit pattern, maps sorted) and every
+/// result-affecting knob. `parallel` and `cache_plans` are deliberately
+/// excluded: they never change the result. `prune` is included because
+/// it changes the `examined`/`pruned` accounting.
+fn plan_cache_key(p: &Program, views: &[(&str, FormatView)], opts: &SynthOptions) -> String {
+    let mut vs: Vec<String> = views.iter().map(|(n, v)| format!("{n}={v:?}")).collect();
+    vs.sort();
+    let s = &opts.stats;
+    let mut params: Vec<String> = s
+        .params
+        .iter()
+        .map(|(k, v)| format!("{k}={:016x}", v.to_bits()))
+        .collect();
+    params.sort();
+    let mut mats: Vec<String> = s
+        .matrices
+        .iter()
+        .map(|(k, &(r, c, n))| {
+            format!(
+                "{k}=({:016x},{:016x},{:016x})",
+                r.to_bits(),
+                c.to_bits(),
+                n.to_bits()
+            )
+        })
+        .collect();
+    mats.sort();
+    format!(
+        "prog{{{p:?}}}|views[{}]|params[{}]|mats[{}]|dn{:016x}|dz{:016x}|mo{}|me{}|rr{}|ic{}|keep{}|prune{}",
+        vs.join(";"),
+        params.join(","),
+        mats.join(","),
+        s.default_n.to_bits(),
+        s.default_nnz_per_row.to_bits(),
+        opts.max_orders,
+        opts.max_embeddings,
+        opts.relax_reductions,
+        opts.include_iteration_centric,
+        opts.keep,
+        opts.prune,
+    )
+}
+
+/// Hit/miss totals of the whole-search plan cache (process lifetime, or
+/// since [`plan_cache_clear`]). Independent of the `trace` feature.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl PlanCacheStats {
+    /// Hit fraction (0 when the cache was never consulted).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Current plan-cache hit/miss totals.
+pub fn plan_cache_stats() -> PlanCacheStats {
+    PlanCacheStats {
+        hits: PLAN_HITS.load(Ordering::Relaxed),
+        misses: PLAN_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Drops every cached search result and zeroes the hit/miss counts.
+pub fn plan_cache_clear() {
+    lock_cache().clear();
+    PLAN_HITS.store(0, Ordering::Relaxed);
+    PLAN_MISSES.store(0, Ordering::Relaxed);
 }
 
 /// Convenience for tests and examples: builds each candidate's
