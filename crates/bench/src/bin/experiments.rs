@@ -21,7 +21,7 @@ use bernoulli_bench::*;
 use bernoulli_blas::handwritten::{spdot_hash, spdot_merge};
 use bernoulli_blas::{generic_rhs, handwritten as hw, kernels, par, parallel, solvers, synth};
 use bernoulli_formats::{gen, Coo, Csc, Csr, Dia, Ell, HashVec, Jad, SparseMatrix, SparseVec};
-use bernoulli_synth::{run_plan, synthesize_all, ExecEnv, SynthOptions};
+use bernoulli_synth::{ExecEnv, Session, SynthOptions};
 use std::hint::black_box;
 
 const REPS: usize = 12;
@@ -410,7 +410,12 @@ fn costmodel() {
         keep: 64,
         ..SynthOptions::default()
     };
-    let (cands, examined, _) = synthesize_all(&spec, &[("L", view)], &opts).unwrap();
+    let session = Session::with_options(opts);
+    let kernel = session
+        .compile(&session.bind(&spec, &[("L", view)]).unwrap())
+        .unwrap();
+    let cands = kernel.candidates();
+    let examined = kernel.report().examined;
     println!("candidates: {} (examined {examined})", cands.len());
 
     let t = gen::structurally_symmetric(400, 2600, 16, 9).lower_triangle_full_diag(1.0);
@@ -424,7 +429,7 @@ fn costmodel() {
             env.set_param("N", 400);
             env.bind_vec("b", b0.clone());
             env.bind_sparse("L", &jad);
-            run_plan(&cand.plan, &mut env).unwrap();
+            kernel.interpret_candidate(i, &mut env).unwrap();
             black_box(env.take_vec("b"));
         });
         measured.push((i, cand.cost, time));
@@ -837,11 +842,16 @@ fn trace() {
     let (mut join_level, mut join_merge, mut join_interval) = (0usize, 0usize, 0usize);
     let mut per_workload = Vec::new();
     for (label, program, views, opts) in &synth_runs {
-        let (cands, examined, _) =
-            synthesize_all(program, views, opts).unwrap_or_else(|e| panic!("{label}: {e}"));
+        let session = Session::with_options(opts.clone());
+        let kernel = session
+            .bind(program, views)
+            .and_then(|b| session.compile(&b))
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        let cands = kernel.candidates();
+        let examined = kernel.report().examined;
         examined_total += examined;
         kept_total += cands.len();
-        let best = cands.first().expect("at least one candidate");
+        let best = kernel.best();
         let (mut lv, mut mg, mut iv) = (0usize, 0usize, 0usize);
         for step in &best.plan.steps {
             match step.kind {
@@ -1005,9 +1015,6 @@ fn trace() {
 /// the same five workloads as the trace experiment. Writes
 /// `BENCH_synth.json`.
 fn synth_perf() {
-    use bernoulli_polyhedra as poly;
-    use bernoulli_synth::{plan_cache_clear, plan_cache_stats, synthesize_all_report};
-
     println!("== S34: synthesis performance (BENCH_synth.json) ==");
     let lanes = par::Pool::global().nthreads();
     let cores = std::thread::available_parallelism()
@@ -1017,6 +1024,7 @@ fn synth_perf() {
 
     let workloads = synth_workloads();
     let mut rows = Vec::new();
+    let (mut pc_hits, mut pc_misses) = (0u64, 0u64);
     for (label, program, views, base_opts) in &workloads {
         let opts_seq = SynthOptions {
             parallel: false,
@@ -1029,30 +1037,44 @@ fn synth_perf() {
             ..base_opts.clone()
         };
 
-        // Cold timings: the polyhedral memo caches are cleared *inside*
-        // the timed closure so every rep pays the full first-search
-        // cost. The plan cache is off so the search actually runs.
+        // A bound problem is session-independent; bind once up front.
+        let bound = Session::new().bind(program, views).unwrap();
+
+        // Cold timings: a fresh session per rep starts with empty
+        // polyhedral memo caches, so every rep pays the full
+        // first-search cost. Plan caching is off so the search actually
+        // runs.
         let t_seq = time_best_of(3, 4, || {
-            poly::clear_caches();
-            black_box(synthesize_all_report(program, views, &opts_seq).unwrap());
+            let s = Session::new();
+            black_box(s.compile_with(&bound, &opts_seq).unwrap());
         });
         let t_par = time_best_of(3, 4, || {
-            poly::clear_caches();
-            black_box(synthesize_all_report(program, views, &opts_par).unwrap());
+            let s = Session::new();
+            black_box(s.compile_with(&bound, &opts_par).unwrap());
         });
-        // Warm polyhedral caches: the repeated-synthesis steady state
-        // (still searching — only the polyhedral answers are memoized).
-        poly::clear_caches();
-        let rep = synthesize_all_report(program, views, &opts_seq).unwrap();
+        // Warm polyhedral caches = session reuse: a long-lived session
+        // keeps its memos across compiles, so the repeated-synthesis
+        // steady state still searches — only the polyhedral answers are
+        // memoized.
+        let warm_session = Session::new();
+        let rep = warm_session
+            .compile_with(&bound, &opts_seq)
+            .unwrap()
+            .report()
+            .clone();
         let t_warm = time_best_of(3, 4, || {
-            black_box(synthesize_all_report(program, views, &opts_seq).unwrap());
+            black_box(warm_session.compile_with(&bound, &opts_seq).unwrap());
         });
 
-        // Intra-search polyhedral hit rate, from the single cold search
-        // above (before the warm reps re-queried everything).
-        poly::clear_caches();
-        let rep_par = synthesize_all_report(program, views, &opts_par).unwrap();
-        let ps = poly::cache_stats();
+        // Intra-search polyhedral hit rate, from a single cold search on
+        // a fresh session (its caches saw nothing else).
+        let cold = Session::new();
+        let rep_par = cold
+            .compile_with(&bound, &opts_par)
+            .unwrap()
+            .report()
+            .clone();
+        let ps = cold.poly_cache_stats();
         let total_q = (ps.empty_hits + ps.empty_misses + ps.fm_hits + ps.fm_misses).max(1);
         let poly_hit = (ps.empty_hits + ps.fm_hits) as f64 / total_q as f64;
 
@@ -1079,16 +1101,22 @@ fn synth_perf() {
             cache_plans: false,
             ..base_opts.clone()
         };
-        let rep1 = synthesize_all_report(program, views, &opts_k1).unwrap();
-        let rep1_np = synthesize_all_report(
-            program,
-            views,
-            &SynthOptions {
-                prune: false,
-                ..opts_k1.clone()
-            },
-        )
-        .unwrap();
+        let rep1 = warm_session
+            .compile_with(&bound, &opts_k1)
+            .unwrap()
+            .report()
+            .clone();
+        let rep1_np = warm_session
+            .compile_with(
+                &bound,
+                &SynthOptions {
+                    prune: false,
+                    ..opts_k1.clone()
+                },
+            )
+            .unwrap()
+            .report()
+            .clone();
         // Admissibility check: pruning must not change the best plan.
         assert_eq!(
             rep1.candidates.first().map(|c| c.cost.to_bits()),
@@ -1096,30 +1124,46 @@ fn synth_perf() {
             "{label}: pruning changed the best candidate"
         );
 
-        // Plan cache: the second identical call must be a pure lookup.
-        plan_cache_clear();
+        // Plan cache: on a reused session, the second identical compile
+        // must be a pure lookup.
         let opts_cached = SynthOptions {
             parallel: false,
             cache_plans: true,
             ..base_opts.clone()
         };
-        let first = synthesize_all_report(program, views, &opts_cached).unwrap();
-        let second = synthesize_all_report(program, views, &opts_cached).unwrap();
-        assert!(
-            !first.plan_cache_hit,
-            "{label}: first call hit a stale entry"
-        );
-        assert!(second.plan_cache_hit, "{label}: second call missed");
+        let reused = Session::with_options(opts_cached.clone());
+        let first = reused.compile(&bound).unwrap();
+        let second = reused.compile(&bound).unwrap();
+        assert!(!first.from_cache(), "{label}: first call hit a stale entry");
+        assert!(second.from_cache(), "{label}: second call missed");
         let t_cached = time_best_of(3, 32, || {
-            black_box(synthesize_all_report(program, views, &opts_cached).unwrap());
+            black_box(reused.compile(&bound).unwrap());
         });
 
+        // Embedding-lifecycle timings (S35): the full fresh-session cost
+        // (construct + bind + compile) against one more compile on the
+        // session that already holds the plan.
+        let t_fresh = time_best_of(3, 4, || {
+            let s = Session::with_options(opts_cached.clone());
+            let b = s.bind(program, views).unwrap();
+            black_box(s.compile(&b).unwrap());
+        });
+        let t_reused = time_best_of(3, 32, || {
+            let b = reused.bind(program, views).unwrap();
+            black_box(reused.compile(&b).unwrap());
+        });
+        let st = reused.plan_cache_stats();
+        pc_hits += st.hits;
+        pc_misses += st.misses;
+
         println!(
-            "  {label:<12} seq {:7.2} ms  par {:7.2} ms  warm {:7.2} ms  cached {:7.1} us  poly-hit {:5.1}%  pruned(keep=1) {}/{}",
+            "  {label:<12} seq {:7.2} ms  par {:7.2} ms  warm {:7.2} ms  cached {:7.1} us  fresh-session {:7.2} ms  reused-session {:7.1} us  poly-hit {:5.1}%  pruned(keep=1) {}/{}",
             t_seq * 1e3,
             t_par * 1e3,
             t_warm * 1e3,
             t_cached * 1e6,
+            t_fresh * 1e3,
+            t_reused * 1e6,
             poly_hit * 100.0,
             rep1.pruned,
             rep1_np.examined,
@@ -1136,17 +1180,20 @@ fn synth_perf() {
             ("seq_per_s", Json::num(1.0 / t_seq)),
             ("par_per_s", Json::num(1.0 / t_par)),
             ("warm_per_s", Json::num(1.0 / t_warm)),
+            ("session_fresh_ms", Json::num(t_fresh * 1e3)),
+            ("session_reused_us", Json::num(t_reused * 1e6)),
+            ("session_fresh_per_s", Json::num(1.0 / t_fresh)),
+            ("session_reused_per_s", Json::num(1.0 / t_reused)),
             ("poly_cache_hit_rate", Json::num(poly_hit)),
             ("poly_empty_hit_rate", Json::num(ps.empty_hit_rate())),
             ("poly_fm_hit_rate", Json::num(ps.fm_hit_rate())),
             ("pruned_keep1", Json::num(rep1.pruned as f64)),
             ("examined_keep1", Json::num(rep1.examined as f64)),
             ("examined_keep1_noprune", Json::num(rep1_np.examined as f64)),
-            ("plan_cache_second_hit", Json::Bool(second.plan_cache_hit)),
+            ("plan_cache_second_hit", Json::Bool(second.from_cache())),
         ]));
     }
 
-    let pc = plan_cache_stats();
     report::write(
         "BENCH_synth.json",
         &obj(vec![
@@ -1154,8 +1201,8 @@ fn synth_perf() {
             ("pool_lanes", Json::num(lanes as f64)),
             ("host_cores", Json::num(cores as f64)),
             ("workloads", Json::Arr(rows)),
-            ("plan_cache_hits", Json::num(pc.hits as f64)),
-            ("plan_cache_misses", Json::num(pc.misses as f64)),
+            ("plan_cache_hits", Json::num(pc_hits as f64)),
+            ("plan_cache_misses", Json::num(pc_misses as f64)),
         ]),
     );
     println!();

@@ -17,8 +17,11 @@ use bernoulli_bench::report::{parse, Json};
 /// `*_ms`) are deliberately excluded: their medians live in the same
 /// reports but regressions there are already visible through these.
 /// The `*_per_s` and `poly_cache_hit_rate` leaves come from the S34
-/// synthesis-performance report (`BENCH_synth.json`).
-const METRICS: [&str; 10] = [
+/// synthesis-performance report (`BENCH_synth.json`); the
+/// `session_*_per_s` pair measures the S35 embedding lifecycle (a
+/// brand-new `Session` compiling once vs one more compile on a session
+/// that already holds the plan).
+const METRICS: [&str; 12] = [
     "synth",
     "nist_c",
     "nist_f",
@@ -28,6 +31,8 @@ const METRICS: [&str; 10] = [
     "seq_per_s",
     "par_per_s",
     "warm_per_s",
+    "session_fresh_per_s",
+    "session_reused_per_s",
     "poly_cache_hit_rate",
 ];
 
@@ -198,6 +203,46 @@ mod tests {
         // `nnz` is shape metadata, not a throughput metric.
         assert!(!keys.iter().any(|k| k.contains("nnz")));
         assert_eq!(flat.len(), 5);
+    }
+
+    #[test]
+    fn session_lifecycle_metrics_are_tracked() {
+        let synth_report = obj(vec![
+            ("experiment", Json::str("synth")),
+            (
+                "workloads",
+                Json::Arr(vec![obj(vec![
+                    ("workload", Json::str("mvm/csr")),
+                    ("warm_per_s", Json::num(1800.0)),
+                    ("session_fresh_ms", Json::num(0.8)),
+                    ("session_fresh_per_s", Json::num(1250.0)),
+                    ("session_reused_per_s", Json::num(38000.0)),
+                    ("poly_cache_hit_rate", Json::num(0.46)),
+                ])]),
+            ),
+        ]);
+        let mut flat = Vec::new();
+        flatten(&synth_report, "", &mut flat);
+        let keys: Vec<&str> = flat.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(keys.contains(&"/mvm/csr.session_fresh_per_s"));
+        assert!(keys.contains(&"/mvm/csr.session_reused_per_s"));
+        assert!(keys.contains(&"/mvm/csr.poly_cache_hit_rate"));
+        // Raw millisecond fields stay out of the gate.
+        assert!(!keys.iter().any(|k| k.contains("session_fresh_ms")));
+        // A regression in the reused-session path is caught like any
+        // other throughput drop.
+        let degraded = obj(vec![(
+            "workloads",
+            Json::Arr(vec![obj(vec![
+                ("workload", Json::str("mvm/csr")),
+                ("session_reused_per_s", Json::num(9000.0)),
+            ])]),
+        )]);
+        let mut cur = Vec::new();
+        flatten(&degraded, "", &mut cur);
+        let r = regressions(&flat, &cur, 0.25);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].0, "/mvm/csr.session_reused_per_s");
     }
 
     #[test]

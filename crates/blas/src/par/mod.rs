@@ -5,7 +5,8 @@
 //! This replaces the seed's `parallel.rs` (a single CSR MVM over
 //! per-call scoped threads) with a layered subsystem:
 //!
-//! - [`pool`] — a persistent, lazily-initialized worker pool
+//! - [`Pool`] (re-exported from `bernoulli-pool`, shared with the
+//!   synthesis search) — a persistent, lazily-initialized worker pool
 //!   (`BERNOULLI_THREADS` overrides its size) executing chunked jobs
 //!   with dynamic chunk stealing;
 //! - [`partition`] — nnz-balanced chunk boundaries derived from each
@@ -37,16 +38,15 @@
 
 pub mod mvm;
 pub mod partition;
-pub mod pool;
 pub mod solvers;
 pub mod trisolve;
 pub mod vecops;
 
+pub use bernoulli_pool::{default_threads, Pool, THREADS_ENV};
 pub use mvm::{
     par_mvm_csc, par_mvm_csr, par_mvm_dia, par_mvm_ell, par_mvm_jad, par_mvmt_csc, par_mvmt_csr,
     par_mvmt_dia, par_mvmt_ell, par_mvmt_jad,
 };
-pub use pool::{default_threads, Pool, THREADS_ENV};
 pub use solvers::{cg, cg_csr, jacobi, jacobi_csr, ParOps};
 pub use trisolve::{par_ts_csr, par_ts_csr_scheduled, LevelSchedule};
 pub use vecops::{par_axpy, par_dot, par_nrm2};

@@ -15,9 +15,10 @@
 
 #![allow(clippy::needless_range_loop)] // indexed loops mirror the sequential kernels
 
-use super::{partition, pool::Pool, SlicePtr};
+use super::{partition, SlicePtr};
 use bernoulli_formats::partition::split_even;
 use bernoulli_formats::{Csc, Csr, Dia, Ell, Jad, Scalar};
+use bernoulli_pool::Pool;
 
 /// Per-kernel call/nnz/flop counters (`par.<kernel>.{calls,nnz,flops}`);
 /// one multiply-add per stored entry, so flops = 2·nnz. Compiled out

@@ -14,9 +14,10 @@
 //! [`crate::handwritten::ts_csr`], so the result is bitwise equal to it
 //! at every thread count.
 
-use super::{pool::Pool, SlicePtr};
+use super::SlicePtr;
 use bernoulli_formats::partition::split_ptr_by_cost;
 use bernoulli_formats::{Csr, Scalar};
+use bernoulli_pool::Pool;
 
 /// A wavefront schedule for a lower triangular CSR pattern: rows
 /// grouped by dependence depth.

@@ -8,9 +8,10 @@
 //! `nthreads` (and equals the sequential result exactly when
 //! `nthreads == 1`).
 
-use super::{pool::Pool, SlicePtr};
+use super::SlicePtr;
 use bernoulli_formats::partition::split_even;
 use bernoulli_formats::Scalar;
+use bernoulli_pool::Pool;
 
 /// Per-op call/element counters (`par.<op>.{calls,elems}`); compiled
 /// out with tracing disabled.

@@ -8,10 +8,32 @@ use bernoulli_blas::{kernels, synth};
 use bernoulli_formats::formats::sparsevec::{hashvec_format_view, sparsevec_format_view};
 use bernoulli_formats::view::FormatView;
 use bernoulli_ir::Program;
-use bernoulli_pool::Pool;
-use bernoulli_synth::{
-    synthesize_all_report, synthesize_all_with_pool, SearchReport, SynthOptions, WorkloadStats,
-};
+use bernoulli_synth::{SearchReport, Session, SynthOptions, WorkloadStats};
+
+/// One full search on a dedicated session: `threads = None` runs
+/// sequentially, `Some(n)` on a session-owned pool of `n` lanes. A
+/// fresh session per call keeps every search genuinely cold.
+fn search(
+    p: &Program,
+    views: &[(&str, FormatView)],
+    opts: &SynthOptions,
+    threads: Option<usize>,
+) -> SearchReport {
+    let session = match threads {
+        Some(n) => Session::new().with_threads(n),
+        None => Session::new(),
+    };
+    let opts = SynthOptions {
+        parallel: threads.is_some(),
+        ..opts.clone()
+    };
+    let bound = session.bind(p, views).unwrap();
+    session
+        .compile_with(&bound, &opts)
+        .unwrap()
+        .report()
+        .clone()
+}
 
 type Workload = (
     &'static str,
@@ -109,18 +131,13 @@ fn assert_identical(label: &str, a: &SearchReport, b: &SearchReport) {
 #[test]
 fn parallel_matches_sequential_for_all_pool_sizes() {
     for (label, p, views, base) in workloads() {
-        let opts = SynthOptions {
-            parallel: false,
-            ..base
-        };
-        let seq = synthesize_all_report(&p, &views, &opts).unwrap();
+        let seq = search(&p, &views, &base, None);
         assert!(
             !seq.candidates.is_empty(),
             "{label}: workload must synthesize"
         );
         for threads in [1usize, 2, 8] {
-            let pool = Pool::new(threads);
-            let par = synthesize_all_with_pool(&p, &views, &opts, &pool).unwrap();
+            let par = search(&p, &views, &base, Some(threads));
             assert_identical(&format!("{label}/threads={threads}"), &seq, &par);
         }
     }
@@ -134,17 +151,13 @@ fn parallel_matches_sequential_for_all_pool_sizes() {
 fn pruning_is_admissible_and_deterministic() {
     let mut total_pruned = 0usize;
     for (label, p, views, base) in workloads() {
-        let pruned_opts = SynthOptions {
-            keep: 1,
-            parallel: false,
-            ..base
-        };
+        let pruned_opts = SynthOptions { keep: 1, ..base };
         let unpruned_opts = SynthOptions {
             prune: false,
             ..pruned_opts.clone()
         };
-        let with = synthesize_all_report(&p, &views, &pruned_opts).unwrap();
-        let without = synthesize_all_report(&p, &views, &unpruned_opts).unwrap();
+        let with = search(&p, &views, &pruned_opts, None);
+        let without = search(&p, &views, &unpruned_opts, None);
         assert_eq!(
             with.examined, without.examined,
             "{label}: pruning must not change how many embeddings are considered"
@@ -168,8 +181,7 @@ fn pruning_is_admissible_and_deterministic() {
             );
         }
         for threads in [1usize, 2, 8] {
-            let pool = Pool::new(threads);
-            let par = synthesize_all_with_pool(&p, &views, &pruned_opts, &pool).unwrap();
+            let par = search(&p, &views, &pruned_opts, Some(threads));
             assert_identical(&format!("{label}/pruned/threads={threads}"), &with, &par);
         }
         total_pruned += with.pruned;

@@ -3,6 +3,50 @@
 use crate::scalar::Scalar;
 use crate::{Coo, Csc, Csr, Dense, Dia, DiagSplit, Ell, Jad, Triplets};
 
+/// Errors a caller can trigger through the format layer: asking for a
+/// format this build doesn't know, converting into a format whose
+/// structural constraints the matrix violates, or presenting a view
+/// that fails runtime conformance checking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FormatError {
+    /// No format with this name (see [`FORMAT_NAMES`]).
+    UnknownFormat { name: String },
+    /// The format requires a square matrix (e.g. `diagsplit`).
+    NotSquare {
+        format: &'static str,
+        nrows: usize,
+        ncols: usize,
+    },
+    /// A view failed runtime conformance checking
+    /// ([`check_view_conformance`](crate::cursor::check_view_conformance)).
+    Nonconforming(String),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::UnknownFormat { name } => {
+                write!(
+                    f,
+                    "unknown format {name:?} (known: {})",
+                    FORMAT_NAMES.join(", ")
+                )
+            }
+            FormatError::NotSquare {
+                format,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "format {format:?} requires a square matrix, got {nrows}x{ncols}"
+            ),
+            FormatError::Nonconforming(msg) => write!(f, "nonconforming view: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
 /// Names of all matrix formats with universal conversion support.
 pub const FORMAT_NAMES: &[&str] = &[
     "dense",
@@ -34,9 +78,19 @@ impl<T: Scalar> AnyFormat<T> {
     ///
     /// # Panics
     /// Panics on an unknown format name, or if the format's constraints
-    /// are violated (e.g. `diagsplit` on a non-square matrix).
+    /// are violated (e.g. `diagsplit` on a non-square matrix); use
+    /// [`AnyFormat::try_from_triplets`] to recover instead.
     pub fn from_triplets(name: &str, t: &Triplets<T>) -> AnyFormat<T> {
-        match name {
+        match Self::try_from_triplets(name, t) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`AnyFormat::from_triplets`] with unknown names and violated
+    /// format constraints reported as a [`FormatError`].
+    pub fn try_from_triplets(name: &str, t: &Triplets<T>) -> Result<AnyFormat<T>, FormatError> {
+        Ok(match name {
             "dense" => AnyFormat::Dense(Dense::from_triplets(t)),
             "coo" => AnyFormat::Coo(Coo::from_triplets(t)),
             "csr" => AnyFormat::Csr(Csr::from_triplets(t)),
@@ -44,9 +98,22 @@ impl<T: Scalar> AnyFormat<T> {
             "dia" => AnyFormat::Dia(Dia::from_triplets(t)),
             "ell" => AnyFormat::Ell(Ell::from_triplets(t)),
             "jad" => AnyFormat::Jad(Jad::from_triplets(t)),
-            "diagsplit" => AnyFormat::DiagSplit(DiagSplit::from_triplets(t)),
-            other => panic!("unknown format {other:?}"),
-        }
+            "diagsplit" => {
+                if t.nrows() != t.ncols() {
+                    return Err(FormatError::NotSquare {
+                        format: "diagsplit",
+                        nrows: t.nrows(),
+                        ncols: t.ncols(),
+                    });
+                }
+                AnyFormat::DiagSplit(DiagSplit::from_triplets(t))
+            }
+            other => {
+                return Err(FormatError::UnknownFormat {
+                    name: other.to_string(),
+                })
+            }
+        })
     }
 
     /// Converts back to triplets.
@@ -165,5 +232,31 @@ mod tests {
     #[should_panic(expected = "unknown format")]
     fn unknown_format_panics() {
         let _ = AnyFormat::<f64>::from_triplets("bsr", &sample());
+    }
+
+    #[test]
+    fn try_from_triplets_reports_typed_errors() {
+        let e = AnyFormat::<f64>::try_from_triplets("bsr", &sample()).unwrap_err();
+        assert_eq!(
+            e,
+            FormatError::UnknownFormat {
+                name: "bsr".to_string()
+            }
+        );
+        assert!(e.to_string().contains("csr"), "{e}"); // lists known names
+        let rect = Triplets::from_entries(2, 3, &[(0, 0, 1.0)]);
+        let e2 = AnyFormat::<f64>::try_from_triplets("diagsplit", &rect).unwrap_err();
+        assert_eq!(
+            e2,
+            FormatError::NotSquare {
+                format: "diagsplit",
+                nrows: 2,
+                ncols: 3
+            }
+        );
+        // Every known name still converts.
+        for &name in FORMAT_NAMES {
+            assert!(AnyFormat::<f64>::try_from_triplets(name, &sample()).is_ok());
+        }
     }
 }

@@ -36,6 +36,7 @@ pub mod scalar;
 pub mod triplet;
 pub mod view;
 
+pub use convert::{AnyFormat, FormatError, FORMAT_NAMES};
 pub use cursor::{ChainCursor, KeyTuple, Position, SparseView};
 pub use formats::coo::Coo;
 pub use formats::csc::Csc;

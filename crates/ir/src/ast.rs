@@ -158,6 +158,19 @@ impl StmtInfo {
     }
 }
 
+/// A semantically invalid [`Program`]: an undeclared array, a
+/// wrong-arity reference, an out-of-scope variable, or shadowing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidateError(pub String);
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid program: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
 impl Program {
     /// Finds an array declaration by name.
     pub fn array(&self, name: &str) -> Option<&ArrayDecl> {
@@ -167,7 +180,11 @@ impl Program {
     /// Semantic validation: every referenced array is declared with the
     /// right arity, every index expression only uses loop variables in
     /// scope and parameters, and loop variables don't shadow parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        self.validate_inner().map_err(ValidateError)
+    }
+
+    fn validate_inner(&self) -> Result<(), String> {
         fn check_expr(
             p: &Program,
             scope: &[String],
@@ -474,7 +491,7 @@ mod tests {
         let mut p = ts_program();
         p.arrays.retain(|a| a.name != "b");
         let err = p.validate().unwrap_err();
-        assert!(err.contains("\"b\""), "{err}");
+        assert!(err.0.contains("\"b\""), "{err}");
     }
 
     #[test]
@@ -487,7 +504,7 @@ mod tests {
             }
         }
         let err = p.validate().unwrap_err();
-        assert!(err.contains("zz"), "{err}");
+        assert!(err.0.contains("zz"), "{err}");
     }
 
     #[test]
@@ -499,6 +516,6 @@ mod tests {
             }
         }
         let err = p.validate().unwrap_err();
-        assert!(err.contains("indices"), "{err}");
+        assert!(err.0.contains("indices"), "{err}");
     }
 }

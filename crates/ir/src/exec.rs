@@ -45,10 +45,23 @@ impl<'m> DenseEnv<'m> {
     }
 
     /// Removes and returns a vector (typically an output).
+    ///
+    /// # Panics
+    /// Panics if the vector was never bound (or already taken); use
+    /// [`DenseEnv::try_take_vector`] to recover instead.
     pub fn take_vector(&mut self, name: &str) -> Vec<f64> {
+        match self.try_take_vector(name) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Removes and returns a vector, reporting an unbound name as an
+    /// [`ExecError`] instead of panicking.
+    pub fn try_take_vector(&mut self, name: &str) -> Result<Vec<f64>, ExecError> {
         self.vectors
             .remove(name)
-            .unwrap_or_else(|| panic!("vector {name:?} not bound"))
+            .ok_or_else(|| ExecError(format!("vector {name:?} not bound")))
     }
 }
 

@@ -37,9 +37,66 @@ pub mod expr;
 pub mod parser;
 
 pub use ast::{
-    ArrayDecl, ArrayKind, LhsRef, Loop, Node, Program, Role, Statement, StmtInfo, ValueExpr,
+    ArrayDecl, ArrayKind, LhsRef, Loop, Node, Program, Role, Statement, StmtInfo, ValidateError,
+    ValueExpr,
 };
 pub use deps::{analyze, DepClass, DepKind};
-pub use exec::{run_dense, DenseEnv};
+pub use exec::{run_dense, DenseEnv, ExecError};
 pub use expr::AffineExpr;
 pub use parser::{parse_program, ParseError};
+
+/// Everything that can go wrong on this crate's library paths, as one
+/// typed error: syntax ([`ParseError`]), semantics ([`ValidateError`]),
+/// or reference execution ([`ExecError`]).
+#[derive(Debug, PartialEq)]
+pub enum IrError {
+    Parse(ParseError),
+    Validate(ValidateError),
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::Parse(e) => e.fmt(f),
+            IrError::Validate(e) => e.fmt(f),
+            IrError::Exec(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for IrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IrError::Parse(e) => Some(e),
+            IrError::Validate(e) => Some(e),
+            IrError::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for IrError {
+    fn from(e: ParseError) -> IrError {
+        IrError::Parse(e)
+    }
+}
+
+impl From<ValidateError> for IrError {
+    fn from(e: ValidateError) -> IrError {
+        IrError::Validate(e)
+    }
+}
+
+impl From<ExecError> for IrError {
+    fn from(e: ExecError) -> IrError {
+        IrError::Exec(e)
+    }
+}
+
+/// Parses *and validates* a program: the one-call front end a compiler
+/// session uses, returning a typed [`IrError`] either way.
+pub fn parse_valid_program(src: &str) -> Result<Program, IrError> {
+    let p = parse_program(src)?;
+    p.validate()?;
+    Ok(p)
+}

@@ -21,16 +21,57 @@ use crate::ast::*;
 use crate::expr::AffineExpr;
 use std::fmt;
 
-/// Parse failure with a human-readable message and byte offset.
+/// Parse failure with a human-readable message and source position.
+///
+/// `line` and `column` are 1-based; [`parse_program`] fills them in from
+/// the byte `offset` before returning, so every surfaced error carries a
+/// usable position.
 #[derive(Debug, PartialEq)]
 pub struct ParseError {
     pub msg: String,
     pub offset: usize,
+    pub line: usize,
+    pub column: usize,
+}
+
+impl ParseError {
+    fn at(msg: impl Into<String>, offset: usize) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            offset,
+            line: 0,
+            column: 0,
+        }
+    }
+
+    /// Converts the byte offset into a 1-based line/column pair against
+    /// `src` (an end-of-input offset points just past the last byte).
+    fn locate(mut self, src: &str) -> ParseError {
+        let off = self.offset.min(src.len());
+        self.offset = off;
+        let before = &src.as_bytes()[..off];
+        self.line = 1 + before.iter().filter(|&&b| b == b'\n').count();
+        let line_start = before
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        self.column = 1 + off - line_start;
+        self
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.offset, self.msg)
+        if self.line > 0 {
+            write!(
+                f,
+                "parse error at line {}, column {}: {}",
+                self.line, self.column, self.msg
+            )
+        } else {
+            write!(f, "parse error at byte {}: {}", self.offset, self.msg)
+        }
     }
 }
 
@@ -42,6 +83,17 @@ enum Tok {
     Int(i64),
     Float(f64),
     Sym(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier {s:?}"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Float(v) => write!(f, "float {v}"),
+            Tok::Sym(s) => write!(f, "{s:?}"),
+        }
+    }
 }
 
 struct Lexer<'a> {
@@ -58,10 +110,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn error(&self, msg: impl Into<String>) -> ParseError {
-        ParseError {
-            msg: msg.into(),
-            offset: self.pos,
-        }
+        ParseError::at(msg, self.pos)
     }
 
     fn skip_ws(&mut self) {
@@ -93,7 +142,8 @@ impl<'a> Lexer<'a> {
             {
                 self.pos += 1;
             }
-            let s = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            let s = std::str::from_utf8(&self.src[start..self.pos])
+                .expect("lexer invariant: token bytes are ASCII");
             return Ok(Some((Tok::Ident(s.to_string()), start)));
         }
         if b.is_ascii_digit() {
@@ -110,11 +160,13 @@ impl<'a> Lexer<'a> {
                 while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
                     self.pos += 1;
                 }
-                let s = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                let s = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("lexer invariant: token bytes are ASCII");
                 let v: f64 = s.parse().map_err(|_| self.error("bad float literal"))?;
                 return Ok(Some((Tok::Float(v), start)));
             }
-            let s = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            let s = std::str::from_utf8(&self.src[start..self.pos])
+                .expect("lexer invariant: token bytes are ASCII");
             let v: i64 = s.parse().map_err(|_| self.error("bad integer literal"))?;
             return Ok(Some((Tok::Int(v), start)));
         }
@@ -161,10 +213,17 @@ impl Parser {
     }
 
     fn error(&self, msg: impl Into<String>) -> ParseError {
-        ParseError {
-            msg: msg.into(),
-            offset: self.offset(),
-        }
+        ParseError::at(msg, self.offset())
+    }
+
+    /// Error anchored at the token just consumed (the offending one).
+    fn error_at_last(&self, msg: impl Into<String>) -> ParseError {
+        let off = self
+            .toks
+            .get(self.i.saturating_sub(1))
+            .map(|&(_, o)| o)
+            .unwrap_or(usize::MAX);
+        ParseError::at(msg, off)
     }
 
     fn bump(&mut self) -> Result<Tok, ParseError> {
@@ -180,20 +239,14 @@ impl Parser {
     fn expect_sym(&mut self, s: &str) -> Result<(), ParseError> {
         match self.bump()? {
             Tok::Sym(x) if x == s => Ok(()),
-            other => Err(ParseError {
-                msg: format!("expected {s:?}, found {other:?}"),
-                offset: self.toks[self.i - 1].1,
-            }),
+            other => Err(self.error_at_last(format!("expected {s:?}, found {other}"))),
         }
     }
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
         match self.bump()? {
             Tok::Ident(s) => Ok(s),
-            other => Err(ParseError {
-                msg: format!("expected identifier, found {other:?}"),
-                offset: self.toks[self.i - 1].1,
-            }),
+            other => Err(self.error_at_last(format!("expected identifier, found {other}"))),
         }
     }
 
@@ -202,10 +255,7 @@ impl Parser {
         if id == kw {
             Ok(())
         } else {
-            Err(ParseError {
-                msg: format!("expected keyword {kw:?}, found {id:?}"),
-                offset: self.toks[self.i - 1].1,
-            })
+            Err(self.error_at_last(format!("expected keyword {kw:?}, found identifier {id:?}")))
         }
     }
 
@@ -253,10 +303,9 @@ impl Parser {
                 if self.eat_sym("*") {
                     match self.bump()? {
                         Tok::Int(v) => Ok(AffineExpr::from_terms(&[(&id, v)], 0)),
-                        other => Err(ParseError {
-                            msg: format!("affine multiplier must be an integer, found {other:?}"),
-                            offset: self.toks[self.i - 1].1,
-                        }),
+                        other => Err(self.error_at_last(format!(
+                            "affine multiplier must be an integer, found {other}"
+                        ))),
                     }
                 } else {
                     Ok(AffineExpr::var(&id))
@@ -271,10 +320,7 @@ impl Parser {
                 self.expect_sym(")")?;
                 Ok(e)
             }
-            other => Err(ParseError {
-                msg: format!("expected affine expression, found {other:?}"),
-                offset: self.toks[self.i - 1].1,
-            }),
+            other => Err(self.error_at_last(format!("expected affine expression, found {other}"))),
         }
     }
 
@@ -340,10 +386,7 @@ impl Parser {
                 Ok(e)
             }
             Tok::Ident(name) => Ok(ValueExpr::Read(self.array_ref(name)?)),
-            other => Err(ParseError {
-                msg: format!("expected expression, found {other:?}"),
-                offset: self.toks[self.i - 1].1,
-            }),
+            other => Err(self.error_at_last(format!("expected expression, found {other}"))),
         }
     }
 
@@ -453,8 +496,13 @@ impl Parser {
     }
 }
 
-/// Parses the mini-language into a [`Program`].
+/// Parses the mini-language into a [`Program`]. Errors carry a 1-based
+/// line/column position and name the offending token.
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    parse_inner(src).map_err(|e| e.locate(src))
+}
+
+fn parse_inner(src: &str) -> Result<Program, ParseError> {
     let mut lex = Lexer::new(src);
     let mut toks = Vec::new();
     while let Some(t) = lex.next()? {
@@ -572,6 +620,40 @@ mod tests {
         assert!(e2.msg.contains("expected 2 dimension"));
         let e3 = parse_program("program p() { x = 1; }").unwrap_err();
         assert!(e3.msg.contains("at least one index"));
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        // The stray `]` sits on line 3, column 20 (1-based).
+        let src = "program p(N) {\n  inout vector x[N];\n  for i in 0..N { x]i] = 0; }\n}";
+        let e = parse_program(src).unwrap_err();
+        assert_eq!((e.line, e.column), (3, 20), "{e}");
+        assert_eq!(&src[e.offset..e.offset + 1], "]");
+        let shown = e.to_string();
+        assert!(shown.contains("line 3"), "{shown}");
+        assert!(shown.contains("column 20"), "{shown}");
+    }
+
+    #[test]
+    fn errors_name_the_offending_token() {
+        // `=` where an index expression must continue: the message names
+        // the unexpected token and points at its position.
+        let src = "program p(N) {\n  inout vector x[N];\n  x[0 = 1;\n}";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.msg.contains("\"=\""), "{e}");
+        assert_eq!((e.line, e.column), (3, 7), "{e}");
+        // A wrong keyword is quoted too.
+        let e2 = parse_program("module p() {}").unwrap_err();
+        assert!(e2.msg.contains("\"module\""), "{e2}");
+        assert_eq!((e2.line, e2.column), (1, 1), "{e2}");
+    }
+
+    #[test]
+    fn end_of_input_error_points_past_last_byte() {
+        let src = "program p() { for i in 0..N ";
+        let e = parse_program(src).unwrap_err();
+        assert_eq!(e.offset, src.len());
+        assert_eq!((e.line, e.column), (1, src.len() + 1), "{e}");
     }
 
     #[test]

@@ -35,7 +35,7 @@ use crate::system::{Constraint, ConstraintKind, System};
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 const NSHARDS: usize = 16;
 /// Per-shard entry cap; a shard that fills up is cleared wholesale.
@@ -199,30 +199,117 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
     }
 }
 
-fn empty_cache() -> &'static ShardedCache<CanonicalKey, bool> {
-    static C: OnceLock<ShardedCache<CanonicalKey, bool>> = OnceLock::new();
-    C.get_or_init(ShardedCache::new)
+/// One session's worth of polyhedral memo state: the emptiness cache
+/// and the FM-elimination cache, with their hit/miss accounting.
+///
+/// The process keeps a *current* instance that [`System::is_empty`] and
+/// [`eliminate_var`](crate::eliminate_var) consult; it defaults to a
+/// process-wide shared instance, and a compiler session that wants
+/// explicit warm/cold ownership can [`install`] its own for the duration
+/// of a search. Memoization is pure — whichever instance is current,
+/// results are identical; only hit rates differ.
+pub struct PolyCaches {
+    empty: ShardedCache<CanonicalKey, bool>,
+    fm: ShardedCache<FmKey, Vec<Constraint>>,
 }
 
-fn fm_cache() -> &'static ShardedCache<FmKey, Vec<Constraint>> {
-    static C: OnceLock<ShardedCache<FmKey, Vec<Constraint>>> = OnceLock::new();
-    C.get_or_init(ShardedCache::new)
+impl PolyCaches {
+    /// A fresh, empty pair of memo caches.
+    pub fn new() -> PolyCaches {
+        PolyCaches {
+            empty: ShardedCache::new(),
+            fm: ShardedCache::new(),
+        }
+    }
+
+    /// Hit/miss totals accumulated by *this* instance.
+    pub fn stats(&self) -> CacheStats {
+        let (eh, em) = self.empty.counts();
+        let (fh, fm) = self.fm.counts();
+        CacheStats {
+            empty_hits: eh,
+            empty_misses: em,
+            fm_hits: fh,
+            fm_misses: fm,
+        }
+    }
+
+    /// Drops every memoized result and zeroes this instance's counts.
+    pub fn clear(&self) {
+        self.empty.clear();
+        self.fm.clear();
+    }
+}
+
+impl Default for PolyCaches {
+    fn default() -> Self {
+        PolyCaches::new()
+    }
+}
+
+/// The slot the decision procedures read. An `RwLock<Arc<..>>` rather
+/// than a plain static: installing is rare (once per session compile),
+/// while lookups are constant — readers only clone an `Arc`.
+fn current_slot() -> &'static RwLock<Arc<PolyCaches>> {
+    static C: OnceLock<RwLock<Arc<PolyCaches>>> = OnceLock::new();
+    C.get_or_init(|| RwLock::new(Arc::new(PolyCaches::new())))
+}
+
+fn current() -> Arc<PolyCaches> {
+    match current_slot().read() {
+        Ok(g) => Arc::clone(&g),
+        Err(poison) => Arc::clone(&poison.into_inner()),
+    }
+}
+
+/// Makes `caches` the instance the decision procedures consult and
+/// returns the previously-installed one (so a scoped caller can restore
+/// it). Installation is process-global: concurrent sessions that
+/// interleave installs only affect each other's hit *rates*, never
+/// results — the caches are pure memoization.
+pub fn install(caches: Arc<PolyCaches>) -> Arc<PolyCaches> {
+    let mut g = match current_slot().write() {
+        Ok(g) => g,
+        Err(poison) => poison.into_inner(),
+    };
+    std::mem::replace(&mut g, caches)
+}
+
+/// [`install`]s `caches` and restores the previous instance when
+/// dropped (panic-safe — the restore runs during unwinding too).
+pub struct ScopedCaches {
+    prev: Option<Arc<PolyCaches>>,
+}
+
+/// Installs `caches` for the lifetime of the returned guard.
+pub fn install_scoped(caches: Arc<PolyCaches>) -> ScopedCaches {
+    ScopedCaches {
+        prev: Some(install(caches)),
+    }
+}
+
+impl Drop for ScopedCaches {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            install(prev);
+        }
+    }
 }
 
 pub(crate) fn empty_lookup(k: &CanonicalKey) -> Option<bool> {
-    empty_cache().lookup(k)
+    current().empty.lookup(k)
 }
 
 pub(crate) fn empty_store(k: CanonicalKey, v: bool) {
-    empty_cache().store(k, v);
+    current().empty.store(k, v);
 }
 
 pub(crate) fn fm_lookup(k: &FmKey) -> Option<Vec<Constraint>> {
-    fm_cache().lookup(k)
+    current().fm.lookup(k)
 }
 
 pub(crate) fn fm_store(k: FmKey, v: Vec<Constraint>) {
-    fm_cache().store(k, v);
+    current().fm.store(k, v);
 }
 
 /// Hit/miss totals of the polyhedral memo caches since process start
@@ -258,24 +345,16 @@ impl CacheStats {
     }
 }
 
-/// Current hit/miss totals of both caches.
+/// Current hit/miss totals of the *currently installed* caches.
 pub fn cache_stats() -> CacheStats {
-    let (eh, em) = empty_cache().counts();
-    let (fh, fm) = fm_cache().counts();
-    CacheStats {
-        empty_hits: eh,
-        empty_misses: em,
-        fm_hits: fh,
-        fm_misses: fm,
-    }
+    current().stats()
 }
 
-/// Drops every memoized result and zeroes the hit/miss counts.
-/// Benchmarks call this to measure cold-cache behavior; correctness
-/// never depends on it.
+/// Drops every memoized result of the currently installed caches and
+/// zeroes their hit/miss counts. Benchmarks call this to measure
+/// cold-cache behavior; correctness never depends on it.
 pub fn clear_caches() {
-    empty_cache().clear();
-    fm_cache().clear();
+    current().clear();
 }
 
 #[cfg(test)]
@@ -423,6 +502,37 @@ mod tests {
         assert!(!s.is_empty());
         let after = cache_stats();
         assert!(after.empty_misses > before.empty_misses);
+    }
+
+    #[test]
+    fn scoped_install_isolates_stats_and_restores() {
+        let _g = stats_lock();
+        let s = box_sys(&[0, 1, 2]);
+        assert!(!s.is_empty()); // warm the default instance
+        let mine = Arc::new(PolyCaches::new());
+        {
+            let _scope = install_scoped(Arc::clone(&mine));
+            // Fresh instance: the identical query misses (cold), then hits.
+            assert!(!s.is_empty());
+            assert!(!s.is_empty());
+            let st = mine.stats();
+            assert!(st.empty_misses >= 1, "{st:?}");
+            assert!(st.empty_hits >= 1, "{st:?}");
+            // The process-wide view reports the installed instance
+            // (monotone — sibling tests may be querying concurrently).
+            let global = cache_stats();
+            assert!(global.empty_hits >= st.empty_hits);
+            assert!(global.empty_misses >= st.empty_misses);
+        }
+        // Guard dropped: queries accrue to the default instance again
+        // (monotone assert — sibling tests may also be querying).
+        let before = cache_stats();
+        assert!(!s.is_empty());
+        let after = cache_stats();
+        assert!(
+            after.empty_hits + after.empty_misses > before.empty_hits + before.empty_misses,
+            "{before:?} -> {after:?}"
+        );
     }
 
     #[test]

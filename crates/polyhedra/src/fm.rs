@@ -17,7 +17,29 @@ use crate::{Constraint, ConstraintKind, LinExpr, System};
 /// systems over different index names share one entry; the survivor
 /// names are re-attached from `sys` on a hit.
 pub fn eliminate_var(sys: &System, j: usize) -> System {
-    assert!(j < sys.num_vars(), "variable index out of range");
+    match try_eliminate_var(sys, j) {
+        Ok(s) => s,
+        // Internal invariant: synthesis-built systems only ever eliminate
+        // columns they created; a caller-supplied index goes through
+        // `try_eliminate_var`.
+        Err(e) => panic!("eliminate_var: {e}"),
+    }
+}
+
+/// [`eliminate_var`] with the out-of-range column reported as a
+/// [`PolyError`](crate::PolyError) instead of a panic — the entry point
+/// for callers whose column index is not statically known to be valid.
+pub fn try_eliminate_var(sys: &System, j: usize) -> Result<System, crate::PolyError> {
+    if j >= sys.num_vars() {
+        return Err(crate::PolyError::VarOutOfRange {
+            index: j,
+            nvars: sys.num_vars(),
+        });
+    }
+    Ok(eliminate_var_checked(sys, j))
+}
+
+fn eliminate_var_checked(sys: &System, j: usize) -> System {
     bernoulli_trace::counter!("polyhedra.fm_eliminations");
     let key = crate::cache::fm_key(sys, j);
     if let Some(rows) = crate::cache::fm_lookup(&key) {

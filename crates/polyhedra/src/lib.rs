@@ -31,11 +31,35 @@ mod farkas;
 mod fm;
 mod system;
 
-pub use cache::{cache_stats, clear_caches, CacheStats};
+pub use cache::{cache_stats, clear_caches, install, install_scoped, CacheStats, PolyCaches};
 pub use expr::LinExpr;
 pub use farkas::farkas_nonneg_conditions;
-pub use fm::{eliminate_var, variable_bounds};
+pub use fm::{eliminate_var, try_eliminate_var, variable_bounds};
 pub use system::{Constraint, ConstraintKind, System};
+
+/// Errors a caller can trigger through the polyhedral API (as opposed
+/// to internal invariants, which still panic with a message naming the
+/// invariant).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PolyError {
+    /// A variable (column) index beyond the system's variable count.
+    VarOutOfRange { index: usize, nvars: usize },
+}
+
+impl std::fmt::Display for PolyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolyError::VarOutOfRange { index, nvars } => {
+                write!(
+                    f,
+                    "variable index {index} out of range (system has {nvars} variables)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolyError {}
 
 /// Brute-force enumeration of the integer points of `sys` inside the box
 /// `lo..=hi` on every variable. Exponential; intended for tests and for the

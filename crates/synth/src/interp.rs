@@ -57,10 +57,23 @@ impl<'m> ExecEnv<'m> {
     }
 
     /// Removes and returns a vector (typically the output).
+    ///
+    /// # Panics
+    /// Panics if the vector was never bound (or already taken); use
+    /// [`ExecEnv::try_take_vec`] to recover instead.
     pub fn take_vec(&mut self, name: &str) -> Vec<f64> {
+        match self.try_take_vec(name) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Removes and returns a vector, reporting an unbound name as a
+    /// [`PlanError`] instead of panicking.
+    pub fn try_take_vec(&mut self, name: &str) -> Result<Vec<f64>, PlanError> {
         self.vectors
             .remove(name)
-            .unwrap_or_else(|| panic!("vector {name:?} not bound"))
+            .ok_or_else(|| PlanError(format!("vector {name:?} not bound")))
     }
 }
 

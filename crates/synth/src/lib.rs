@@ -50,16 +50,18 @@ pub mod legal;
 pub mod lower;
 pub mod plan;
 pub mod search;
+pub mod session;
 pub mod spaces;
 pub mod zero;
 
-pub use config::{Config, RefInst, StmtCopy};
+pub use config::{Config, ConfigError, RefInst, StmtCopy};
 pub use cost::{cost_floor, WorkloadStats};
 pub use emit::{emit_module, emit_rust, EmitError};
-pub use interp::{run_plan, ExecEnv, PlanError};
+pub use interp::{run_plan, ExecEnv, PlanError, RunStats};
 pub use plan::{Plan, Step};
 pub use search::{
     plan_cache_clear, plan_cache_stats, synthesize, synthesize_all, synthesize_all_report,
     synthesize_all_with_pool, Candidate, PlanCacheStats, SearchReport, SynthError, SynthOptions,
     Synthesized,
 };
+pub use session::{BoundProblem, CompiledKernel, DepReport, Session};

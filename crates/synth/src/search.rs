@@ -132,25 +132,43 @@ pub struct SearchReport {
     pub plan_cache_hit: bool,
 }
 
-/// Why synthesis failed.
+/// Why synthesis failed — the root of the `synth` error hierarchy.
+/// Every lower layer's typed error converges here via `From`, so the
+/// staged [`Session`](crate::session::Session) API can report any
+/// caller-triggerable failure as one recoverable type.
 #[derive(Debug)]
 pub enum SynthError {
-    /// The input program is malformed (undeclared arrays, out-of-scope
-    /// variables, arity mismatches).
-    InvalidProgram(String),
+    /// The input program is malformed: a syntax error or a semantic one
+    /// (undeclared arrays, out-of-scope variables, arity mismatches).
+    InvalidProgram(bernoulli_ir::IrError),
+    /// A format view was bound to a matrix the program never declares.
+    UnknownMatrix { name: String },
+    /// A view disagrees with how the program references the matrix
+    /// (e.g. rank mismatch between dense attributes and indices).
     Config(crate::config::ConfigError),
+    /// Constructing or converting a concrete format failed.
+    Format(bernoulli_formats::FormatError),
+    /// Executing a plan against an environment failed (unbound or
+    /// dimension-mismatched operands, out-of-range accesses).
+    Plan(crate::interp::PlanError),
+    /// Specializing a plan to Rust source failed.
+    Emit(crate::emit::EmitError),
     /// No legal, zero-safe plan was found; the payload describes the last
     /// rejection reasons observed.
-    NoLegalPlan {
-        reasons: Vec<String>,
-    },
+    NoLegalPlan { reasons: Vec<String> },
 }
 
 impl std::fmt::Display for SynthError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SynthError::InvalidProgram(e) => write!(f, "invalid program: {e}"),
+            SynthError::UnknownMatrix { name } => {
+                write!(f, "matrix {name:?} is not declared by the program")
+            }
             SynthError::Config(e) => write!(f, "{e}"),
+            SynthError::Format(e) => write!(f, "{e}"),
+            SynthError::Plan(e) => write!(f, "{e}"),
+            SynthError::Emit(e) => write!(f, "{e}"),
             SynthError::NoLegalPlan { reasons } => {
                 write!(f, "no legal plan found")?;
                 for r in reasons.iter().take(5) {
@@ -162,7 +180,60 @@ impl std::fmt::Display for SynthError {
     }
 }
 
-impl std::error::Error for SynthError {}
+impl std::error::Error for SynthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthError::InvalidProgram(e) => Some(e),
+            SynthError::Config(e) => Some(e),
+            SynthError::Format(e) => Some(e),
+            SynthError::Plan(e) => Some(e),
+            SynthError::Emit(e) => Some(e),
+            SynthError::UnknownMatrix { .. } | SynthError::NoLegalPlan { .. } => None,
+        }
+    }
+}
+
+impl From<bernoulli_ir::IrError> for SynthError {
+    fn from(e: bernoulli_ir::IrError) -> SynthError {
+        SynthError::InvalidProgram(e)
+    }
+}
+
+impl From<bernoulli_ir::ParseError> for SynthError {
+    fn from(e: bernoulli_ir::ParseError) -> SynthError {
+        SynthError::InvalidProgram(e.into())
+    }
+}
+
+impl From<bernoulli_ir::ValidateError> for SynthError {
+    fn from(e: bernoulli_ir::ValidateError) -> SynthError {
+        SynthError::InvalidProgram(e.into())
+    }
+}
+
+impl From<crate::config::ConfigError> for SynthError {
+    fn from(e: crate::config::ConfigError) -> SynthError {
+        SynthError::Config(e)
+    }
+}
+
+impl From<bernoulli_formats::FormatError> for SynthError {
+    fn from(e: bernoulli_formats::FormatError) -> SynthError {
+        SynthError::Format(e)
+    }
+}
+
+impl From<crate::interp::PlanError> for SynthError {
+    fn from(e: crate::interp::PlanError) -> SynthError {
+        SynthError::Plan(e)
+    }
+}
+
+impl From<crate::emit::EmitError> for SynthError {
+    fn from(e: crate::emit::EmitError) -> SynthError {
+        SynthError::Emit(e)
+    }
+}
 
 /// Synthesizes the best data-centric plan for the program with the given
 /// sparse-matrix views.
@@ -212,7 +283,7 @@ pub fn synthesize_all_report(
     opts: &SynthOptions,
 ) -> Result<SearchReport, SynthError> {
     let pool = opts.parallel.then(Pool::global);
-    run_search(p, views, opts, pool)
+    run_search(p, views, opts, pool, global_plan_cache())
 }
 
 /// [`synthesize_all_report`] on a caller-supplied pool (ignores
@@ -225,7 +296,7 @@ pub fn synthesize_all_with_pool(
     opts: &SynthOptions,
     pool: &Pool,
 ) -> Result<SearchReport, SynthError> {
-    run_search(p, views, opts, Some(pool))
+    run_search(p, views, opts, Some(pool), global_plan_cache())
 }
 
 /// Rejection reasons are deduplicated and capped at this many entries.
@@ -268,20 +339,21 @@ struct ConfigOutcome {
     reasons: Vec<String>,
 }
 
-fn run_search(
+pub(crate) fn run_search(
     p: &Program,
     views: &[(&str, FormatView)],
     opts: &SynthOptions,
     pool: Option<&Pool>,
+    cache: &PlanCache,
 ) -> Result<SearchReport, SynthError> {
     bernoulli_trace::counter!("synth.searches");
     bernoulli_trace::span!("synth.search");
-    p.validate().map_err(SynthError::InvalidProgram)?;
+    p.validate()?;
 
     let key = opts.cache_plans.then(|| plan_cache_key(p, views, opts));
     if let Some(k) = &key {
-        if let Some(c) = lock_cache().get(k).cloned() {
-            PLAN_HITS.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = cache.lock().get(k).cloned() {
+            cache.hits.fetch_add(1, Ordering::Relaxed);
             bernoulli_trace::counter!("synth.plan_cache_hits");
             return Ok(SearchReport {
                 candidates: c.candidates,
@@ -291,7 +363,7 @@ fn run_search(
                 plan_cache_hit: true,
             });
         }
-        PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
+        cache.misses.fetch_add(1, Ordering::Relaxed);
         bernoulli_trace::counter!("synth.plan_cache_misses");
     }
 
@@ -497,7 +569,7 @@ fn run_search(
         reasons.push("no candidate lowered successfully".to_string());
     }
     if let Some(k) = key {
-        let mut g = lock_cache();
+        let mut g = cache.lock();
         if g.len() >= PLAN_CACHE_CAP {
             g.clear();
         }
@@ -534,15 +606,52 @@ struct CachedSearch {
 /// Cached whole-search results; cleared wholesale when full.
 const PLAN_CACHE_CAP: usize = 128;
 
-static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
-static PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
+/// One whole-search memo cache with hit/miss accounting. The crate
+/// keeps a process-global instance behind [`plan_cache_stats`] /
+/// [`plan_cache_clear`] for the free-function entry points; a
+/// [`Session`](crate::session::Session) owns its own, making warm/cold
+/// behavior explicit per session.
+pub(crate) struct PlanCache {
+    map: Mutex<HashMap<String, CachedSearch>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
 
-fn lock_cache() -> MutexGuard<'static, HashMap<String, CachedSearch>> {
-    static C: OnceLock<Mutex<HashMap<String, CachedSearch>>> = OnceLock::new();
-    match C.get_or_init(|| Mutex::new(HashMap::new())).lock() {
-        Ok(g) => g,
-        Err(poison) => poison.into_inner(),
+impl PlanCache {
+    pub(crate) fn new() -> PlanCache {
+        PlanCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
+
+    /// Poison-tolerant lock: a panic mid-insert leaves at worst a
+    /// missing memo entry, never a wrong one.
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, CachedSearch>> {
+        match self.map.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn clear(&self) {
+        self.lock().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn global_plan_cache() -> &'static PlanCache {
+    static C: OnceLock<PlanCache> = OnceLock::new();
+    C.get_or_init(PlanCache::new)
 }
 
 /// The cache key covers everything the search result depends on: the
@@ -610,19 +719,18 @@ impl PlanCacheStats {
     }
 }
 
-/// Current plan-cache hit/miss totals.
+/// Current hit/miss totals of the *process-global* plan cache (the one
+/// the free-function entry points use; a
+/// [`Session`](crate::session::Session) owns its own cache and reports
+/// through [`Session::plan_cache_stats`](crate::session::Session::plan_cache_stats)).
 pub fn plan_cache_stats() -> PlanCacheStats {
-    PlanCacheStats {
-        hits: PLAN_HITS.load(Ordering::Relaxed),
-        misses: PLAN_MISSES.load(Ordering::Relaxed),
-    }
+    global_plan_cache().stats()
 }
 
-/// Drops every cached search result and zeroes the hit/miss counts.
+/// Drops every cached search result of the process-global plan cache
+/// and zeroes its hit/miss counts.
 pub fn plan_cache_clear() {
-    lock_cache().clear();
-    PLAN_HITS.store(0, Ordering::Relaxed);
-    PLAN_MISSES.store(0, Ordering::Relaxed);
+    global_plan_cache().clear();
 }
 
 /// Convenience for tests and examples: builds each candidate's

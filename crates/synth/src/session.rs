@@ -1,0 +1,462 @@
+//! The staged compiler driver: a long-lived [`Session`] owning every
+//! piece of shared state the synthesis pipeline accumulates — the
+//! worker pool, the polyhedral memo caches, the whole-search plan
+//! cache, and the search options — behind the four-stage API the
+//! paper's pipeline implies:
+//!
+//! ```text
+//! parse(text)          -> Program        (syntax + semantic checks)
+//! analyze(&Program)    -> DepReport      (dependence classes, §3)
+//! bind(&Program, fmts) -> BoundProblem   (views checked against decls)
+//! compile(&Bound)      -> CompiledKernel (ranked candidates, §4)
+//! ```
+//!
+//! A [`CompiledKernel`] can then be [`interpret`](CompiledKernel::interpret)-ed
+//! against real formats or [`emit`](CompiledKernel::emit)-ted to Rust
+//! source. Because the session owns its caches, warm/cold behavior is
+//! explicit: a second identical `compile` on the *same* session hits
+//! the plan cache (visible in [`SearchReport::plan_cache_hit`]), while
+//! a fresh session starts cold — no process-global state involved.
+//! Every failure a caller can trigger surfaces as a typed
+//! [`SynthError`]; nothing on these paths panics.
+
+use crate::config::ConfigError;
+use crate::interp::{run_plan, ExecEnv, RunStats};
+use crate::plan::Plan;
+use crate::search::{
+    run_search, Candidate, PlanCache, PlanCacheStats, SearchReport, SynthError, SynthOptions,
+};
+use bernoulli_formats::view::FormatView;
+use bernoulli_ir::{analyze, parse_program, ArrayKind, DepClass, Program};
+use bernoulli_polyhedra::PolyCaches;
+use bernoulli_pool::Pool;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which worker pool a session fans its searches out over.
+enum SessionPool {
+    /// The process-global pool (sized by `BERNOULLI_THREADS`).
+    Shared,
+    /// A pool this session owns.
+    Owned(Arc<Pool>),
+}
+
+/// A long-lived compiler object: create once, compile many kernels.
+///
+/// Reusing one session across compiles is what makes repeated
+/// synthesis fast — the plan cache returns identical requests without
+/// searching, and the polyhedral memo caches accelerate even cold
+/// searches over structurally similar systems. Dropping the session
+/// drops all of that state.
+pub struct Session {
+    opts: SynthOptions,
+    pool: SessionPool,
+    plan_cache: PlanCache,
+    poly_caches: Arc<PolyCaches>,
+}
+
+impl Session {
+    /// A session with default [`SynthOptions`], searching on the shared
+    /// worker pool.
+    pub fn new() -> Session {
+        Session::with_options(SynthOptions::default())
+    }
+
+    /// A session with explicit search options.
+    pub fn with_options(opts: SynthOptions) -> Session {
+        Session {
+            opts,
+            pool: SessionPool::Shared,
+            plan_cache: PlanCache::new(),
+            poly_caches: Arc::new(PolyCaches::new()),
+        }
+    }
+
+    /// Gives the session its own worker pool of `nthreads` threads
+    /// instead of the shared one.
+    pub fn with_threads(mut self, nthreads: usize) -> Session {
+        self.pool = SessionPool::Owned(Arc::new(Pool::new(nthreads)));
+        self
+    }
+
+    /// The session's search options.
+    pub fn options(&self) -> &SynthOptions {
+        &self.opts
+    }
+
+    /// Mutable access to the search options (takes effect on the next
+    /// [`compile`](Session::compile)).
+    pub fn options_mut(&mut self) -> &mut SynthOptions {
+        &mut self.opts
+    }
+
+    /// Stage 1 — parse *and semantically validate* program text.
+    pub fn parse(&self, text: &str) -> Result<Program, SynthError> {
+        let p = parse_program(text)?;
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Stage 2 — dependence analysis (paper §3): the dependence classes
+    /// legality will be checked against. Infallible on a validated
+    /// program; offered on the session so drivers can inspect or log
+    /// the classes between parsing and binding.
+    pub fn analyze(&self, p: &Program) -> DepReport {
+        DepReport {
+            classes: analyze(p),
+        }
+    }
+
+    /// Stage 3 — bind a format view to each sparse matrix, checking the
+    /// views against the program's declarations: every bound name must
+    /// be a declared array, and the view's dense rank must match the
+    /// array kind (2 for matrices, 1 for vectors).
+    pub fn bind(
+        &self,
+        p: &Program,
+        views: &[(&str, FormatView)],
+    ) -> Result<BoundProblem, SynthError> {
+        p.validate()?;
+        for (name, view) in views {
+            let decl = p.array(name).ok_or_else(|| SynthError::UnknownMatrix {
+                name: name.to_string(),
+            })?;
+            let need = match decl.kind {
+                ArrayKind::Matrix => 2,
+                ArrayKind::Vector => 1,
+            };
+            if view.dense_attrs.len() != need {
+                return Err(SynthError::Config(ConfigError(format!(
+                    "view {:?} for array {name:?} has {} dense attrs, \
+                     but the array is declared with {need} dimension(s)",
+                    view.name,
+                    view.dense_attrs.len()
+                ))));
+            }
+        }
+        Ok(BoundProblem {
+            program: p.clone(),
+            views: views
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.clone()))
+                .collect(),
+        })
+    }
+
+    /// Stage 4 — run the search (§4.2–4.3) with the session's options,
+    /// pool and caches, returning the ranked candidates as an
+    /// executable/emit-able [`CompiledKernel`].
+    pub fn compile(&self, problem: &BoundProblem) -> Result<CompiledKernel, SynthError> {
+        self.compile_with(problem, &self.opts.clone())
+    }
+
+    /// [`compile`](Session::compile) with per-call option overrides
+    /// (the session still supplies pool and caches). Used by the
+    /// experiment drivers that sweep search knobs.
+    pub fn compile_with(
+        &self,
+        problem: &BoundProblem,
+        opts: &SynthOptions,
+    ) -> Result<CompiledKernel, SynthError> {
+        // Route the polyhedral decision procedures through this
+        // session's memo caches for the duration of the search (the
+        // guard restores the previous instance even on panic).
+        let _poly = bernoulli_polyhedra::install_scoped(Arc::clone(&self.poly_caches));
+        let views: Vec<(&str, FormatView)> = problem
+            .views
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
+        let pool = match &self.pool {
+            SessionPool::Owned(p) => opts.parallel.then_some(&**p),
+            SessionPool::Shared => opts.parallel.then(Pool::global),
+        };
+        let report = run_search(&problem.program, &views, opts, pool, &self.plan_cache)?;
+        if report.candidates.is_empty() {
+            return Err(SynthError::NoLegalPlan {
+                reasons: report.reasons,
+            });
+        }
+        Ok(CompiledKernel {
+            program: problem.program.clone(),
+            view_map: problem.views.iter().cloned().collect(),
+            report,
+        })
+    }
+
+    /// Hit/miss totals of this session's whole-search plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Hit/miss totals of this session's polyhedral memo caches.
+    pub fn poly_cache_stats(&self) -> bernoulli_polyhedra::CacheStats {
+        self.poly_caches.stats()
+    }
+
+    /// Drops every cached search result and polyhedral memo this
+    /// session accumulated (cold-start measurements).
+    pub fn clear_caches(&self) {
+        self.plan_cache.clear();
+        self.poly_caches.clear();
+    }
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
+}
+
+/// The dependence classes of a program (stage 2 output).
+#[derive(Clone, Debug)]
+pub struct DepReport {
+    /// Non-empty dependence classes, one per (source, destination,
+    /// array) with a satisfiable constraint system.
+    pub classes: Vec<DepClass>,
+}
+
+impl DepReport {
+    /// Human-readable one-liners, one per class.
+    pub fn describe(&self) -> Vec<String> {
+        self.classes.iter().map(|c| c.describe()).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+/// A validated (program, format views) pair ready to compile (stage 3
+/// output). Binding is cheap; the expensive search happens in
+/// [`Session::compile`].
+#[derive(Clone, Debug)]
+pub struct BoundProblem {
+    program: Program,
+    views: Vec<(String, FormatView)>,
+}
+
+impl BoundProblem {
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    pub fn views(&self) -> &[(String, FormatView)] {
+        &self.views
+    }
+}
+
+/// The outcome of a successful search: ranked candidates plus the
+/// search accounting, tied to the program and views they were compiled
+/// for so the kernel can run or emit itself without re-supplying
+/// context.
+#[derive(Clone, Debug)]
+pub struct CompiledKernel {
+    program: Program,
+    view_map: HashMap<String, FormatView>,
+    report: SearchReport,
+}
+
+impl CompiledKernel {
+    /// The cheapest legal, zero-safe candidate.
+    pub fn best(&self) -> &Candidate {
+        // Internal invariant: `Session::compile` errors with
+        // `NoLegalPlan` instead of constructing an empty kernel.
+        &self.report.candidates[0]
+    }
+
+    /// The best candidate's lowered plan.
+    pub fn plan(&self) -> &Plan {
+        &self.best().plan
+    }
+
+    /// The best candidate's estimated cost (Fig. 11 model).
+    pub fn cost(&self) -> f64 {
+        self.best().cost
+    }
+
+    /// All surviving candidates, cheapest first.
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.report.candidates
+    }
+
+    /// The full search accounting (examined/pruned counts, rejection
+    /// reasons, and whether the whole result came from the plan cache).
+    pub fn report(&self) -> &SearchReport {
+        &self.report
+    }
+
+    /// True iff this kernel was served from the session's plan cache
+    /// without searching.
+    pub fn from_cache(&self) -> bool {
+        self.report.plan_cache_hit
+    }
+
+    /// The program this kernel was compiled from.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The format views the kernel was compiled against.
+    pub fn views(&self) -> &HashMap<String, FormatView> {
+        &self.view_map
+    }
+
+    /// Executes the best plan against the environment (dynamic cursor
+    /// API); unbound or mismatched operands surface as
+    /// [`SynthError::Plan`].
+    pub fn interpret(&self, env: &mut ExecEnv) -> Result<RunStats, SynthError> {
+        Ok(run_plan(self.plan(), env)?)
+    }
+
+    /// Executes the `i`-th ranked candidate's plan (cost-model
+    /// validation sweeps every candidate, not just the best).
+    pub fn interpret_candidate(&self, i: usize, env: &mut ExecEnv) -> Result<RunStats, SynthError> {
+        let c = self.report.candidates.get(i).ok_or_else(|| {
+            SynthError::Plan(crate::interp::PlanError(format!(
+                "candidate index {i} out of range ({} candidates)",
+                self.report.candidates.len()
+            )))
+        })?;
+        Ok(run_plan(&c.plan, env)?)
+    }
+
+    /// Specializes the best plan to a self-contained Rust module
+    /// (the paper's compiler-instantiated code, Fig. 9).
+    pub fn emit(&self, fn_name: &str) -> Result<String, SynthError> {
+        Ok(crate::emit::emit_module(
+            &self.program,
+            self.plan(),
+            &self.view_map,
+            fn_name,
+        )?)
+    }
+
+    /// Specializes the `i`-th ranked candidate's plan to a bare Rust
+    /// function (no module wrapper).
+    pub fn emit_candidate(&self, i: usize, fn_name: &str) -> Result<String, SynthError> {
+        let c = self.report.candidates.get(i).ok_or_else(|| {
+            SynthError::Emit(crate::emit::EmitError(format!(
+                "candidate index {i} out of range ({} candidates)",
+                self.report.candidates.len()
+            )))
+        })?;
+        Ok(crate::emit::emit_rust(
+            &self.program,
+            &c.plan,
+            &self.view_map,
+            fn_name,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bernoulli_formats::{Csr, SparseView, Triplets};
+
+    const MVM: &str = "
+        program mvm(M, N) {
+          in matrix A[M][N];
+          in vector x[N];
+          inout vector y[M];
+          for i in 0..M {
+            for j in 0..N {
+              y[i] = y[i] + A[i][j] * x[j];
+            }
+          }
+        }
+    ";
+
+    fn csr() -> Csr {
+        Csr::from_triplets(&Triplets::from_entries(
+            3,
+            3,
+            &[(0, 0, 2.0), (1, 2, 1.0), (2, 1, 4.0)],
+        ))
+    }
+
+    #[test]
+    fn staged_pipeline_end_to_end() {
+        let s = Session::new();
+        let p = s.parse(MVM).unwrap();
+        let deps = s.analyze(&p);
+        assert!(!deps.is_empty(), "{:?}", deps.describe());
+        let a = csr();
+        let bound = s.bind(&p, &[("A", a.format_view())]).unwrap();
+        let kernel = s.compile(&bound).unwrap();
+        assert!(!kernel.from_cache());
+        assert!(kernel.cost() > 0.0);
+
+        let mut env = ExecEnv::new();
+        env.set_param("M", 3).set_param("N", 3);
+        env.bind_sparse("A", &a);
+        env.bind_vec("x", vec![1.0, 2.0, 3.0]);
+        env.bind_vec("y", vec![0.0; 3]);
+        kernel.interpret(&mut env).unwrap();
+        assert_eq!(env.take_vec("y"), vec![2.0, 3.0, 8.0]);
+
+        let src = kernel.emit("mvm_csr").unwrap();
+        assert!(src.contains("pub fn mvm_csr"), "{src}");
+    }
+
+    #[test]
+    fn second_identical_compile_hits_session_plan_cache() {
+        let s = Session::new();
+        let p = s.parse(MVM).unwrap();
+        let a = csr();
+        let bound = s.bind(&p, &[("A", a.format_view())]).unwrap();
+        let first = s.compile(&bound).unwrap();
+        assert!(!first.from_cache());
+        let second = s.compile(&bound).unwrap();
+        assert!(second.from_cache(), "second identical compile must hit");
+        assert_eq!(first.cost(), second.cost());
+        let stats = s.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // Session caches are independent: a fresh session starts cold.
+        let fresh = Session::new();
+        let b2 = fresh.bind(&p, &[("A", a.format_view())]).unwrap();
+        assert!(!fresh.compile(&b2).unwrap().from_cache());
+        // The polyhedral work accrued to the sessions' own caches.
+        let poly = s.poly_cache_stats();
+        assert!(poly.empty_hits + poly.empty_misses > 0, "{poly:?}");
+    }
+
+    #[test]
+    fn bind_rejects_unknown_matrix_and_rank_mismatch() {
+        let s = Session::new();
+        let p = s.parse(MVM).unwrap();
+        let a = csr();
+        match s.bind(&p, &[("B", a.format_view())]) {
+            Err(SynthError::UnknownMatrix { name }) => assert_eq!(name, "B"),
+            other => panic!("expected UnknownMatrix, got {other:?}"),
+        }
+        // A 2-d view bound to the 1-d vector x: rank disagreement.
+        match s.bind(&p, &[("x", a.format_view())]) {
+            Err(SynthError::Config(e)) => assert!(e.0.contains("dense attrs"), "{e}"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_and_invalid_programs() {
+        let s = Session::new();
+        match s.parse("program p( {") {
+            Err(SynthError::InvalidProgram(bernoulli_ir::IrError::Parse(e))) => {
+                assert!(e.line >= 1)
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Syntactically fine, semantically invalid (undeclared array).
+        match s.parse("program p(N) { for i in 0..N { z[i] = 1; } }") {
+            Err(SynthError::InvalidProgram(bernoulli_ir::IrError::Validate(e))) => {
+                assert!(e.0.contains("\"z\""), "{e}")
+            }
+            other => panic!("expected validate error, got {other:?}"),
+        }
+    }
+}

@@ -10,7 +10,7 @@ use bernoulli::blas::{handwritten as hw, solvers, synth};
 use bernoulli::formats::gen;
 use bernoulli::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let k = 48; // 48x48 grid -> n = 2304
     let t = gen::poisson2d(k);
     let n = t.nrows();
@@ -47,12 +47,29 @@ fn main() {
         bernoulli::blas::parallel::par_mvm_csr(&csr, v, out, 4)
     });
 
+    // The same kernel again, but compiled *now* by an embedded compiler
+    // session and run through the plan interpreter — the committed
+    // `synth::mvm_*` functions above are the emitted form of exactly
+    // this plan.
+    let session = Session::new();
+    let kernel = session.compile(&session.bind(&kernels::mvm(), &[("A", csr.format_view())])?)?;
+    let x6 = run("session-compiled CSR", &mut |v, out| {
+        let mut env = ExecEnv::new();
+        env.set_param("M", n as i64).set_param("N", n as i64);
+        env.bind_sparse("A", &csr);
+        env.bind_vec("x", v.to_vec());
+        env.bind_vec("y", vec![0.0; out.len()]);
+        kernel.interpret(&mut env).expect("compiled kernel runs");
+        out.copy_from_slice(&env.take_vec("y"));
+    });
+
     // All format instantiations solve the same system.
     for (label, x) in [
         ("synth csr", &x2),
         ("synth jad", &x3),
         ("synth dia", &x4),
         ("par csr", &x5),
+        ("session csr", &x6),
     ] {
         let max_diff = x1
             .iter()
@@ -75,4 +92,5 @@ fn main() {
     println!("\ndominant eigenvalue (power iteration, synthesized MVM): {lambda:.6} in {iters} iterations");
     println!("(theory for 2-D Poisson: < 8; got {lambda:.3})");
     assert!(lambda < 8.0 && lambda > 7.0);
+    Ok(())
 }

@@ -9,7 +9,7 @@ use bernoulli::formats::convert::{AnyFormat, FORMAT_NAMES};
 use bernoulli::formats::cursor::check_view_conformance;
 use bernoulli::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // The matrix of the paper's Fig. 1 / Fig. 14:
     //   [a 0 b 0]
     //   [0 c 0 0]
@@ -40,8 +40,13 @@ fn main() {
     }
     println!();
 
+    // One compiler session compiles MVM for every format; each index
+    // structure steers the search toward a different plan shape.
+    let session = Session::new();
+    let spec = kernels::mvm();
+
     for &name in FORMAT_NAMES {
-        let f = AnyFormat::from_triplets(name, &t);
+        let f = AnyFormat::try_from_triplets(name, &t)?;
         let v = f.as_view().format_view();
         println!("— {name} —");
         println!("  index structure: {}", v.expr);
@@ -58,6 +63,20 @@ fn main() {
         println!(
             "  view conformance: every alternative enumerates exactly nnz={} entries",
             f.as_view().nnz()
+        );
+        let kernel = session.compile(&session.bind(&spec, &[("A", v)])?)?;
+        let shape = kernel
+            .plan()
+            .to_string()
+            .lines()
+            .next()
+            .unwrap_or("")
+            .trim_start_matches(['/', ' '])
+            .to_string();
+        println!(
+            "  synthesized MVM: cost {:.0}, {} candidate(s), {shape}",
+            kernel.cost(),
+            kernel.candidates().len()
         );
     }
 
@@ -78,4 +97,5 @@ fn main() {
     println!("\nDIA for a tridiagonal 5x5 (paper Fig. 2):");
     println!("  stored diagonals d = r - c: {:?}", dia.diags);
     println!("  per-diagonal offset ranges: {:?}..{:?}", dia.lo, dia.hi);
+    Ok(())
 }

@@ -1,7 +1,8 @@
 //! Common enumerations (paper §4.1): the same sparse dot-product
 //! specification synthesized against differently-indexed vector formats,
 //! producing a merge join for two sorted vectors and an index/hash join
-//! when one side is hashed.
+//! when one side is hashed. One [`Session`] compiles both, so the
+//! second search reuses the first's polyhedral memos.
 //!
 //! ```text
 //! cargo run --example join_strategies
@@ -12,7 +13,7 @@ use bernoulli::formats::gen;
 use bernoulli::prelude::*;
 use bernoulli::synth::WorkloadStats;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let spec = kernels::spdot();
     println!("dense specification:\n{spec}\n");
 
@@ -37,31 +38,30 @@ fn main() {
     // Workload statistics steer the cost model (paper §4.2): with 300-
     // and 500-entry vectors of logical length 10000, enumerating stored
     // entries beats scanning the dense index range.
-    let opts = SynthOptions {
+    let session = Session::with_options(SynthOptions {
         stats: WorkloadStats::default()
             .with_param("N", n as f64)
             .with_matrix("x", n as f64, 1.0, xa.len() as f64)
             .with_matrix("y", n as f64, 1.0, ya.len() as f64),
         ..SynthOptions::default()
-    };
+    });
 
     // Case 1: both vectors sorted -> the compiler merge-joins.
-    let s1 = synthesize(
+    let b1 = session.bind(
         &spec,
         &[
             ("x", sparsevec_format_view()),
             ("y", sparsevec_format_view()),
         ],
-        &opts,
-    )
-    .expect("sorted+sorted synthesizes");
-    println!("=== sorted · sorted ===\n{}", s1.plan);
+    )?;
+    let k1 = session.compile(&b1)?;
+    println!("=== sorted · sorted ===\n{}", k1.plan());
     let mut env = ExecEnv::new();
     env.set_param("N", n as i64);
     env.bind_sparse("x", &xs);
     env.bind_sparse("y", &ys);
     env.bind_vec("s", vec![0.0]);
-    let stats = run_plan(&s1.plan, &mut env).unwrap();
+    let stats = k1.interpret(&mut env)?;
     let got = env.take_vec("s")[0];
     println!(
         "result {got:.6} (expected {expect:.6}); iterations={} searches={}",
@@ -71,19 +71,18 @@ fn main() {
 
     // Case 2: one side hashed -> enumerate the sorted side, O(1)-probe
     // the hashed side.
-    let s2 = synthesize(
+    let b2 = session.bind(
         &spec,
         &[("x", sparsevec_format_view()), ("y", hashvec_format_view())],
-        &opts,
-    )
-    .expect("sorted+hashed synthesizes");
-    println!("\n=== sorted · hashed ===\n{}", s2.plan);
+    )?;
+    let k2 = session.compile(&b2)?;
+    println!("\n=== sorted · hashed ===\n{}", k2.plan());
     let mut env = ExecEnv::new();
     env.set_param("N", n as i64);
     env.bind_sparse("x", &xs);
     env.bind_sparse("y", &yh);
     env.bind_vec("s", vec![0.0]);
-    let stats = run_plan(&s2.plan, &mut env).unwrap();
+    let stats = k2.interpret(&mut env)?;
     let got = env.take_vec("s")[0];
     println!(
         "result {got:.6} (expected {expect:.6}); iterations={} searches={}",
@@ -91,5 +90,27 @@ fn main() {
     );
     assert!((got - expect).abs() < 1e-9);
 
-    println!("\nBoth strategies agree with the dense semantics.");
+    // The search keeps the runners-up too: every surviving candidate
+    // computes the same value, whatever join strategy it picked.
+    println!("\n=== cost-ranked candidates (sorted · sorted) ===");
+    for (i, c) in k1.candidates().iter().enumerate() {
+        let mut env = ExecEnv::new();
+        env.set_param("N", n as i64);
+        env.bind_sparse("x", &xs);
+        env.bind_sparse("y", &ys);
+        env.bind_vec("s", vec![0.0]);
+        k1.interpret_candidate(i, &mut env)?;
+        let v = env.take_vec("s")[0];
+        println!("  #{i}: estimated cost {:.0}, result {v:.6}", c.cost);
+        assert!((v - expect).abs() < 1e-9);
+    }
+
+    let poly = session.poly_cache_stats();
+    println!(
+        "\nBoth strategies agree with the dense semantics \
+         (session polyhedral caches: {} hits, {} misses).",
+        poly.empty_hits + poly.fm_hits,
+        poly.empty_misses + poly.fm_misses
+    );
+    Ok(())
 }

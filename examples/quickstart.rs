@@ -1,4 +1,5 @@
-//! Quickstart: synthesize and run sparse matrix–vector multiplication.
+//! Quickstart: synthesize and run sparse matrix–vector multiplication
+//! through the staged [`Session`] driver.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -6,7 +7,12 @@
 
 use bernoulli::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
+    // The compiler session owns the caches and the worker pool; every
+    // stage below runs on it and every failure surfaces as a typed
+    // `bernoulli::Error`.
+    let session = Session::new();
+
     // 1. The dense specification — written as if A were dense (the
     //    high-level API of the paper).
     let spec = kernels::mvm();
@@ -29,13 +35,15 @@ fn main() {
     let a = Csr::from_triplets(&t);
     println!("CSR index structure: {}", a.format_view().expr);
 
-    // 3. Synthesize a data-centric plan for that index structure.
-    let synthesized = synthesize(&spec, &[("A", a.format_view())], &SynthOptions::default())
-        .expect("MVM is synthesizable for CSR");
-    println!("\nsynthesized plan:\n{}", synthesized.plan);
+    // 3. Bind the index structure and synthesize a data-centric plan.
+    let bound = session.bind(&spec, &[("A", a.format_view())])?;
+    let kernel = session.compile(&bound)?;
+    println!("\nsynthesized plan:\n{}", kernel.plan());
     println!(
         "(best of {} legal candidates, {} examined, estimated cost {:.0})",
-        synthesized.legal_candidates, synthesized.examined, synthesized.cost
+        kernel.candidates().len(),
+        kernel.report().examined,
+        kernel.cost()
     );
 
     // 4. Execute the plan against the real matrix.
@@ -44,7 +52,7 @@ fn main() {
     env.bind_sparse("A", &a);
     env.bind_vec("x", vec![1.0, 2.0, 3.0, 4.0]);
     env.bind_vec("y", vec![0.0; 4]);
-    let stats = run_plan(&synthesized.plan, &mut env).expect("plan runs");
+    let stats = kernel.interpret(&mut env)?;
     let y = env.take_vec("y");
     println!("y = A·x = {y:?}");
     println!(
@@ -53,4 +61,14 @@ fn main() {
     );
 
     assert_eq!(y, vec![7.0, 6.0, 23.0, 34.0]);
+
+    // 5. A second identical compile is served from the session's plan
+    //    cache without searching.
+    let again = session.compile(&bound)?;
+    println!(
+        "second compile served from plan cache: {}",
+        again.from_cache()
+    );
+    assert!(again.from_cache());
+    Ok(())
 }

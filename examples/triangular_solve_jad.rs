@@ -14,18 +14,16 @@
 //! ```
 
 use bernoulli::prelude::*;
-use bernoulli::synth::emit_module;
 use bernoulli_formats::gen;
-use bernoulli_ir::analyze;
-use std::collections::HashMap;
 
-fn main() {
+fn main() -> Result<(), Error> {
+    let session = Session::new();
     let spec = kernels::ts();
     println!("=== dense specification (paper Fig. 4) ===\n{spec}\n");
 
     println!("=== dependence classes (paper §3) ===");
-    for c in analyze(&spec) {
-        println!("  {}", c.describe());
+    for line in session.analyze(&spec).describe() {
+        println!("  {line}");
     }
 
     // A lower-triangular operand in JAD.
@@ -40,17 +38,15 @@ fn main() {
         view.has_full_diagonal()
     );
 
-    let synthesized = synthesize(&spec, &[("L", view.clone())], &SynthOptions::default())
-        .expect("TS/JAD is synthesizable");
+    let bound = session.bind(&spec, &[("L", view)])?;
+    let kernel = session.compile(&bound)?;
     println!("\n=== synthesized plan (paper Fig. 8 analogue) ===");
-    println!("{}", synthesized.plan);
-    for n in &synthesized.safety_notes {
+    println!("{}", kernel.plan());
+    for n in &kernel.best().safety_notes {
         println!("  zero-safety: {n}");
     }
 
-    let mut views = HashMap::new();
-    views.insert("L".to_string(), view);
-    let code = emit_module(&spec, &synthesized.plan, &views, "ts_jad").expect("emits");
+    let code = kernel.emit("ts_jad")?;
     println!("\n=== emitted Rust (paper Fig. 9 analogue) ===\n{code}");
 
     // Verify against the dense reference.
@@ -59,7 +55,7 @@ fn main() {
     env.set_param("N", 300);
     env.bind_sparse("L", &l);
     env.bind_vec("b", b0.clone());
-    run_plan(&synthesized.plan, &mut env).expect("plan runs");
+    kernel.interpret(&mut env)?;
     let got = env.take_vec("b");
 
     let dense = Dense::from_triplets(&t);
@@ -79,4 +75,5 @@ fn main() {
     println!("max |synthesized - dense reference| = {max_err:.3e}");
     assert!(max_err < 1e-9);
     println!("OK: the synthesized JAD solve matches the dense semantics.");
+    Ok(())
 }

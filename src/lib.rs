@@ -22,26 +22,34 @@
 //!
 //! ## Quick start
 //!
+//! The staged driver is a [`Session`]: a long-lived compiler object
+//! owning the worker pool, the polyhedral memo caches and the plan
+//! cache, so repeated compiles stay warm and every failure surfaces as
+//! a typed [`Error`].
+//!
 //! ```
 //! use bernoulli::prelude::*;
 //!
-//! // Dense specification: y += A·x (written as if A were dense).
-//! let spec = kernels::mvm();
-//! // A sparse matrix in CSR format.
-//! let a = Csr::from_triplets(&Triplets::from_entries(
-//!     3, 3, &[(0, 0, 2.0), (1, 2, 1.0), (2, 1, 4.0)]));
-//! // Synthesize a data-centric plan for the CSR index structure.
-//! let synthesized =
-//!     synthesize(&spec, &[("A", a.format_view())], &SynthOptions::default())
-//!         .expect("legal plan");
-//! // Execute it against the real matrix.
-//! let mut env = ExecEnv::new();
-//! env.set_param("M", 3).set_param("N", 3);
-//! env.bind_sparse("A", &a);
-//! env.bind_vec("x", vec![1.0, 2.0, 3.0]);
-//! env.bind_vec("y", vec![0.0; 3]);
-//! run_plan(&synthesized.plan, &mut env).unwrap();
-//! assert_eq!(env.take_vec("y"), vec![2.0, 3.0, 8.0]);
+//! fn main() -> Result<(), bernoulli::Error> {
+//!     let session = Session::new();
+//!     // Dense specification: y += A·x (written as if A were dense).
+//!     let spec = kernels::mvm();
+//!     // A sparse matrix in CSR format.
+//!     let a = Csr::from_triplets(&Triplets::from_entries(
+//!         3, 3, &[(0, 0, 2.0), (1, 2, 1.0), (2, 1, 4.0)]));
+//!     // Bind the CSR index structure and synthesize a data-centric plan.
+//!     let bound = session.bind(&spec, &[("A", a.format_view())])?;
+//!     let kernel = session.compile(&bound)?;
+//!     // Execute it against the real matrix.
+//!     let mut env = ExecEnv::new();
+//!     env.set_param("M", 3).set_param("N", 3);
+//!     env.bind_sparse("A", &a);
+//!     env.bind_vec("x", vec![1.0, 2.0, 3.0]);
+//!     env.bind_vec("y", vec![0.0; 3]);
+//!     kernel.interpret(&mut env)?;
+//!     assert_eq!(env.take_vec("y"), vec![2.0, 3.0, 8.0]);
+//!     Ok(())
+//! }
 //! ```
 
 pub use bernoulli_blas as blas;
@@ -51,13 +59,107 @@ pub use bernoulli_numeric as numeric;
 pub use bernoulli_polyhedra as polyhedra;
 pub use bernoulli_synth as synth;
 
+pub use bernoulli_synth::{BoundProblem, CompiledKernel, DepReport, Session};
+
+/// The workspace-wide error type: every crate's typed error converges
+/// here via `From`, so embedding code can `?` any stage of the pipeline
+/// into one `Result<_, bernoulli::Error>`.
+#[derive(Debug)]
+pub enum Error {
+    /// Program-level failure: syntax, semantics, or reference execution.
+    Ir(bernoulli_ir::IrError),
+    /// Format-layer failure: unknown formats, violated constraints.
+    Format(bernoulli_formats::FormatError),
+    /// Polyhedral-layer failure (caller-triggerable API misuse).
+    Poly(bernoulli_polyhedra::PolyError),
+    /// Synthesis failure: binding, search, interpretation or emission.
+    Synth(bernoulli_synth::SynthError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Ir(e) => e.fmt(f),
+            Error::Format(e) => e.fmt(f),
+            Error::Poly(e) => e.fmt(f),
+            Error::Synth(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Ir(e) => Some(e),
+            Error::Format(e) => Some(e),
+            Error::Poly(e) => Some(e),
+            Error::Synth(e) => Some(e),
+        }
+    }
+}
+
+impl From<bernoulli_ir::IrError> for Error {
+    fn from(e: bernoulli_ir::IrError) -> Error {
+        Error::Ir(e)
+    }
+}
+
+impl From<bernoulli_ir::ParseError> for Error {
+    fn from(e: bernoulli_ir::ParseError) -> Error {
+        Error::Ir(e.into())
+    }
+}
+
+impl From<bernoulli_ir::ValidateError> for Error {
+    fn from(e: bernoulli_ir::ValidateError) -> Error {
+        Error::Ir(e.into())
+    }
+}
+
+impl From<bernoulli_formats::FormatError> for Error {
+    fn from(e: bernoulli_formats::FormatError) -> Error {
+        Error::Format(e)
+    }
+}
+
+impl From<bernoulli_polyhedra::PolyError> for Error {
+    fn from(e: bernoulli_polyhedra::PolyError) -> Error {
+        Error::Poly(e)
+    }
+}
+
+impl From<bernoulli_synth::SynthError> for Error {
+    fn from(e: bernoulli_synth::SynthError) -> Error {
+        Error::Synth(e)
+    }
+}
+
+impl From<bernoulli_synth::PlanError> for Error {
+    fn from(e: bernoulli_synth::PlanError) -> Error {
+        Error::Synth(e.into())
+    }
+}
+
+impl From<bernoulli_synth::EmitError> for Error {
+    fn from(e: bernoulli_synth::EmitError) -> Error {
+        Error::Synth(e.into())
+    }
+}
+
+impl From<bernoulli_synth::ConfigError> for Error {
+    fn from(e: bernoulli_synth::ConfigError) -> Error {
+        Error::Synth(e.into())
+    }
+}
+
 /// Convenience re-exports for the common workflow.
 pub mod prelude {
+    pub use crate::{BoundProblem, CompiledKernel, DepReport, Error, Session};
     pub use bernoulli_blas::kernels;
     pub use bernoulli_formats::{
-        Coo, Csc, Csr, Dense, Dia, DiagSplit, Ell, HashVec, Jad, SparseMatrix, SparseVec,
-        SparseView, Triplets,
+        AnyFormat, Coo, Csc, Csr, Dense, Dia, DiagSplit, Ell, HashVec, Jad, SparseMatrix,
+        SparseVec, SparseView, Triplets,
     };
     pub use bernoulli_ir::{parse_program, Program};
-    pub use bernoulli_synth::{run_plan, synthesize, ExecEnv, SynthOptions};
+    pub use bernoulli_synth::{run_plan, synthesize, ExecEnv, SearchReport, SynthOptions};
 }

@@ -24,20 +24,23 @@ fn ts_reference(t: &Triplets<f64>, b0: &[f64]) -> Vec<f64> {
 /// marked it must-increase for a reason.
 #[test]
 fn reversed_ts_rows_give_wrong_answers() {
+    let session = Session::new();
     let spec = kernels::ts();
     let t = gen::structurally_symmetric(16, 80, 6, 55).lower_triangle_full_diag(1.0);
     let l = Csr::from_triplets(&t);
     let b0 = gen::dense_vector(16, 3);
     let expect = ts_reference(&t, &b0);
 
-    let mut s = synthesize(&spec, &[("L", l.format_view())], &SynthOptions::default()).unwrap();
+    let kernel = session
+        .compile(&session.bind(&spec, &[("L", l.format_view())]).unwrap())
+        .unwrap();
 
     // Sanity: the untampered plan is correct.
     let mut env = ExecEnv::new();
     env.set_param("N", 16);
     env.bind_sparse("L", &l);
     env.bind_vec("b", b0.clone());
-    run_plan(&s.plan, &mut env).unwrap();
+    kernel.interpret(&mut env).unwrap();
     let ok = env.take_vec("b");
     assert!(
         ok.iter().zip(&expect).all(|(a, b)| (a - b).abs() < 1e-9),
@@ -46,12 +49,13 @@ fn reversed_ts_rows_give_wrong_answers() {
 
     // Sabotage: reverse the outer step. The interpreter supports Rev on
     // interval-like levels; CSR's row level is an interval.
-    s.plan.steps[0].dir = Dir::Rev;
+    let mut plan = kernel.plan().clone();
+    plan.steps[0].dir = Dir::Rev;
     let mut env = ExecEnv::new();
     env.set_param("N", 16);
     env.bind_sparse("L", &l);
     env.bind_vec("b", b0.clone());
-    run_plan(&s.plan, &mut env).unwrap();
+    run_plan(&plan, &mut env).unwrap();
     let bad = env.take_vec("b");
     assert!(
         bad.iter().zip(&expect).any(|(a, b)| (a - b).abs() > 1e-6),
@@ -65,6 +69,7 @@ fn reversed_ts_rows_give_wrong_answers() {
 /// what the relaxation buys.
 #[test]
 fn relaxation_is_needed_for_unordered_formats() {
+    let session = Session::new();
     let spec = kernels::mvm();
     let t = gen::random_sparse(10, 10, 30, 1);
     let coo = Coo::from_triplets(&t);
@@ -82,22 +87,24 @@ fn relaxation_is_needed_for_unordered_formats() {
     };
     // CSR: data-centric even under strict ordering (its column level is
     // sorted, so the carried reduction dependence is satisfied).
-    let s_csr = synthesize(&spec, &[("A", csr.format_view())], &strict).unwrap();
-    assert!(uses_level_enum(&s_csr.plan), "{}", s_csr.plan);
+    let b_csr = session.bind(&spec, &[("A", csr.format_view())]).unwrap();
+    let k_csr = session.compile_with(&b_csr, &strict).unwrap();
+    assert!(uses_level_enum(k_csr.plan()), "{}", k_csr.plan());
     // COO: under strict ordering the unordered coupled level cannot carry
     // the reduction dependence, so the compiler is forced off the
     // data-centric enumeration (interval + linear searches).
-    let s_coo_strict = synthesize(&spec, &[("A", coo.format_view())], &strict).unwrap();
+    let b_coo = session.bind(&spec, &[("A", coo.format_view())]).unwrap();
+    let k_coo_strict = session.compile_with(&b_coo, &strict).unwrap();
     assert!(
-        !uses_level_enum(&s_coo_strict.plan),
+        !uses_level_enum(k_coo_strict.plan()),
         "strict semantics must not walk COO storage order:
 {}",
-        s_coo_strict.plan
+        k_coo_strict.plan()
     );
     // With the (default) relaxation, the storage-order walk is legal and
     // the cost model picks it.
-    let s_coo = synthesize(&spec, &[("A", coo.format_view())], &SynthOptions::default()).unwrap();
-    assert!(uses_level_enum(&s_coo.plan), "{}", s_coo.plan);
+    let k_coo = session.compile(&b_coo).unwrap();
+    assert!(uses_level_enum(k_coo.plan()), "{}", k_coo.plan());
 }
 
 /// Triangular solve is never relaxable: even with relaxation on, an
@@ -106,6 +113,7 @@ fn relaxation_is_needed_for_unordered_formats() {
 /// across every format that synthesizes.
 #[test]
 fn ts_results_are_exact_across_formats() {
+    let session = Session::new();
     let spec = kernels::ts();
     let t = gen::structurally_symmetric(24, 130, 9, 77).lower_triangle_full_diag(2.0);
     let b0 = gen::dense_vector(24, 5);
@@ -113,17 +121,18 @@ fn ts_results_are_exact_across_formats() {
     use bernoulli::formats::convert::AnyFormat;
     for fmt in ["csr", "csc", "jad", "ell", "dia", "diagsplit"] {
         let f = AnyFormat::from_triplets(fmt, &t);
-        let s = synthesize(
-            &spec,
-            &[("L", f.as_view().format_view())],
-            &SynthOptions::default(),
-        )
-        .unwrap_or_else(|e| panic!("{fmt}: {e}"));
+        let kernel = session
+            .compile(
+                &session
+                    .bind(&spec, &[("L", f.as_view().format_view())])
+                    .unwrap(),
+            )
+            .unwrap_or_else(|e| panic!("{fmt}: {e}"));
         let mut env = ExecEnv::new();
         env.set_param("N", 24);
         env.bind_sparse("L", f.as_view());
         env.bind_vec("b", b0.clone());
-        run_plan(&s.plan, &mut env).unwrap();
+        kernel.interpret(&mut env).unwrap();
         let got = env.take_vec("b");
         for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
             assert!(
@@ -141,8 +150,10 @@ fn ts_results_are_exact_across_formats() {
 #[test]
 fn non_annihilated_statements_fall_back_to_dense_plans() {
     use bernoulli::synth::plan::StepKind;
-    let spec = parse_program(
-        r#"program addone(N) {
+    let session = Session::new();
+    let spec = session
+        .parse(
+            r#"program addone(N) {
              in matrix A[N][N];
              inout vector d[N];
              for i in 0..N {
@@ -151,20 +162,23 @@ fn non_annihilated_statements_fall_back_to_dense_plans() {
                }
              }
            }"#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     let t = gen::random_sparse(10, 10, 20, 3);
     let a = Csr::from_triplets(&t);
-    let s = synthesize(&spec, &[("A", a.format_view())], &SynthOptions::default()).unwrap();
+    let kernel = session
+        .compile(&session.bind(&spec, &[("A", a.format_view())]).unwrap())
+        .unwrap();
     // No data-centric enumeration of A is legal for this body; the "+1"
     // term fires at unstored positions too.
     assert!(
-        s.plan
+        kernel
+            .plan()
             .steps
             .iter()
             .all(|st| matches!(st.kind, StepKind::Interval { .. })),
         "must use the dense fallback:\n{}",
-        s.plan
+        kernel.plan()
     );
 
     // And it computes the right thing.
@@ -180,7 +194,7 @@ fn non_annihilated_statements_fall_back_to_dense_plans() {
     penv.set_param("N", 10);
     penv.bind_vec("d", vec![0.0; 10]);
     penv.bind_sparse("A", &a);
-    run_plan(&s.plan, &mut penv).unwrap();
+    kernel.interpret(&mut penv).unwrap();
     let got = penv.take_vec("d");
     for (x, y) in got.iter().zip(&expect) {
         assert!((x - y).abs() < 1e-9, "{got:?} vs {expect:?}");
@@ -191,16 +205,19 @@ fn non_annihilated_statements_fall_back_to_dense_plans() {
 /// statement execution per stored entry and no searches.
 #[test]
 fn run_stats_reflect_data_centric_work() {
+    let session = Session::new();
     let spec = kernels::mvm();
     let t = gen::random_sparse(30, 30, 180, 9);
     let a = Csr::from_triplets(&t);
-    let s = synthesize(&spec, &[("A", a.format_view())], &SynthOptions::default()).unwrap();
+    let kernel = session
+        .compile(&session.bind(&spec, &[("A", a.format_view())]).unwrap())
+        .unwrap();
     let mut env = ExecEnv::new();
     env.set_param("M", 30).set_param("N", 30);
     env.bind_vec("x", gen::dense_vector(30, 1));
     env.bind_vec("y", vec![0.0; 30]);
     env.bind_sparse("A", &a);
-    let stats = run_plan(&s.plan, &mut env).unwrap();
+    let stats = kernel.interpret(&mut env).unwrap();
     assert_eq!(stats.executions, a.nnz() as u64);
     assert_eq!(stats.searches, 0);
     assert_eq!(stats.iterations, (30 + a.nnz()) as u64);

@@ -1,11 +1,10 @@
 //! Cross-crate integration: every kernel spec × every applicable format,
-//! synthesized through the facade and validated against the dense
-//! reference executor.
+//! compiled through the facade's [`Session`] driver and validated
+//! against the dense reference executor.
 
 use bernoulli::formats::convert::AnyFormat;
 use bernoulli::formats::gen;
 use bernoulli::prelude::*;
-use bernoulli::synth::run_plan;
 use bernoulli_ir::{run_dense, DenseEnv};
 
 fn close(a: &[f64], b: &[f64]) {
@@ -19,8 +18,11 @@ fn close(a: &[f64], b: &[f64]) {
 }
 
 /// Runs a one-matrix kernel both ways and compares the named output
-/// vector.
+/// vector. The session is shared across a test's formats, so each
+/// test also exercises compiler reuse.
+#[allow(clippy::too_many_arguments)]
 fn check(
+    session: &Session,
     spec: &Program,
     matrix: &str,
     format: &str,
@@ -31,7 +33,11 @@ fn check(
 ) {
     let f = AnyFormat::from_triplets(format, t);
     let view = f.as_view().format_view();
-    let s = synthesize(spec, &[(matrix, view)], &SynthOptions::default())
+    let bound = session
+        .bind(spec, &[(matrix, view)])
+        .unwrap_or_else(|e| panic!("{}/{format}: {e}", spec.name));
+    let kernel = session
+        .compile(&bound)
         .unwrap_or_else(|e| panic!("{}/{format}: {e}", spec.name));
 
     let dense = Dense::from_triplets(t);
@@ -54,8 +60,9 @@ fn check(
         penv.bind_vec(k, v.clone());
     }
     penv.bind_sparse(matrix, f.as_view());
-    run_plan(&s.plan, &mut penv)
-        .unwrap_or_else(|e| panic!("{}/{format}: {e}\n{}", spec.name, s.plan));
+    kernel
+        .interpret(&mut penv)
+        .unwrap_or_else(|e| panic!("{}/{format}: {e}\n{}", spec.name, kernel.plan()));
     let got = penv.take_vec(out);
     close(&expect, &got);
 }
@@ -74,10 +81,12 @@ const ALL: &[&str] = &[
 #[test]
 fn mvm_transposed_all_formats() {
     let spec = kernels::mvm_transposed();
+    let session = Session::new();
     let t = gen::structurally_symmetric(22, 120, 8, 31);
     let x = gen::dense_vector(22, 1);
     for fmt in ALL {
         check(
+            &session,
             &spec,
             "A",
             fmt,
@@ -92,9 +101,11 @@ fn mvm_transposed_all_formats() {
 #[test]
 fn row_sums_all_formats() {
     let spec = kernels::row_sums();
+    let session = Session::new();
     let t = gen::random_sparse(18, 18, 70, 12);
     for fmt in ALL {
         check(
+            &session,
             &spec,
             "A",
             fmt,
@@ -109,9 +120,11 @@ fn row_sums_all_formats() {
 #[test]
 fn diag_extract_all_formats() {
     let spec = kernels::diag_extract();
+    let session = Session::new();
     let t = gen::structurally_symmetric(20, 110, 7, 8);
     for fmt in ALL {
         check(
+            &session,
             &spec,
             "A",
             fmt,
@@ -126,10 +139,12 @@ fn diag_extract_all_formats() {
 #[test]
 fn ts_on_can1072_scale_through_facade() {
     let spec = kernels::ts();
+    let session = Session::new();
     let l = gen::can_1072_like().lower_triangle_full_diag(1.0);
     let b = gen::dense_vector(1072, 2);
     for fmt in ["csr", "csc", "jad"] {
         check(
+            &session,
             &spec,
             "L",
             fmt,
@@ -151,15 +166,20 @@ fn spdot_through_facade() {
     let xs = SparseVec::from_pairs(n, &xa);
     let ys = SparseVec::from_pairs(n, &ya);
 
-    let s = synthesize(
-        &spec,
-        &[
-            ("x", sparsevec_format_view()),
-            ("y", sparsevec_format_view()),
-        ],
-        &SynthOptions::default(),
-    )
-    .unwrap();
+    let session = Session::new();
+    let kernel = session
+        .compile(
+            &session
+                .bind(
+                    &spec,
+                    &[
+                        ("x", sparsevec_format_view()),
+                        ("y", sparsevec_format_view()),
+                    ],
+                )
+                .unwrap(),
+        )
+        .unwrap();
 
     let mut dx = vec![0.0; n];
     let mut dy = vec![0.0; n];
@@ -176,7 +196,7 @@ fn spdot_through_facade() {
     env.bind_sparse("x", &xs);
     env.bind_sparse("y", &ys);
     env.bind_vec("s", vec![0.0]);
-    run_plan(&s.plan, &mut env).unwrap();
+    kernel.interpret(&mut env).unwrap();
     let got = env.take_vec("s")[0];
     assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
 }
@@ -185,15 +205,15 @@ fn spdot_through_facade() {
 fn dense_vector_kernels_still_work() {
     // A kernel with no sparse operands at all: the pipeline degenerates
     // to the identity restructuring.
-    let spec = parse_program(
-        "program scale(N) { inout vector v[N]; for i in 0..N { v[i] = v[i] * 2 + 1; } }",
-    )
-    .unwrap();
-    let s = synthesize(&spec, &[], &SynthOptions::default()).unwrap();
+    let session = Session::new();
+    let spec = session
+        .parse("program scale(N) { inout vector v[N]; for i in 0..N { v[i] = v[i] * 2 + 1; } }")
+        .unwrap();
+    let kernel = session.compile(&session.bind(&spec, &[]).unwrap()).unwrap();
     let mut env = ExecEnv::new();
     env.set_param("N", 5);
     env.bind_vec("v", vec![1.0, 2.0, 3.0, 4.0, 5.0]);
-    run_plan(&s.plan, &mut env).unwrap();
+    kernel.interpret(&mut env).unwrap();
     assert_eq!(env.take_vec("v"), vec![3.0, 5.0, 7.0, 9.0, 11.0]);
 }
 
@@ -203,11 +223,13 @@ fn residual_all_formats() {
     // nonzero enumeration (placed *before* it), the accumulation rides
     // the data-centric walk.
     let spec = kernels::residual();
+    let session = Session::new();
     let t = gen::structurally_symmetric(20, 100, 7, 21);
     let x = gen::dense_vector(20, 4);
     let b = gen::dense_vector(20, 5);
     for fmt in ALL {
         check(
+            &session,
             &spec,
             "A",
             fmt,

@@ -1,0 +1,26 @@
+//! Mirror of the README "Embedding the compiler" example — keeps the
+//! documented snippet compiling and running as the API evolves.
+
+use bernoulli::prelude::*;
+
+fn build() -> Result<(), bernoulli::Error> {
+    let session = Session::new();
+    let t = Triplets::from_entries(3, 3, &[(0, 0, 2.0), (1, 0, 1.0), (1, 1, 3.0), (2, 2, 4.0)]);
+
+    let a = Csr::from_triplets(&t);
+    let mvm = session.bind(&kernels::mvm(), &[("A", a.format_view())])?;
+    let mvm_kernel = session.compile(&mvm)?;
+    let rust_src = mvm_kernel.emit("mvm_csr")?;
+
+    let l = Jad::from_triplets(&t);
+    let ts = session.bind(&kernels::ts(), &[("L", l.format_view())])?;
+    let ts_kernel = session.compile(&ts)?;
+    assert!(ts_kernel.cost() > 0.0);
+    assert!(rust_src.contains("fn mvm_csr"));
+    Ok(())
+}
+
+#[test]
+fn readme_snippet_runs() {
+    build().unwrap();
+}

@@ -1,0 +1,147 @@
+//! Error-path contract of the embedded compiler: every class of invalid
+//! input surfaces as a typed `Err` — distinct variants per failure layer,
+//! convertible into [`bernoulli::Error`] — and never a panic.
+
+use bernoulli::prelude::*;
+use bernoulli::synth::SynthError;
+use bernoulli_ir::IrError;
+
+#[test]
+fn malformed_text_is_a_parse_error_with_position() {
+    let session = Session::new();
+    let err = session
+        .parse("program broken(N) {\n  in matrix A[N][N];\n  for i in 0..N ]\n}")
+        .expect_err("stray ']' must not parse");
+    match &err {
+        SynthError::InvalidProgram(IrError::Parse(p)) => {
+            assert_eq!(p.line, 3, "{p}");
+            assert!(p.column > 0, "{p}");
+            let msg = p.to_string();
+            assert!(msg.contains("line 3"), "{msg}");
+        }
+        other => panic!("expected InvalidProgram(Parse), got {other:?}"),
+    }
+    // The facade error preserves the layer.
+    let facade: Error = err.into();
+    assert!(matches!(facade, Error::Synth(_)), "{facade:?}");
+}
+
+#[test]
+fn semantically_invalid_text_is_a_validate_error() {
+    let session = Session::new();
+    // Parses fine, but `B` is never declared.
+    let err = session
+        .parse("program bad(N) { inout vector v[N]; for i in 0..N { v[i] = v[i] + B[i][i]; } }")
+        .expect_err("undeclared array must not validate");
+    assert!(
+        matches!(&err, SynthError::InvalidProgram(IrError::Validate(_))),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn binding_an_unknown_matrix_name_errs() {
+    let session = Session::new();
+    let spec = kernels::mvm();
+    let t = Triplets::from_entries(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]);
+    let a = Csr::from_triplets(&t);
+    // The program calls its matrix "A", not "B".
+    let err = session
+        .bind(&spec, &[("B", a.format_view())])
+        .expect_err("unbound name must not bind");
+    match &err {
+        SynthError::UnknownMatrix { name } => assert_eq!(name, "B"),
+        other => panic!("expected UnknownMatrix, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains('B'), "{msg}");
+}
+
+#[test]
+fn rank_disagreement_between_view_and_array_errs() {
+    use bernoulli::formats::formats::sparsevec::sparsevec_format_view;
+    let session = Session::new();
+    let spec = kernels::mvm();
+    // A is declared as a 2-D matrix; a sparse-vector view is 1-D.
+    let err = session
+        .bind(&spec, &[("A", sparsevec_format_view())])
+        .expect_err("rank mismatch must not bind");
+    assert!(matches!(&err, SynthError::Config(_)), "{err:?}");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("dense attrs") || msg.contains("dimension"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn dimension_mismatched_interpret_errs() {
+    let session = Session::new();
+    let spec = kernels::mvm();
+    let t = Triplets::from_entries(3, 3, &[(0, 0, 1.0), (1, 2, 2.0), (2, 1, 3.0)]);
+    let a = Csr::from_triplets(&t);
+    let kernel = session
+        .compile(&session.bind(&spec, &[("A", a.format_view())]).unwrap())
+        .unwrap();
+
+    // Missing operand binding.
+    let mut env = ExecEnv::new();
+    env.set_param("M", 3).set_param("N", 3);
+    env.bind_sparse("A", &a);
+    env.bind_vec("y", vec![0.0; 3]);
+    // "x" is never bound.
+    let err = kernel
+        .interpret(&mut env)
+        .expect_err("unbound vector must not run");
+    assert!(matches!(&err, SynthError::Plan(_)), "{err:?}");
+
+    // Out-of-range candidate index on the same kernel.
+    let mut env = ExecEnv::new();
+    let err = kernel
+        .interpret_candidate(usize::MAX, &mut env)
+        .expect_err("bogus candidate index must not run");
+    assert!(matches!(&err, SynthError::Plan(_)), "{err:?}");
+}
+
+#[test]
+fn the_four_error_classes_are_distinct_variants() {
+    use bernoulli::formats::formats::sparsevec::sparsevec_format_view;
+    let session = Session::new();
+    let spec = kernels::mvm();
+    let t = Triplets::from_entries(2, 2, &[(0, 0, 1.0)]);
+    let a = Csr::from_triplets(&t);
+
+    let parse = session.parse("program x(").unwrap_err();
+    let unknown = session.bind(&spec, &[("Z", a.format_view())]).unwrap_err();
+    let rank = session
+        .bind(&spec, &[("A", sparsevec_format_view())])
+        .unwrap_err();
+    let kernel = session
+        .compile(&session.bind(&spec, &[("A", a.format_view())]).unwrap())
+        .unwrap();
+    let mut env = ExecEnv::new(); // nothing bound at all
+    let run = kernel.interpret(&mut env).unwrap_err();
+
+    let discriminants = [
+        std::mem::discriminant(&parse),
+        std::mem::discriminant(&unknown),
+        std::mem::discriminant(&rank),
+        std::mem::discriminant(&run),
+    ];
+    for i in 0..discriminants.len() {
+        for j in i + 1..discriminants.len() {
+            assert_ne!(
+                discriminants[i], discriminants[j],
+                "classes {i} and {j} collapsed into one variant"
+            );
+        }
+    }
+
+    // All four convert into the facade error and display non-trivially.
+    for e in [parse, unknown, rank, run] {
+        let msg = e.to_string();
+        assert!(!msg.is_empty());
+        let facade: Error = e.into();
+        assert!(matches!(facade, Error::Synth(_)));
+    }
+}
