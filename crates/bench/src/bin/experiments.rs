@@ -1066,6 +1066,41 @@ fn synth_perf() {
             black_box(warm_session.compile_with(&bound, &opts_seq).unwrap());
         });
 
+        // Budget governance overhead (S36): the cold sequential compile
+        // with a generous armed budget (op ceiling + far-off deadline)
+        // that never trips — every Fourier–Motzkin elimination, Farkas
+        // call and search fan-out pays the charge/check path.
+        // Cold-vs-cold with an interleaved plain baseline is the clean
+        // comparison: a fresh session repeats byte-identical work each
+        // rep (warm timings wobble ±20% with memo-shard eviction
+        // phase), and alternating the two arms cancels machine-load
+        // drift across the run. Stride-amortized clock checks keep the
+        // overhead within noise (<2%).
+        let (mut t_plain_paired, mut t_budgeted) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..3 {
+            t_plain_paired = t_plain_paired.min(time_best_of(1, 4, || {
+                let s = Session::new();
+                black_box(s.compile_with(&bound, &opts_seq).unwrap());
+            }));
+            t_budgeted = t_budgeted.min(time_best_of(1, 4, || {
+                let s = Session::new()
+                    .with_op_budget(1 << 62)
+                    .with_deadline(std::time::Duration::from_secs(3600));
+                black_box(s.compile_with(&bound, &opts_seq).unwrap());
+            }));
+        }
+        let budget_overhead = (t_budgeted / t_plain_paired - 1.0) * 100.0;
+
+        // Exhaustion behavior: a starved op budget must still return a
+        // plan (degraded to the best-so-far or the baseline fallback
+        // unless the whole search fits under the ceiling), and return
+        // it quickly — this is the worst-case latency a caller sees.
+        let starved_session = Session::new().with_op_budget(100);
+        let t0 = std::time::Instant::now();
+        let starved = starved_session.compile_with(&bound, &opts_seq).unwrap();
+        let t_starved = t0.elapsed().as_secs_f64();
+        let starved_rep = starved.report().clone();
+
         // Intra-search polyhedral hit rate, from a single cold search on
         // a fresh session (its caches saw nothing else).
         let cold = Session::new();
@@ -1168,6 +1203,14 @@ fn synth_perf() {
             rep1.pruned,
             rep1_np.examined,
         );
+        println!(
+            "  {label:<12} budgeted {:7.2} ms ({:+5.1}% vs seq)  starved(100 ops) {:7.2} ms degraded={} skipped={}",
+            t_budgeted * 1e3,
+            budget_overhead,
+            t_starved * 1e3,
+            starved_rep.degraded,
+            starved_rep.skipped_configs,
+        );
 
         rows.push(obj(vec![
             ("workload", Json::str(*label)),
@@ -1180,6 +1223,15 @@ fn synth_perf() {
             ("seq_per_s", Json::num(1.0 / t_seq)),
             ("par_per_s", Json::num(1.0 / t_par)),
             ("warm_per_s", Json::num(1.0 / t_warm)),
+            ("budgeted_ms", Json::num(t_budgeted * 1e3)),
+            ("budgeted_per_s", Json::num(1.0 / t_budgeted)),
+            ("budget_overhead_pct", Json::num(budget_overhead)),
+            ("starved_ms", Json::num(t_starved * 1e3)),
+            ("starved_degraded", Json::Bool(starved_rep.degraded)),
+            (
+                "starved_skipped_configs",
+                Json::num(starved_rep.skipped_configs as f64),
+            ),
             ("session_fresh_ms", Json::num(t_fresh * 1e3)),
             ("session_reused_us", Json::num(t_reused * 1e6)),
             ("session_fresh_per_s", Json::num(1.0 / t_fresh)),

@@ -21,7 +21,7 @@ use bernoulli_bench::report::{parse, Json};
 /// `session_*_per_s` pair measures the S35 embedding lifecycle (a
 /// brand-new `Session` compiling once vs one more compile on a session
 /// that already holds the plan).
-const METRICS: [&str; 12] = [
+const METRICS: [&str; 13] = [
     "synth",
     "nist_c",
     "nist_f",
@@ -31,6 +31,7 @@ const METRICS: [&str; 12] = [
     "seq_per_s",
     "par_per_s",
     "warm_per_s",
+    "budgeted_per_s",
     "session_fresh_per_s",
     "session_reused_per_s",
     "poly_cache_hit_rate",

@@ -20,6 +20,29 @@ pub enum FormatError {
     /// A view failed runtime conformance checking
     /// ([`check_view_conformance`](crate::cursor::check_view_conformance)).
     Nonconforming(String),
+    /// An entry coordinate outside the matrix shape (builder input).
+    EntryOutOfRange {
+        r: usize,
+        c: usize,
+        nrows: usize,
+        ncols: usize,
+    },
+    /// A format instance whose arrays violate the format's structural
+    /// invariants (see the per-format `validate` methods) — the typed
+    /// verdict for untrusted data that would otherwise surface as an
+    /// out-of-bounds panic deep inside a kernel.
+    Invalid {
+        format: &'static str,
+        reason: String,
+    },
+}
+
+/// Shorthand constructor for [`FormatError::Invalid`].
+pub(crate) fn invalid(format: &'static str, reason: impl Into<String>) -> FormatError {
+    FormatError::Invalid {
+        format,
+        reason: reason.into(),
+    }
 }
 
 impl std::fmt::Display for FormatError {
@@ -41,6 +64,12 @@ impl std::fmt::Display for FormatError {
                 "format {format:?} requires a square matrix, got {nrows}x{ncols}"
             ),
             FormatError::Nonconforming(msg) => write!(f, "nonconforming view: {msg}"),
+            FormatError::EntryOutOfRange { r, c, nrows, ncols } => {
+                write!(f, "entry ({r},{c}) out of range for {nrows}x{ncols} matrix")
+            }
+            FormatError::Invalid { format, reason } => {
+                write!(f, "invalid {format} matrix: {reason}")
+            }
         }
     }
 }
@@ -127,6 +156,22 @@ impl<T: Scalar> AnyFormat<T> {
             AnyFormat::Ell(m) => m.to_triplets(),
             AnyFormat::Jad(m) => m.to_triplets(),
             AnyFormat::DiagSplit(m) => m.to_triplets(),
+        }
+    }
+
+    /// Checks the structural invariants of the wrapped instance (see
+    /// the per-format `validate` methods). Formats whose construction
+    /// cannot produce out-of-bounds storage (`dense`, `coo` builders
+    /// range-check on the way in; `diagsplit` wraps validated parts)
+    /// report `Ok` unconditionally.
+    pub fn validate(&self) -> Result<(), FormatError> {
+        match self {
+            AnyFormat::Csr(m) => m.validate(),
+            AnyFormat::Csc(m) => m.validate(),
+            AnyFormat::Dia(m) => m.validate(),
+            AnyFormat::Ell(m) => m.validate(),
+            AnyFormat::Jad(m) => m.validate(),
+            AnyFormat::Dense(_) | AnyFormat::Coo(_) | AnyFormat::DiagSplit(_) => Ok(()),
         }
     }
 

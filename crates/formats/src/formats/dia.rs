@@ -88,6 +88,61 @@ impl<T: Scalar> Dia<T> {
         t
     }
 
+    /// Checks the structural invariants of an *untrusted* DIA instance:
+    /// strictly increasing diagonal numbers, per-diagonal extents that
+    /// match the matrix shape exactly (this format always stores a
+    /// diagonal's full in-matrix extent), and a `ptr` array consistent
+    /// with those extents and the value storage.
+    pub fn validate(&self) -> Result<(), crate::FormatError> {
+        let fail = |reason: String| Err(crate::convert::invalid("dia", reason));
+        let k = self.diags.len();
+        if self.lo.len() != k || self.hi.len() != k || self.ptr.len() != k + 1 {
+            return fail(format!(
+                "lo/hi/ptr have {}/{}/{} entries, want {k}/{k}/{}",
+                self.lo.len(),
+                self.hi.len(),
+                self.ptr.len(),
+                k + 1
+            ));
+        }
+        if self.ptr.first() != Some(&0) {
+            return fail(format!("ptr[0] = {:?}, want 0", self.ptr.first()));
+        }
+        let (m, n) = (self.nrows as i64, self.ncols as i64);
+        for i in 0..k {
+            let d = self.diags[i];
+            if i > 0 && d <= self.diags[i - 1] {
+                return fail(format!("diagonals not strictly increasing at {d}"));
+            }
+            let (lo, hi) = (0i64.max(-d), n.min(m - d));
+            if lo >= hi {
+                return fail(format!("diagonal {d} lies outside a {m}x{n} matrix"));
+            }
+            if self.lo[i] != lo || self.hi[i] != hi {
+                return fail(format!(
+                    "diagonal {d} extent [{}, {}) disagrees with shape (want [{lo}, {hi}))",
+                    self.lo[i], self.hi[i]
+                ));
+            }
+            let want = self.ptr[i] + (hi - lo) as usize;
+            if self.ptr[i + 1] != want {
+                return fail(format!(
+                    "ptr[{}] = {} disagrees with diagonal {d}'s extent (want {want})",
+                    i + 1,
+                    self.ptr[i + 1]
+                ));
+            }
+        }
+        if self.values.len() != self.ptr[self.diags.len()] {
+            return fail(format!(
+                "values has {} entries, want ptr total {}",
+                self.values.len(),
+                self.ptr[self.diags.len()]
+            ));
+        }
+        Ok(())
+    }
+
     /// Storage index of `(r, c)` if its diagonal is stored.
     pub fn find(&self, r: usize, c: usize) -> Option<usize> {
         let d = r as i64 - c as i64;

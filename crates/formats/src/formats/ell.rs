@@ -56,6 +56,54 @@ impl<T: Scalar> Ell<T> {
         }
     }
 
+    /// Checks the structural invariants of an *untrusted* ELL instance:
+    /// slot arrays sized `nrows * width`, per-row fill `rowlen[r] <=
+    /// width`, filled slots holding in-range strictly increasing
+    /// columns, and padding slots holding [`ELL_PAD`].
+    pub fn validate(&self) -> Result<(), crate::FormatError> {
+        let fail = |reason: String| Err(crate::convert::invalid("ell", reason));
+        if self.rowlen.len() != self.nrows {
+            return fail(format!(
+                "rowlen has {} entries, want nrows = {}",
+                self.rowlen.len(),
+                self.nrows
+            ));
+        }
+        let slots = self.nrows * self.width;
+        if self.colind.len() != slots || self.values.len() != slots {
+            return fail(format!(
+                "colind/values have {}/{} slots, want nrows * width = {slots}",
+                self.colind.len(),
+                self.values.len()
+            ));
+        }
+        for r in 0..self.nrows {
+            let len = self.rowlen[r];
+            if len > self.width {
+                return fail(format!("rowlen[{r}] = {len} exceeds width {}", self.width));
+            }
+            let base = r * self.width;
+            for s in 0..len {
+                let c = self.colind[base + s];
+                if c < 0 || c >= self.ncols as i64 {
+                    return fail(format!("row {r} slot {s} stores column {c}, out of range"));
+                }
+                if s > 0 && c <= self.colind[base + s - 1] {
+                    return fail(format!("row {r} columns not strictly increasing"));
+                }
+            }
+            for s in len..self.width {
+                if self.colind[base + s] != ELL_PAD {
+                    return fail(format!(
+                        "row {r} padding slot {s} holds {} instead of the pad sentinel",
+                        self.colind[base + s]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Converts back to triplets.
     pub fn to_triplets(&self) -> Triplets<T> {
         let mut t = Triplets::new(self.nrows, self.ncols);

@@ -2,6 +2,7 @@
 //! construct from and convert back to.
 
 use crate::scalar::Scalar;
+use crate::FormatError;
 
 /// A matrix under construction: explicit `(row, col, value)` entries.
 ///
@@ -28,26 +29,55 @@ impl<T: Scalar> Triplets<T> {
     /// Builds from a slice of entries. Duplicate positions are summed.
     ///
     /// # Panics
-    /// Panics if any coordinate is out of range.
+    /// Panics if any coordinate is out of range; use
+    /// [`try_from_entries`](Self::try_from_entries) for untrusted input.
     pub fn from_entries(nrows: usize, ncols: usize, entries: &[(usize, usize, T)]) -> Triplets<T> {
+        match Triplets::try_from_entries(nrows, ncols, entries) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`from_entries`](Self::from_entries) with out-of-range
+    /// coordinates reported as a [`FormatError`] — the entry point for
+    /// entries that came from outside the process.
+    pub fn try_from_entries(
+        nrows: usize,
+        ncols: usize,
+        entries: &[(usize, usize, T)],
+    ) -> Result<Triplets<T>, FormatError> {
         let mut t = Triplets::new(nrows, ncols);
         for &(r, c, v) in entries {
-            t.push(r, c, v);
+            t.try_push(r, c, v)?;
         }
         t.normalize();
-        t
+        Ok(t)
     }
 
     /// Appends one entry (duplicates allowed until [`normalize`](Self::normalize)).
     ///
     /// # Panics
-    /// Panics if the coordinate is out of range.
+    /// Panics if the coordinate is out of range; use
+    /// [`try_push`](Self::try_push) for untrusted input.
     pub fn push(&mut self, r: usize, c: usize, v: T) {
-        assert!(
-            r < self.nrows && c < self.ncols,
-            "entry ({r},{c}) out of range"
-        );
+        if let Err(e) = self.try_push(r, c, v) {
+            panic!("{e}");
+        }
+    }
+
+    /// [`push`](Self::push) with out-of-range coordinates reported as a
+    /// [`FormatError`] instead of a panic.
+    pub fn try_push(&mut self, r: usize, c: usize, v: T) -> Result<(), FormatError> {
+        if r >= self.nrows || c >= self.ncols {
+            return Err(FormatError::EntryOutOfRange {
+                r,
+                c,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
         self.entries.push((r, c, v));
+        Ok(())
     }
 
     /// Sorts entries row-major and sums duplicates. Zero values are kept:

@@ -142,9 +142,10 @@ impl<'a> Lexer<'a> {
             {
                 self.pos += 1;
             }
-            let s = std::str::from_utf8(&self.src[start..self.pos])
-                .expect("lexer invariant: token bytes are ASCII");
-            return Ok(Some((Tok::Ident(s.to_string()), start)));
+            // The matched bytes are ASCII by construction, so the lossy
+            // conversion is exact.
+            let s = String::from_utf8_lossy(&self.src[start..self.pos]);
+            return Ok(Some((Tok::Ident(s.into_owned()), start)));
         }
         if b.is_ascii_digit() {
             while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
@@ -160,13 +161,11 @@ impl<'a> Lexer<'a> {
                 while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
                     self.pos += 1;
                 }
-                let s = std::str::from_utf8(&self.src[start..self.pos])
-                    .expect("lexer invariant: token bytes are ASCII");
+                let s = String::from_utf8_lossy(&self.src[start..self.pos]);
                 let v: f64 = s.parse().map_err(|_| self.error("bad float literal"))?;
                 return Ok(Some((Tok::Float(v), start)));
             }
-            let s = std::str::from_utf8(&self.src[start..self.pos])
-                .expect("lexer invariant: token bytes are ASCII");
+            let s = String::from_utf8_lossy(&self.src[start..self.pos]);
             let v: i64 = s.parse().map_err(|_| self.error("bad integer literal"))?;
             return Ok(Some((Tok::Int(v), start)));
         }

@@ -1,0 +1,95 @@
+//! Fuzzing the program parser: arbitrary bytes and token soup must
+//! produce `Ok` or a typed `ParseError` — never a panic. Programs that
+//! do parse must additionally survive `validate` without panicking.
+
+use bernoulli_ir::parse_program;
+use proptest::prelude::*;
+
+/// Language tokens plus junk, so generated inputs exercise the deep
+/// parser paths (declarations, loops, expressions) and the error paths
+/// in roughly equal measure.
+const TOKENS: &[&str] = &[
+    "program",
+    "in",
+    "out",
+    "inout",
+    "matrix",
+    "vector",
+    "for",
+    "0",
+    "1",
+    "9",
+    "-3",
+    "18446744073709551616",
+    "i",
+    "j",
+    "N",
+    "M",
+    "A",
+    "x",
+    "y",
+    "p",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    "..",
+    "=",
+    "+",
+    "-",
+    "*",
+    ".",
+    "§",
+    "",
+    " ",
+];
+
+fn token_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec((0usize..TOKENS.len(), proptest::bool::ANY), 0..60).prop_map(
+        |picks| {
+            let mut s = String::new();
+            for (t, newline) in picks {
+                s.push_str(TOKENS[t]);
+                s.push(if newline { '\n' } else { ' ' });
+            }
+            s
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary (possibly non-UTF8-boundary-respecting) char soup
+    /// never panics the parser.
+    #[test]
+    fn arbitrary_chars_never_panic(codes in proptest::collection::vec(0u32..0x1100, 0..200)) {
+        let src: String = codes.into_iter().filter_map(char::from_u32).collect();
+        let _ = parse_program(&src);
+    }
+
+    /// Token soup never panics; whatever parses also validates without
+    /// panicking.
+    #[test]
+    fn token_soup_never_panics(src in token_soup()) {
+        if let Ok(p) = parse_program(&src) {
+            let _ = p.validate();
+        }
+    }
+
+    /// A plausible program skeleton with fuzzed loop bounds and indices
+    /// never panics the parser or the validator.
+    #[test]
+    fn skeleton_with_fuzzed_body_never_panics(body in token_soup()) {
+        let src = format!(
+            "program p(N) {{\n  inout vector v[N];\n  for i in 0..N {{\n    {body}\n  }}\n}}"
+        );
+        if let Ok(p) = parse_program(&src) {
+            let _ = p.validate();
+        }
+    }
+}

@@ -37,14 +37,39 @@ use bernoulli_numeric::Rational;
 ///
 /// Equalities of `p` are handled by splitting into two inequalities, which
 /// corresponds to an unconstrained-sign multiplier.
+///
+/// If the installed compute budget runs out during multiplier
+/// elimination this degrades **conservatively**, returning a
+/// contradictory system over `u` (no embedding accepted — the caller
+/// rejects the candidate rather than accepting an unproven one); use
+/// [`try_farkas_nonneg_conditions`] to observe the exhaustion as a
+/// typed error instead.
 pub fn farkas_nonneg_conditions(
     p: &System,
     coeff_in_u: &[LinExpr],
     cst_in_u: &LinExpr,
     u_names: &[String],
 ) -> System {
+    try_farkas_nonneg_conditions(p, coeff_in_u, cst_in_u, u_names).unwrap_or_else(|_| {
+        // Conservative: a single false row over u — empty condition set.
+        let mut none = System::new(u_names.to_vec());
+        none.add(Constraint::ge0(LinExpr::constant(u_names.len(), -1)));
+        none
+    })
+}
+
+/// [`farkas_nonneg_conditions`] with budget exhaustion reported as
+/// [`PolyError`](crate::PolyError) instead of the conservative
+/// contradiction fallback.
+pub fn try_farkas_nonneg_conditions(
+    p: &System,
+    coeff_in_u: &[LinExpr],
+    cst_in_u: &LinExpr,
+    u_names: &[String],
+) -> Result<System, crate::PolyError> {
     bernoulli_trace::counter!("polyhedra.farkas_calls");
     bernoulli_trace::span!("polyhedra.farkas");
+    bernoulli_govern::faults::hit("polyhedra.farkas");
     let nx = p.num_vars();
     assert_eq!(coeff_in_u.len(), nx, "one ψ coefficient per x variable");
     let nu = u_names.len();
@@ -107,9 +132,10 @@ pub fn farkas_nonneg_conditions(
         sys.add(Constraint::eq0(e));
     }
 
-    // Eliminate all multipliers, leaving conditions over u alone.
+    // Eliminate all multipliers, leaving conditions over u alone — the
+    // budget-heavy step: one projection per multiplier.
     let drop: Vec<usize> = (nu..total).collect();
-    sys.project_out(&drop)
+    sys.try_project_out(&drop)
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Fourier–Motzkin elimination.
 
 use crate::{Constraint, ConstraintKind, LinExpr, System};
+use bernoulli_govern::{Budget, BudgetError};
 
 /// Eliminates variable `j` from the system, returning a system over the
 /// remaining variables (renumbered; variable names preserved).
@@ -29,6 +30,9 @@ pub fn eliminate_var(sys: &System, j: usize) -> System {
 /// [`eliminate_var`] with the out-of-range column reported as a
 /// [`PolyError`](crate::PolyError) instead of a panic — the entry point
 /// for callers whose column index is not statically known to be valid.
+/// Also observes the installed compute budget
+/// ([`bernoulli_govern::current`]), reporting exhaustion as
+/// [`PolyError::BudgetExhausted`](crate::PolyError::BudgetExhausted).
 pub fn try_eliminate_var(sys: &System, j: usize) -> Result<System, crate::PolyError> {
     if j >= sys.num_vars() {
         return Err(crate::PolyError::VarOutOfRange {
@@ -36,25 +40,48 @@ pub fn try_eliminate_var(sys: &System, j: usize) -> Result<System, crate::PolyEr
             nvars: sys.num_vars(),
         });
     }
-    Ok(eliminate_var_checked(sys, j))
+    let budget = bernoulli_govern::current();
+    Ok(eliminate_core(sys, j, budget.as_deref())?)
 }
 
-fn eliminate_var_checked(sys: &System, j: usize) -> System {
+/// The memoized elimination step: cache hits are free (and still served
+/// after a budget has tripped — a memoized proof costs nothing); misses
+/// charge the budget in proportion to the combination work. Results are
+/// stored only on fully-completed eliminations, so a budget-truncated
+/// run never pollutes the memo.
+pub(crate) fn eliminate_core(
+    sys: &System,
+    j: usize,
+    budget: Option<&Budget>,
+) -> Result<System, BudgetError> {
     bernoulli_trace::counter!("polyhedra.fm_eliminations");
+    bernoulli_govern::faults::hit("polyhedra.fm");
     let key = crate::cache::fm_key(sys, j);
     if let Some(rows) = crate::cache::fm_lookup(&key) {
         bernoulli_trace::counter!("polyhedra.cache.fm_hits");
         let mut vars = sys.vars().to_vec();
         vars.remove(j);
-        return System::from_parts(vars, rows);
+        return Ok(System::from_parts(vars, rows));
     }
     bernoulli_trace::counter!("polyhedra.cache.fm_misses");
-    let out = eliminate_var_uncached(sys, j);
+    let out = eliminate_var_uncached(sys, j, budget)?;
     crate::cache::fm_store(key, out.constraints().to_vec());
-    out
+    Ok(out)
 }
 
-fn eliminate_var_uncached(sys: &System, j: usize) -> System {
+fn eliminate_var_uncached(
+    sys: &System,
+    j: usize,
+    budget: Option<&Budget>,
+) -> Result<System, BudgetError> {
+    if let Some(b) = budget {
+        // One explicit deadline/cancel check per elimination: `charge`
+        // only consults the clock at stride crossings, which a small
+        // decision may never reach, but cancellation must still be
+        // prompt.
+        b.check()?;
+        b.charge(sys.constraints().len() as u64 + 1)?;
+    }
     // Prefer substitution through an equality with the smallest |coeff|.
     let eq_idx = sys
         .constraints()
@@ -87,7 +114,7 @@ fn eliminate_var_uncached(sys: &System, j: usize) -> System {
             });
         }
         out.drop_var_column(j);
-        return out;
+        return Ok(out);
     }
 
     // Pure inequality case: combine each lower bound with each upper bound.
@@ -103,6 +130,11 @@ fn eliminate_var_uncached(sys: &System, j: usize) -> System {
         } else {
             uppers.push(&c.expr);
         }
+    }
+    // The quadratic lower×upper combination is where Fourier–Motzkin
+    // blows up; charge its full output size before doing the work.
+    if let Some(b) = budget {
+        b.charge((lowers.len() * uppers.len()) as u64)?;
     }
     for lo in &lowers {
         for up in &uppers {
@@ -123,7 +155,7 @@ fn eliminate_var_uncached(sys: &System, j: usize) -> System {
     // Cheap redundancy pruning: drop ≥-rows strictly dominated by another
     // row with identical variable coefficients but a larger constant.
     prune_dominated(&mut out);
-    out
+    Ok(out)
 }
 
 /// Removes `e ≥ 0` rows made redundant by another row with the same

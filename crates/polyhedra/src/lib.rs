@@ -33,9 +33,14 @@ mod system;
 
 pub use cache::{cache_stats, clear_caches, install, install_scoped, CacheStats, PolyCaches};
 pub use expr::LinExpr;
-pub use farkas::farkas_nonneg_conditions;
+pub use farkas::{farkas_nonneg_conditions, try_farkas_nonneg_conditions};
 pub use fm::{eliminate_var, try_eliminate_var, variable_bounds};
 pub use system::{Constraint, ConstraintKind, System};
+
+// Budget types are part of this crate's fallible API surface
+// (`PolyError::BudgetExhausted` wraps a cause); re-export them so
+// callers need not depend on `bernoulli-govern` directly.
+pub use bernoulli_govern::{Budget, BudgetError, CancelToken};
 
 /// Errors a caller can trigger through the polyhedral API (as opposed
 /// to internal invariants, which still panic with a message naming the
@@ -44,6 +49,11 @@ pub use system::{Constraint, ConstraintKind, System};
 pub enum PolyError {
     /// A variable (column) index beyond the system's variable count.
     VarOutOfRange { index: usize, nvars: usize },
+    /// The installed compute [`Budget`] ran out mid-decision. The
+    /// infallible query wrappers ([`System::is_empty`],
+    /// [`System::implies`], [`farkas_nonneg_conditions`]) degrade
+    /// conservatively instead of surfacing this — see their docs.
+    BudgetExhausted(BudgetError),
 }
 
 impl std::fmt::Display for PolyError {
@@ -55,11 +65,21 @@ impl std::fmt::Display for PolyError {
                     "variable index {index} out of range (system has {nvars} variables)"
                 )
             }
+            PolyError::BudgetExhausted(cause) => {
+                write!(f, "polyhedral decision aborted: {cause}")
+            }
         }
     }
 }
 
 impl std::error::Error for PolyError {}
+
+impl From<BudgetError> for PolyError {
+    fn from(e: BudgetError) -> PolyError {
+        bernoulli_trace::counter!("polyhedra.budget_exhausted");
+        PolyError::BudgetExhausted(e)
+    }
+}
 
 /// Brute-force enumeration of the integer points of `sys` inside the box
 /// `lo..=hi` on every variable. Exponential; intended for tests and for the

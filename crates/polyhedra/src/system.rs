@@ -1,7 +1,8 @@
 //! Systems of affine constraints (polyhedra) over named integer variables.
 
-use crate::fm::eliminate_var;
-use crate::LinExpr;
+use crate::fm::eliminate_core;
+use crate::{LinExpr, PolyError};
+use bernoulli_govern::{Budget, BudgetError};
 use bernoulli_numeric::Rational;
 use std::fmt;
 
@@ -185,36 +186,54 @@ impl System {
     /// [`crate::cache`]): repeated queries on structurally identical
     /// systems — regardless of constraint order, scaling, or variable
     /// names — skip the elimination entirely.
+    ///
+    /// If the installed compute budget runs out mid-decision this
+    /// degrades **conservatively** to `false` ("possibly nonempty"),
+    /// which only ever makes a client reject a legal candidate, never
+    /// accept an illegal one; use [`Self::try_is_empty`] to observe the
+    /// exhaustion as a typed error instead.
     pub fn is_empty(&self) -> bool {
+        self.try_is_empty().unwrap_or(false)
+    }
+
+    /// [`Self::is_empty`] with budget exhaustion reported as
+    /// [`PolyError::BudgetExhausted`] instead of the conservative
+    /// fallback. Memoized answers are still served for free after a
+    /// budget has tripped; budget-truncated decisions are never stored.
+    pub fn try_is_empty(&self) -> Result<bool, PolyError> {
         bernoulli_trace::counter!("polyhedra.emptiness_tests");
         bernoulli_trace::span!("polyhedra.emptiness");
         if self.has_contradiction() {
-            return true;
+            return Ok(true);
         }
         if self.cons.is_empty() {
-            return false; // the universe; not worth a cache entry
+            return Ok(false); // the universe; not worth a cache entry
         }
         let key = crate::cache::canonical_key(self);
         if let Some(v) = crate::cache::empty_lookup(&key) {
             bernoulli_trace::counter!("polyhedra.cache.empty_hits");
-            return v;
+            return Ok(v);
         }
         bernoulli_trace::counter!("polyhedra.cache.empty_misses");
-        let v = self.is_empty_uncached();
+        let budget = bernoulli_govern::current();
+        let v = self.is_empty_uncached(budget.as_deref())?;
         crate::cache::empty_store(key, v);
-        v
+        Ok(v)
     }
 
     /// The full Fourier–Motzkin emptiness decision, bypassing the memo
-    /// cache (the per-step [`eliminate_var`] calls still use the FM
+    /// cache (the per-step [`eliminate_core`] calls still use the FM
     /// memo, which is keyed exactly and reproduces identical rows).
-    fn is_empty_uncached(&self) -> bool {
+    fn is_empty_uncached(&self, budget: Option<&Budget>) -> Result<bool, BudgetError> {
         let mut cur = self.clone();
         // Eliminate variables one at a time, preferring variables that
         // appear in few constraints (cheap heuristic against FM blowup).
         while cur.num_vars() > 0 {
             if cur.has_contradiction() {
-                return true;
+                return Ok(true);
+            }
+            if let Some(b) = budget {
+                b.charge(cur.cons.len() as u64 + 1)?;
             }
             let n = cur.num_vars();
             let best = (0..n)
@@ -231,9 +250,9 @@ impl System {
                     lo * hi
                 })
                 .unwrap();
-            cur = eliminate_var(&cur, best);
+            cur = eliminate_core(&cur, best, budget)?;
         }
-        cur.has_contradiction()
+        Ok(cur.has_contradiction())
     }
 
     /// The canonical, name-free memo-cache key of this system:
@@ -249,19 +268,27 @@ impl System {
     ///
     /// Implemented as emptiness of `self ∧ ¬c`; for a `≥` constraint over
     /// integer points, `¬(e ≥ 0)` is `-e - 1 ≥ 0`.
+    ///
+    /// On budget exhaustion this degrades conservatively to `false`
+    /// ("not provably implied"); see [`Self::is_empty`] and use
+    /// [`Self::try_implies`] for the typed error.
     pub fn implies(&self, c: &Constraint) -> bool {
+        self.try_implies(c).unwrap_or(false)
+    }
+
+    /// [`Self::implies`] with budget exhaustion reported as
+    /// [`PolyError::BudgetExhausted`].
+    pub fn try_implies(&self, c: &Constraint) -> Result<bool, PolyError> {
         bernoulli_trace::counter!("polyhedra.implication_tests");
         match c.kind {
             ConstraintKind::Ge => {
                 let mut neg = self.clone();
                 let e = &(-&c.expr) - &LinExpr::constant(self.num_vars(), 1);
                 neg.add(Constraint::ge0(e));
-                neg.is_empty()
+                neg.try_is_empty()
             }
-            ConstraintKind::Eq => {
-                self.implies(&Constraint::ge0(c.expr.clone()))
-                    && self.implies(&Constraint::ge0(-&c.expr))
-            }
+            ConstraintKind::Eq => Ok(self.try_implies(&Constraint::ge0(c.expr.clone()))?
+                && self.try_implies(&Constraint::ge0(-&c.expr))?),
         }
     }
 
@@ -273,21 +300,41 @@ impl System {
 
     /// Projects the system onto the variables *not* listed in `drop`
     /// (eliminating the listed ones), renumbering the survivors in order.
+    /// Runs to completion regardless of any installed budget; use
+    /// [`Self::try_project_out`] for the budgeted variant.
     pub fn project_out(&self, drop: &[usize]) -> System {
+        match self.project_out_inner(drop, None) {
+            Ok(s) => s,
+            Err(_) => unreachable!("unbudgeted projection cannot be cut short"),
+        }
+    }
+
+    /// [`Self::project_out`] observing the installed compute budget,
+    /// with exhaustion reported as [`PolyError::BudgetExhausted`].
+    pub fn try_project_out(&self, drop: &[usize]) -> Result<System, PolyError> {
+        let budget = bernoulli_govern::current();
+        Ok(self.project_out_inner(drop, budget.as_deref())?)
+    }
+
+    fn project_out_inner(
+        &self,
+        drop: &[usize],
+        budget: Option<&Budget>,
+    ) -> Result<System, BudgetError> {
         let mut cur = self.clone();
         // Eliminate from the highest index down so indices stay valid.
         let mut sorted: Vec<usize> = drop.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         for &j in sorted.iter().rev() {
-            cur = eliminate_var(&cur, j);
+            cur = eliminate_core(&cur, j, budget)?;
         }
-        cur
+        Ok(cur)
     }
 
     /// Removes a variable index from the variable list and every
     /// constraint, *assuming* its coefficient is zero everywhere.
-    /// Used by [`eliminate_var`] after combination.
+    /// Used by [`crate::eliminate_var`] after combination.
     pub(crate) fn drop_var_column(&mut self, j: usize) {
         for c in &mut self.cons {
             debug_assert!(c.expr.coeffs[j].is_zero());

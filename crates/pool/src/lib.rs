@@ -20,6 +20,13 @@
 //!   matches the input order regardless of which worker computed what,
 //!   so callers get **deterministic** output for free.
 //!
+//! Each has a `try_` twin ([`Pool::try_run`], [`Pool::try_scope`],
+//! [`Pool::try_par_map`]) reporting a panicking chunk as
+//! [`PoolError::JobPanicked`] (payload preserved) instead of unwinding.
+//! A panic poisons only its own job: the pool stays healthy, and a
+//! worker thread that dies outright is respawned on the next
+//! submission.
+//!
 //! Borrowed data is safe for the same reason `std::thread::scope` is:
 //! [`Pool::run`] does not return until every worker has finished the
 //! job (a latch counts them down), so the erased-lifetime closure and
@@ -31,20 +38,57 @@
 //! The pool size comes from `BERNOULLI_THREADS`, falling back to
 //! [`std::thread::available_parallelism`].
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, SendError, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Environment variable overriding the worker-pool size.
 pub const THREADS_ENV: &str = "BERNOULLI_THREADS";
 
+/// Typed failure of a parallel job: some chunk panicked. The panic is
+/// contained to that job — the pool itself stays healthy (dead workers
+/// are respawned on the next submission) and the panic payload is
+/// preserved in `message`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// A chunk of the submitted job panicked; `message` is the panic
+    /// payload (when it was a string, as `panic!` payloads usually are).
+    JobPanicked { message: String },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::JobPanicked { message } => {
+                write!(f, "parallel job panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Best-effort extraction of the human-readable panic message.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Counts outstanding workers for one job; the submitting thread blocks
-/// on it until the count reaches zero.
+/// on it until the count reaches zero. Also carries the job's failure
+/// state: the `poisoned` flag plus the first captured panic payload.
 struct Latch {
     remaining: Mutex<usize>,
     all_done: Condvar,
     poisoned: AtomicBool,
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 impl Latch {
@@ -53,11 +97,12 @@ impl Latch {
             remaining: Mutex::new(count),
             all_done: Condvar::new(),
             poisoned: AtomicBool::new(false),
+            payload: Mutex::new(None),
         }
     }
 
     fn count_down(&self) {
-        let mut left = self.remaining.lock().unwrap();
+        let mut left = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
         *left -= 1;
         if *left == 0 {
             self.all_done.notify_all();
@@ -65,10 +110,33 @@ impl Latch {
     }
 
     fn wait(&self) {
-        let mut left = self.remaining.lock().unwrap();
+        let mut left = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
         while *left > 0 {
-            left = self.all_done.wait(left).unwrap();
+            left = self.all_done.wait(left).unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Marks the job failed, keeping the *first* panic payload.
+    fn record_panic(&self, p: Box<dyn Any + Send>) {
+        let mut slot = self.payload.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(p);
+        }
+        drop(slot);
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Takes the failure payload after [`Latch::wait`] returned.
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        if !self.poisoned.load(Ordering::Acquire) {
+            return None;
+        }
+        let taken = self
+            .payload
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        Some(taken.unwrap_or_else(|| Box::new("pool worker panicked".to_string())))
     }
 }
 
@@ -82,6 +150,22 @@ struct Job {
     next_chunk: Arc<AtomicUsize>,
     nchunks: usize,
     latch: Arc<Latch>,
+    /// Whether dropping this job releases one latch share. True for the
+    /// copies sent to workers, false for the submitter's own lane.
+    counts_down: bool,
+}
+
+/// The latch share is released by `Drop`, not by the worker loop, so
+/// every way a worker-bound job can end — chunks drained, the worker
+/// thread unwinding mid-job, or the job sitting unconsumed in a dead
+/// worker's channel when the receiver is dropped — counts down exactly
+/// once and the submitter can never deadlock.
+impl Drop for Job {
+    fn drop(&mut self) {
+        if self.counts_down {
+            self.latch.count_down();
+        }
+    }
 }
 
 // SAFETY: `func` points at a `Sync` closure that the submitting thread
@@ -119,14 +203,45 @@ impl Job {
                     }
                 }
             }
-            Err(_) => self.latch.poisoned.store(true, Ordering::Release),
+            Err(p) => self.latch.record_panic(p),
         }
     }
 }
 
+/// One worker thread's submission endpoint. The sender sits behind a
+/// mutex so a submitter that finds the worker dead (its receiver
+/// dropped) can respawn it in place.
+struct WorkerSlot {
+    id: usize,
+    tx: Mutex<Sender<Job>>,
+}
+
+/// Spawns worker `k`'s thread and returns its job channel.
+fn spawn_worker(k: usize) -> Sender<Job> {
+    let (tx, rx) = channel::<Job>();
+    std::thread::Builder::new()
+        .name(format!("bernoulli-par-{k}"))
+        .spawn(move || {
+            while let Ok(job) = rx.recv() {
+                // If the injected fault kills this thread, the job's
+                // `Drop` still releases its latch share and the other
+                // lanes drain the chunk counter; the next submission
+                // respawns us.
+                bernoulli_govern::faults::hit("pool.worker");
+                job.run_chunks(true);
+                // Fold this job's trace events in *before* the job drop
+                // releases the latch, so a snapshot taken right after
+                // `run` returns sees them.
+                bernoulli_trace::flush_local();
+            }
+        })
+        .expect("spawning pool worker");
+    tx
+}
+
 /// A persistent pool of parked worker threads.
 pub struct Pool {
-    workers: Vec<Sender<Job>>,
+    workers: Vec<WorkerSlot>,
 }
 
 impl Pool {
@@ -135,22 +250,9 @@ impl Pool {
     pub fn new(nthreads: usize) -> Pool {
         let nworkers = nthreads.max(1) - 1;
         let workers = (0..nworkers)
-            .map(|k| {
-                let (tx, rx) = channel::<Job>();
-                std::thread::Builder::new()
-                    .name(format!("bernoulli-par-{k}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job.run_chunks(true);
-                            // Fold this job's trace events in *before*
-                            // releasing the latch, so a snapshot taken
-                            // right after `run` returns sees them.
-                            bernoulli_trace::flush_local();
-                            job.latch.count_down();
-                        }
-                    })
-                    .expect("spawning pool worker");
-                tx
+            .map(|k| WorkerSlot {
+                id: k,
+                tx: Mutex::new(spawn_worker(k)),
             })
             .collect();
         Pool { workers }
@@ -174,22 +276,47 @@ impl Pool {
     /// even on a pool with zero workers.
     ///
     /// # Panics
-    /// Propagates a panic (as `"pool worker panicked"`) if any chunk
-    /// panicked on a worker; chunks running on the submitting thread
-    /// propagate their panic payload directly.
+    /// Re-raises the panic of the first failing chunk with its original
+    /// payload (wherever the chunk ran). The pool itself survives: the
+    /// failed job's chunks are abandoned but later submissions run
+    /// normally. Use [`Pool::try_run`] for a typed error instead.
     pub fn run(&self, nchunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if let Err(p) = self.run_inner(nchunks, f) {
+            resume_unwind(p);
+        }
+    }
+
+    /// [`Pool::run`] with a chunk panic reported as
+    /// [`PoolError::JobPanicked`] instead of resuming the unwind.
+    pub fn try_run(&self, nchunks: usize, f: &(dyn Fn(usize) + Sync)) -> Result<(), PoolError> {
+        self.run_inner(nchunks, f).map_err(|p| {
+            bernoulli_trace::counter!("par.pool.jobs_panicked");
+            PoolError::JobPanicked {
+                message: panic_message(p.as_ref()),
+            }
+        })
+    }
+
+    /// The shared execution core: runs the job to completion and
+    /// reports the first chunk panic as the raw payload.
+    fn run_inner(
+        &self,
+        nchunks: usize,
+        f: &(dyn Fn(usize) + Sync),
+    ) -> Result<(), Box<dyn Any + Send>> {
         if nchunks == 0 {
-            return;
+            return Ok(());
         }
         bernoulli_trace::counter!("par.pool.jobs");
         bernoulli_trace::counter!("par.pool.chunks", nchunks);
         bernoulli_trace::span!("par.pool.wall");
         if nchunks == 1 || self.workers.is_empty() {
             bernoulli_trace::counter!("par.pool.jobs_inline");
-            for chunk in 0..nchunks {
-                f(chunk);
-            }
-            return;
+            return catch_unwind(AssertUnwindSafe(|| {
+                for chunk in 0..nchunks {
+                    f(chunk);
+                }
+            }));
         }
         // Erase the borrow lifetime; `latch.wait()` below restores the
         // invariant that `f` outlives all uses.
@@ -201,16 +328,23 @@ impl Pool {
         let fanout = self.workers.len().min(nchunks - 1);
         let latch = Arc::new(Latch::new(fanout));
         let next_chunk = Arc::new(AtomicUsize::new(0));
-        for tx in &self.workers[..fanout] {
+        for slot in &self.workers[..fanout] {
             let job = Job {
                 func,
                 next_chunk: Arc::clone(&next_chunk),
                 nchunks,
                 latch: Arc::clone(&latch),
+                counts_down: true,
             };
-            // A send only fails if the worker died, which only happens
-            // on pool teardown at process exit.
-            tx.send(job).expect("pool worker disappeared");
+            let mut tx = slot.tx.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(SendError(job)) = tx.send(job) {
+                // The worker died (its receiver is gone) — this only
+                // happens when a fault killed the thread mid-loop.
+                // Respawn it in place and hand it the job.
+                bernoulli_trace::counter!("par.pool.workers_respawned");
+                *tx = spawn_worker(slot.id);
+                tx.send(job).expect("freshly spawned pool worker");
+            }
         }
         // The submitting thread is a lane too.
         let own = Job {
@@ -218,11 +352,13 @@ impl Pool {
             next_chunk,
             nchunks,
             latch: Arc::clone(&latch),
+            counts_down: false,
         };
         own.run_chunks(false);
         latch.wait();
-        if latch.poisoned.load(Ordering::Acquire) {
-            panic!("pool worker panicked");
+        match latch.take_panic() {
+            Some(p) => Err(p),
+            None => Ok(()),
         }
     }
 
@@ -233,12 +369,51 @@ impl Pool {
         self.run(nchunks, &f);
     }
 
+    /// [`Pool::scope`] with a chunk panic reported as
+    /// [`PoolError::JobPanicked`].
+    pub fn try_scope<F: Fn(usize) + Sync>(&self, nchunks: usize, f: F) -> Result<(), PoolError> {
+        self.try_run(nchunks, &f)
+    }
+
     /// Applies `f` to every element of `items` on the pool and collects
     /// the results **in input order** — the output is a pure function of
     /// `items` and `f`, independent of the pool size and of scheduling,
     /// which is what lets the synthesis search fan out per-configuration
     /// work and still return byte-identical rankings.
+    ///
+    /// # Panics
+    /// Re-raises the first per-item panic with its original payload;
+    /// see [`Pool::try_par_map`] for the typed-error form.
     pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        match self.par_map_inner(items, f) {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        }
+    }
+
+    /// [`Pool::par_map`] with a per-item panic reported as
+    /// [`PoolError::JobPanicked`]: the job's results are discarded, but
+    /// the pool (and the process) stays up.
+    pub fn try_par_map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, PoolError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_inner(items, f).map_err(|p| {
+            bernoulli_trace::counter!("par.pool.jobs_panicked");
+            PoolError::JobPanicked {
+                message: panic_message(p.as_ref()),
+            }
+        })
+    }
+
+    fn par_map_inner<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, Box<dyn Any + Send>>
     where
         T: Sync,
         R: Send,
@@ -249,13 +424,17 @@ impl Pool {
         // atomic per item — negligible against per-item work coarse
         // enough to be worth scheduling.
         let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-        self.run(items.len(), &|i| {
+        self.run_inner(items.len(), &|i| {
             *slots[i].lock().unwrap() = Some(f(&items[i]));
-        });
-        slots
+        })?;
+        Ok(slots
             .into_iter()
-            .map(|s| s.into_inner().unwrap().expect("pool chunk completed"))
-            .collect()
+            .map(|s| {
+                s.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("pool chunk completed")
+            })
+            .collect())
     }
 }
 
@@ -369,13 +548,56 @@ mod tests {
                 }
             });
         }));
-        assert!(result.is_err());
+        // The original payload is preserved through the pool.
+        let payload = result.unwrap_err();
+        assert!(panic_message(payload.as_ref()).contains("failed"));
         // The pool stays usable after a panicked job.
         let sum = AtomicU64::new(0);
         pool.run(8, &|c| {
             sum.fetch_add(c as u64, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    fn try_run_reports_typed_error() {
+        let pool = Pool::new(4);
+        let err = pool
+            .try_run(16, &|c| {
+                if c == 3 {
+                    panic!("boom at {c}");
+                }
+            })
+            .unwrap_err();
+        let PoolError::JobPanicked { message } = err;
+        assert!(message.contains("boom"), "{message}");
+        // Typed failure on the inline path too.
+        let solo = Pool::new(1);
+        let err = solo.try_run(4, &|_| panic!("inline boom")).unwrap_err();
+        assert!(err.to_string().contains("inline boom"), "{err}");
+        solo.try_run(4, &|_| {}).unwrap();
+    }
+
+    #[test]
+    fn try_par_map_recovers_and_stays_deterministic() {
+        for nthreads in [1usize, 2, 4, 8] {
+            let pool = Pool::new(nthreads);
+            let items: Vec<u64> = (0..64).collect();
+            let err = pool
+                .try_par_map(&items, |&x| {
+                    if x == 17 {
+                        panic!("item {x} exploded");
+                    }
+                    x * 3
+                })
+                .unwrap_err();
+            assert!(err.to_string().contains("exploded"), "nthreads={nthreads}");
+            // Subsequent maps on the same pool produce the exact same
+            // bytes as an untouched pool would.
+            let got = pool.try_par_map(&items, |&x| x * 3).unwrap();
+            let want: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+            assert_eq!(got, want, "nthreads = {nthreads}");
+        }
     }
 
     #[test]

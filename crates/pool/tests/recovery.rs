@@ -1,0 +1,95 @@
+//! Pool recovery: a panicking job must poison only itself. Subsequent
+//! jobs on the same pool run to completion at every pool size, and
+//! their results are byte-identical to those of an untouched pool.
+
+use bernoulli_pool::{Pool, PoolError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SIZES: &[usize] = &[1, 2, 3, 4, 8];
+
+fn reference(items: &[u64]) -> Vec<u64> {
+    items.iter().map(|&x| x.wrapping_mul(x) ^ 0x5a5a).collect()
+}
+
+#[test]
+fn panicking_job_leaves_pool_usable_at_every_size() {
+    let items: Vec<u64> = (0..301).collect();
+    let want = reference(&items);
+    for &n in SIZES {
+        let pool = Pool::new(n);
+        for round in 0..3 {
+            let err = pool
+                .try_par_map(&items, |&x| {
+                    if x % 37 == round {
+                        panic!("round {round} item {x}");
+                    }
+                    x
+                })
+                .unwrap_err();
+            let PoolError::JobPanicked { message } = err;
+            assert!(message.contains(&format!("round {round}")), "{message}");
+            // Recovery: the very next job must succeed with results
+            // identical to the untouched reference.
+            let got = pool.par_map(&items, |&x| x.wrapping_mul(x) ^ 0x5a5a);
+            assert_eq!(got, want, "nthreads={n} round={round}");
+        }
+    }
+}
+
+#[test]
+fn unwinding_run_leaves_pool_usable_at_every_size() {
+    for &n in SIZES {
+        let pool = Pool::new(n);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(64, &|c| {
+                if c == 11 {
+                    panic!("chunk 11 down");
+                }
+            });
+        }));
+        assert!(result.is_err(), "nthreads={n}");
+        let sum = AtomicU64::new(0);
+        pool.run(64, &|c| {
+            sum.fetch_add(c as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 64 * 63 / 2, "nthreads={n}");
+    }
+}
+
+#[test]
+fn determinism_holds_after_recovery() {
+    // The same map on pools of different sizes — some freshly poisoned,
+    // some untouched — must agree byte-for-byte.
+    let items: Vec<u64> = (0..513).collect();
+    let want = reference(&items);
+    for &n in SIZES {
+        let poisoned = Pool::new(n);
+        let _ = poisoned.try_par_map(&items, |&x| {
+            if x == 100 {
+                panic!("poison");
+            }
+            x
+        });
+        let fresh = Pool::new(n);
+        let got_poisoned = poisoned.par_map(&items, |&x| x.wrapping_mul(x) ^ 0x5a5a);
+        let got_fresh = fresh.par_map(&items, |&x| x.wrapping_mul(x) ^ 0x5a5a);
+        assert_eq!(got_poisoned, want, "poisoned pool, nthreads={n}");
+        assert_eq!(got_fresh, want, "fresh pool, nthreads={n}");
+    }
+}
+
+#[test]
+fn try_scope_matches_scope() {
+    for &n in SIZES {
+        let pool = Pool::new(n);
+        let out: Vec<AtomicU64> = (0..40).map(|_| AtomicU64::new(0)).collect();
+        pool.try_scope(40, |c| {
+            out[c].store(c as u64 + 1, Ordering::Relaxed);
+        })
+        .unwrap();
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.load(Ordering::Relaxed), i as u64 + 1, "nthreads={n}");
+        }
+    }
+}

@@ -1269,7 +1269,7 @@ pub fn emit_module(
     for a in &p.arrays {
         if let Some(v) = views.get(&a.name) {
             let ty = rust_type(&v.name)?;
-            let base = ty.split('<').next().unwrap().to_string();
+            let base = ty.split('<').next().unwrap_or(ty).to_string();
             if !used_types.contains(&base) {
                 used_types.push(base);
             }

@@ -91,17 +91,16 @@ pub fn compute_groups(cfg: &Config, space: &Space, emb: &Embedding) -> GroupInfo
     let mut groups: Vec<Vec<usize>> = Vec::new();
     let mut group_of = vec![0usize; ndims];
     for p in 0..ndims {
-        let same_as_leader = groups.last().is_some_and(|g| {
-            let leader = g[0];
-            (0..nstmts).all(|k| emb.at(k, p) == emb.at(k, leader))
-        });
-        if same_as_leader {
-            let gi = groups.len() - 1;
-            groups.last_mut().unwrap().push(p);
-            group_of[p] = gi;
-        } else {
-            group_of[p] = groups.len();
-            groups.push(vec![p]);
+        let ngroups = groups.len();
+        match groups.last_mut() {
+            Some(g) if (0..nstmts).all(|k| emb.at(k, p) == emb.at(k, g[0])) => {
+                group_of[p] = ngroups - 1;
+                g.push(p);
+            }
+            _ => {
+                group_of[p] = ngroups;
+                groups.push(vec![p]);
+            }
         }
     }
 

@@ -65,3 +65,8 @@ pub use search::{
     Synthesized,
 };
 pub use session::{BoundProblem, CompiledKernel, DepReport, Session};
+
+// Resource-governance vocabulary (budgets, deadlines, cancellation) so
+// callers can drive `Session::with_deadline` & co. without naming the
+// `bernoulli-govern` crate directly.
+pub use bernoulli_govern::{Budget, BudgetError, CancelToken};

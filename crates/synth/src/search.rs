@@ -39,11 +39,12 @@ use crate::plan::Plan;
 use crate::spaces::candidate_spaces_opt;
 use crate::zero::check_zero_safety;
 use bernoulli_formats::view::FormatView;
+use bernoulli_govern::{Budget, BudgetError};
 use bernoulli_ir::{analyze, Program};
-use bernoulli_pool::Pool;
+use bernoulli_pool::{Pool, PoolError};
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// Knobs bounding the search (paper §4.3 heuristics).
 #[derive(Clone, Debug)]
@@ -130,6 +131,16 @@ pub struct SearchReport {
     pub reasons: Vec<String>,
     /// True iff the whole result came from the plan cache.
     pub plan_cache_hit: bool,
+    /// True iff the compute budget ran out mid-search: the candidates
+    /// are the verified-legal best-so-far (or the baseline fallback),
+    /// not the full ranking. Degraded results are never stored in the
+    /// plan cache.
+    pub degraded: bool,
+    /// What stopped the search early, when `degraded`.
+    pub budget: Option<BudgetError>,
+    /// Configurations whose per-pass work was skipped (fully or
+    /// partially) by the early stop.
+    pub skipped_configs: usize,
 }
 
 /// Why synthesis failed — the root of the `synth` error hierarchy.
@@ -156,6 +167,15 @@ pub enum SynthError {
     /// No legal, zero-safe plan was found; the payload describes the last
     /// rejection reasons observed.
     NoLegalPlan { reasons: Vec<String> },
+    /// The compute budget (deadline, operation ceiling or cancellation)
+    /// ran out before any legal plan was verified, and the baseline
+    /// fallback could not produce one either. A search that has at
+    /// least one verified candidate when the budget trips returns it
+    /// with [`SearchReport::degraded`] set instead of this error.
+    Deadline { cause: BudgetError, examined: usize },
+    /// A parallel search job panicked; the pool contained the failure
+    /// and stays usable.
+    Pool(PoolError),
 }
 
 impl std::fmt::Display for SynthError {
@@ -176,6 +196,14 @@ impl std::fmt::Display for SynthError {
                 }
                 Ok(())
             }
+            SynthError::Deadline { cause, examined } => {
+                write!(
+                    f,
+                    "search stopped before any legal plan was verified \
+                     ({cause}; {examined} embeddings examined)"
+                )
+            }
+            SynthError::Pool(e) => write!(f, "{e}"),
         }
     }
 }
@@ -188,8 +216,16 @@ impl std::error::Error for SynthError {
             SynthError::Format(e) => Some(e),
             SynthError::Plan(e) => Some(e),
             SynthError::Emit(e) => Some(e),
+            SynthError::Pool(e) => Some(e),
+            SynthError::Deadline { cause, .. } => Some(cause),
             SynthError::UnknownMatrix { .. } | SynthError::NoLegalPlan { .. } => None,
         }
+    }
+}
+
+impl From<PoolError> for SynthError {
+    fn from(e: PoolError) -> SynthError {
+        SynthError::Pool(e)
     }
 }
 
@@ -337,6 +373,32 @@ struct ConfigOutcome {
     examined: usize,
     pruned: usize,
     reasons: Vec<String>,
+    /// Set when the budget tripped and this configuration's remaining
+    /// work was abandoned (its partial results are still merged).
+    skipped: bool,
+}
+
+/// Operation ceiling for the baseline-fallback search that runs after
+/// the caller's budget is spent: enough for the always-realizable
+/// iteration-centric lowering of every kernel in the suite, small
+/// enough that an adversarial input still terminates promptly.
+const FALLBACK_MAX_OPS: u64 = 4_000_000;
+
+/// Runs one configuration's search, converting a panic into the same
+/// typed error the pool's `try_par_map` reports — the sequential path
+/// must not be the one place where a panicking configuration takes the
+/// whole process down.
+fn catch_outcome(f: impl FnOnce() -> ConfigOutcome) -> Result<ConfigOutcome, SynthError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|p| {
+        let message = if let Some(s) = p.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = p.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "search configuration panicked".to_string()
+        };
+        SynthError::Pool(PoolError::JobPanicked { message })
+    })
 }
 
 pub(crate) fn run_search(
@@ -355,17 +417,28 @@ pub(crate) fn run_search(
         if let Some(c) = cache.lock().get(k).cloned() {
             cache.hits.fetch_add(1, Ordering::Relaxed);
             bernoulli_trace::counter!("synth.plan_cache_hits");
+            // Only complete (never degraded) searches are cached, so a
+            // hit is a full result even if the current budget is spent.
             return Ok(SearchReport {
                 candidates: c.candidates,
                 examined: c.examined,
                 pruned: c.pruned,
                 reasons: c.reasons,
                 plan_cache_hit: true,
+                degraded: false,
+                budget: None,
+                skipped_configs: 0,
             });
         }
         cache.misses.fetch_add(1, Ordering::Relaxed);
         bernoulli_trace::counter!("synth.plan_cache_misses");
     }
+
+    // The active budget, read once per search. Pool workers observe the
+    // same process-wide slot from inside the polyhedral layer (fine-
+    // grained op charging); the coarse per-space gate in `search_config`
+    // gets it threaded explicitly so the fallback can substitute its own.
+    let budget = bernoulli_govern::current();
 
     let view_map: HashMap<String, FormatView> = views
         .iter()
@@ -391,7 +464,9 @@ pub(crate) fn run_search(
                          unconstrained: bool,
                          iteration_centric: bool,
                          max_emb: usize,
-                         seed: &[f64]| {
+                         seed: &[f64],
+                         budget: Option<&Budget>| {
+        bernoulli_govern::faults::hit("synth.config");
         let mut o = ConfigOutcome::default();
         let mut bound: BinaryHeap<OrdF64> = seed.iter().map(|&c| OrdF64(c)).collect();
         let spaces = candidate_spaces_opt(
@@ -402,6 +477,14 @@ pub(crate) fn run_search(
         );
         bernoulli_trace::counter!("synth.spaces", spaces.len());
         for space in &spaces {
+            // Coarse-grained budget gate: the fine-grained op accounting
+            // lives inside the polyhedral layer; here we only bail out
+            // between candidate spaces. Partial results stay merged —
+            // every candidate already produced was fully verified.
+            if budget.is_some_and(|b| b.check().is_err()) {
+                o.skipped = true;
+                break;
+            }
             let mut got_plan = false;
             for emb in embedding_variants(cfg, space, max_emb) {
                 o.examined += 1;
@@ -476,6 +559,7 @@ pub(crate) fn run_search(
     let mut out: Vec<Candidate> = Vec::new();
     let mut examined = 0usize;
     let mut pruned = 0usize;
+    let mut skipped_configs = 0usize;
     let mut reasons: Vec<String> = Vec::new();
 
     // First pass: orders respecting each chain's nesting structure.
@@ -505,13 +589,31 @@ pub(crate) fn run_search(
         let mut seed: Vec<f64> = Vec::new();
         if opts.prune && opts.keep > 0 && configs.len() > 1 && opts.keep <= 2 * configs.len() {
             let probes: Vec<ConfigOutcome> = match pool {
-                Some(pl) => pl.par_map(&configs, |cfg| {
-                    search_config(cfg, unconstrained, iteration_centric, 1, &[])
-                }),
+                Some(pl) => pl.try_par_map(&configs, |cfg| {
+                    search_config(
+                        cfg,
+                        unconstrained,
+                        iteration_centric,
+                        1,
+                        &[],
+                        budget.as_deref(),
+                    )
+                })?,
                 _ => configs
                     .iter()
-                    .map(|cfg| search_config(cfg, unconstrained, iteration_centric, 1, &[]))
-                    .collect(),
+                    .map(|cfg| {
+                        catch_outcome(|| {
+                            search_config(
+                                cfg,
+                                unconstrained,
+                                iteration_centric,
+                                1,
+                                &[],
+                                budget.as_deref(),
+                            )
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
             };
             let mut h: BinaryHeap<OrdF64> = probes
                 .iter()
@@ -525,38 +627,90 @@ pub(crate) fn run_search(
         let outcomes: Vec<ConfigOutcome> = match pool {
             // `par_map` returns results in input order, so the merge
             // below is independent of which thread finished first.
-            Some(pl) if configs.len() > 1 => pl.par_map(&configs, |cfg| {
+            Some(pl) if configs.len() > 1 => pl.try_par_map(&configs, |cfg| {
                 search_config(
                     cfg,
                     unconstrained,
                     iteration_centric,
                     opts.max_embeddings,
                     &seed,
+                    budget.as_deref(),
                 )
-            }),
+            })?,
             _ => configs
                 .iter()
                 .map(|cfg| {
-                    search_config(
-                        cfg,
-                        unconstrained,
-                        iteration_centric,
-                        opts.max_embeddings,
-                        &seed,
-                    )
+                    catch_outcome(|| {
+                        search_config(
+                            cfg,
+                            unconstrained,
+                            iteration_centric,
+                            opts.max_embeddings,
+                            &seed,
+                            budget.as_deref(),
+                        )
+                    })
                 })
-                .collect(),
+                .collect::<Result<_, _>>()?,
         };
         for o in outcomes {
             examined += o.examined;
             pruned += o.pruned;
+            skipped_configs += o.skipped as usize;
             for r in &o.reasons {
                 push_reason(&mut reasons, r);
             }
             out.extend(o.cands);
         }
+        // A tripped budget is sticky: later passes would only burn clock
+        // re-checking it, so stop fanning out and degrade below.
+        if budget.as_deref().is_some_and(|b| b.exceeded().is_some()) {
+            break 'passes;
+        }
         if !out.is_empty() {
             break 'passes;
+        }
+    }
+
+    // Graceful degradation. A spent budget means the fan-out above may
+    // have stopped early; whatever survived is still fully verified
+    // (legality + zero safety ran to completion for every candidate in
+    // `out`), so the best-so-far plan is sound to return — it is only
+    // potentially sub-optimal, which `degraded: true` records. If *no*
+    // candidate was verified before the budget tripped, fall back to the
+    // guaranteed-legal baseline: a sequential iteration-centric search
+    // (random access per element — always realizable) under a small
+    // fresh ops-only budget so even adversarial inputs terminate.
+    // Cancellation is the exception: the caller asked us to stop, so we
+    // error out instead of burning more time on a fallback.
+    let budget_cause = budget.as_deref().and_then(|b| b.exceeded());
+    let degraded = budget_cause.is_some();
+    if let Some(cause) = budget_cause {
+        bernoulli_trace::counter!("synth.searches_degraded");
+        if out.is_empty() {
+            if matches!(cause, BudgetError::Cancelled) {
+                return Err(SynthError::Deadline { cause, examined });
+            }
+            let fb = Arc::new(Budget::unlimited().with_max_ops(FALLBACK_MAX_OPS));
+            let _fallback = bernoulli_govern::install_scoped(Some(Arc::clone(&fb)));
+            bernoulli_trace::counter!("synth.baseline_fallbacks");
+            for cfg in &configs {
+                let o = catch_outcome(|| search_config(cfg, true, true, 1, &[], Some(&fb)))?;
+                examined += o.examined;
+                pruned += o.pruned;
+                skipped_configs += o.skipped as usize;
+                for r in &o.reasons {
+                    push_reason(&mut reasons, r);
+                }
+                let found = !o.cands.is_empty();
+                out.extend(o.cands);
+                if found {
+                    break; // first legal baseline plan is enough
+                }
+            }
+            if out.is_empty() {
+                return Err(SynthError::Deadline { cause, examined });
+            }
         }
     }
 
@@ -568,7 +722,9 @@ pub(crate) fn run_search(
     if out.is_empty() && reasons.is_empty() {
         reasons.push("no candidate lowered successfully".to_string());
     }
-    if let Some(k) = key {
+    // A degraded search is an incomplete search: caching it would serve
+    // the truncated result to future *unbudgeted* callers forever.
+    if let (Some(k), false) = (key, degraded) {
         let mut g = cache.lock();
         if g.len() >= PLAN_CACHE_CAP {
             g.clear();
@@ -589,6 +745,9 @@ pub(crate) fn run_search(
         pruned,
         reasons,
         plan_cache_hit: false,
+        degraded,
+        budget: budget_cause,
+        skipped_configs,
     })
 }
 

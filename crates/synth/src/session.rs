@@ -27,11 +27,13 @@ use crate::search::{
     run_search, Candidate, PlanCache, PlanCacheStats, SearchReport, SynthError, SynthOptions,
 };
 use bernoulli_formats::view::FormatView;
+use bernoulli_govern::{Budget, CancelToken};
 use bernoulli_ir::{analyze, parse_program, ArrayKind, DepClass, Program};
 use bernoulli_polyhedra::PolyCaches;
 use bernoulli_pool::Pool;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// Which worker pool a session fans its searches out over.
 enum SessionPool {
@@ -53,6 +55,13 @@ pub struct Session {
     pool: SessionPool,
     plan_cache: PlanCache,
     poly_caches: Arc<PolyCaches>,
+    /// Per-compile wall-clock limit (armed afresh at each `compile`).
+    budget_deadline: Option<Duration>,
+    /// Per-compile ceiling on abstract polyhedral operations.
+    budget_ops: Option<u64>,
+    /// Lazily created by [`Session::cancel_token`]; observed by every
+    /// budget this session arms afterwards.
+    cancel: OnceLock<CancelToken>,
 }
 
 impl Session {
@@ -69,6 +78,9 @@ impl Session {
             pool: SessionPool::Shared,
             plan_cache: PlanCache::new(),
             poly_caches: Arc::new(PolyCaches::new()),
+            budget_deadline: None,
+            budget_ops: None,
+            cancel: OnceLock::new(),
         }
     }
 
@@ -77,6 +89,56 @@ impl Session {
     pub fn with_threads(mut self, nthreads: usize) -> Session {
         self.pool = SessionPool::Owned(Arc::new(Pool::new(nthreads)));
         self
+    }
+
+    /// Caps each `compile` at `limit` of wall-clock time. When the
+    /// deadline passes mid-search, the compile degrades gracefully: it
+    /// returns the best fully-verified plan found so far (or the
+    /// guaranteed-legal baseline plan), with
+    /// [`SearchReport::degraded`] set — see the crate docs on resource
+    /// governance. The clock is re-armed at the start of every compile.
+    pub fn with_deadline(mut self, limit: Duration) -> Session {
+        self.budget_deadline = Some(limit);
+        self
+    }
+
+    /// Caps each `compile` at `max_ops` abstract polyhedral operations
+    /// (cf. isl's `max_operations`). Bounds the worst-case exponential
+    /// blowup of Fourier–Motzkin elimination on adversarial programs;
+    /// exhaustion degrades the search the same way a deadline does.
+    pub fn with_op_budget(mut self, max_ops: u64) -> Session {
+        self.budget_ops = Some(max_ops);
+        self
+    }
+
+    /// A cancellation token observed by every subsequent `compile` on
+    /// this session. Calling [`CancelToken::cancel`] (from any thread)
+    /// makes an in-flight compile stop at its next budget check and
+    /// return [`SynthError::Deadline`] with a `Cancelled` cause; unlike
+    /// deadline/op exhaustion, cancellation does not run the baseline
+    /// fallback — the caller asked for *stop*, not *best effort*.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.get_or_init(CancelToken::new).clone()
+    }
+
+    /// The budget a compile runs under, if any limit is configured. A
+    /// fresh [`Budget`] per compile: deadlines re-arm, op counts reset.
+    fn arm_budget(&self) -> Option<Arc<Budget>> {
+        let cancel = self.cancel.get();
+        if self.budget_deadline.is_none() && self.budget_ops.is_none() && cancel.is_none() {
+            return None;
+        }
+        let mut b = Budget::unlimited();
+        if let Some(limit) = self.budget_deadline {
+            b = b.with_deadline(limit);
+        }
+        if let Some(ops) = self.budget_ops {
+            b = b.with_max_ops(ops);
+        }
+        if let Some(tok) = cancel {
+            b = b.with_cancel(tok.clone());
+        }
+        Some(Arc::new(b))
     }
 
     /// The session's search options.
@@ -162,6 +224,12 @@ impl Session {
         // session's memo caches for the duration of the search (the
         // guard restores the previous instance even on panic).
         let _poly = bernoulli_polyhedra::install_scoped(Arc::clone(&self.poly_caches));
+        // Arm a fresh budget for this compile when any limit is
+        // configured; an unlimited session installs nothing and pays
+        // zero governance overhead.
+        let _budget = self
+            .arm_budget()
+            .map(|b| bernoulli_govern::install_scoped(Some(b)));
         let views: Vec<(&str, FormatView)> = problem
             .views
             .iter()

@@ -59,7 +59,9 @@ pub use bernoulli_numeric as numeric;
 pub use bernoulli_polyhedra as polyhedra;
 pub use bernoulli_synth as synth;
 
-pub use bernoulli_synth::{BoundProblem, CompiledKernel, DepReport, Session};
+pub use bernoulli_synth::{
+    BoundProblem, Budget, BudgetError, CancelToken, CompiledKernel, DepReport, Session,
+};
 
 /// The workspace-wide error type: every crate's typed error converges
 /// here via `From`, so embedding code can `?` any stage of the pipeline
@@ -154,7 +156,9 @@ impl From<bernoulli_synth::ConfigError> for Error {
 
 /// Convenience re-exports for the common workflow.
 pub mod prelude {
-    pub use crate::{BoundProblem, CompiledKernel, DepReport, Error, Session};
+    pub use crate::{
+        BoundProblem, Budget, BudgetError, CancelToken, CompiledKernel, DepReport, Error, Session,
+    };
     pub use bernoulli_blas::kernels;
     pub use bernoulli_formats::{
         AnyFormat, Coo, Csc, Csr, Dense, Dia, DiagSplit, Ell, HashVec, Jad, SparseMatrix,
