@@ -20,8 +20,14 @@ use bernoulli_bench::report::{parse, Json};
 /// synthesis-performance report (`BENCH_synth.json`); the
 /// `session_*_per_s` pair measures the S35 embedding lifecycle (a
 /// brand-new `Session` compiling once vs one more compile on a session
-/// that already holds the plan).
-const METRICS: [&str; 13] = [
+/// that already holds the plan). The `*_mflops` family, the
+/// `loaded_vs_*` ratios and `warm_load_per_s` come from the S37
+/// compiled-kernel report (`BENCH_kernels.json`); the ratios pit two
+/// paths measured in the same run against each other, so they stay
+/// meaningful on noisy hosts where absolute MFLOP/s swing, and
+/// `warm_load_per_s` regressing means warm artifact-cache loads are no
+/// longer sub-millisecond.
+const METRICS: [&str; 21] = [
     "synth",
     "nist_c",
     "nist_f",
@@ -35,6 +41,14 @@ const METRICS: [&str; 13] = [
     "session_fresh_per_s",
     "session_reused_per_s",
     "poly_cache_hit_rate",
+    "loaded_mflops",
+    "hand_mflops",
+    "committed_mflops",
+    "interp_mflops",
+    "par_loaded_mflops",
+    "loaded_vs_hand",
+    "loaded_vs_interp",
+    "warm_load_per_s",
 ];
 
 /// Flattens a report into `(labeled path, value)` pairs; objects

@@ -36,6 +36,7 @@
 //! results in fixed chunk order — run-to-run reproducible, equal to
 //! sequential up to floating-point reassociation.
 
+pub mod loaded;
 pub mod mvm;
 pub mod partition;
 pub mod solvers;
@@ -43,6 +44,7 @@ pub mod trisolve;
 pub mod vecops;
 
 pub use bernoulli_pool::{default_threads, Pool, THREADS_ENV};
+pub use loaded::{par_loaded_mvm_csr, par_loaded_mvm_ell, par_run_rows};
 pub use mvm::{
     par_mvm_csc, par_mvm_csr, par_mvm_dia, par_mvm_ell, par_mvm_jad, par_mvmt_csc, par_mvmt_csr,
     par_mvmt_dia, par_mvmt_ell, par_mvmt_jad,

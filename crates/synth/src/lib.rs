@@ -39,6 +39,7 @@
 //! paper's compiler-instantiated C++ (Fig. 9).
 
 #![allow(clippy::needless_range_loop, clippy::type_complexity)]
+pub mod compiled;
 pub mod config;
 pub mod cost;
 pub mod embed;
@@ -54,9 +55,12 @@ pub mod session;
 pub mod spaces;
 pub mod zero;
 
+pub use compiled::{
+    KernelArg, KernelBackend, KernelCallError, KernelSig, LoadError, LoadedKernel, RawOut,
+};
 pub use config::{Config, ConfigError, RefInst, StmtCopy};
 pub use cost::{cost_floor, WorkloadStats};
-pub use emit::{emit_module, emit_rust, EmitError};
+pub use emit::{emit_module, emit_rust, emit_rust_ranged, range_splittable, EmitError};
 pub use interp::{run_plan, ExecEnv, PlanError, RunStats};
 pub use plan::{Plan, Step};
 pub use search::{
@@ -70,3 +74,11 @@ pub use session::{BoundProblem, CompiledKernel, DepReport, Session};
 // callers can drive `Session::with_deadline` & co. without naming the
 // `bernoulli-govern` crate directly.
 pub use bernoulli_govern::{Budget, BudgetError, CancelToken};
+
+// Kernel artifact-cache vocabulary so callers can inspect the compiled
+// path (`CompiledKernel::load` & co.) without naming the
+// `bernoulli-kernel-cache` crate directly.
+pub use bernoulli_kernel_cache::{
+    rustc_info, stats as kernel_cache_stats, stats_reset as kernel_cache_stats_reset,
+    KernelCacheError, KernelCacheStats, KernelStore, RustcInfo,
+};

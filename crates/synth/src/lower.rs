@@ -896,7 +896,10 @@ fn flush_pending(cfg: &Config, st: &mut LState) {
         // sharing at deeper levels).
         let mut by_content: Vec<(String, Vec<(usize, usize)>)> = Vec::new();
         for (r, l) in ready {
-            let keys = st.pending.get(&(r, l)).unwrap();
+            // Completeness is the `ready` filter's invariant.
+            let Some(keys) = st.pending.get(&(r, l)) else {
+                continue;
+            };
             let rinst = &cfg.refs[r];
             let content = format!("{}#{}@{l}:{:?}", rinst.matrix, rinst.chain.id, keys);
             match by_content.iter_mut().find(|(c, _)| *c == content) {
@@ -913,8 +916,11 @@ fn flush_pending(cfg: &Config, st: &mut LState) {
                 h
             };
             let (r0, l0) = members[0];
-            let keys = st.pending.remove(&(r0, l0)).unwrap();
-            let keys: Vec<(PExpr, Option<String>)> = keys.into_iter().map(|x| x.unwrap()).collect();
+            let Some(keys) = st.pending.remove(&(r0, l0)) else {
+                continue;
+            };
+            // Every slot is Some by the `ready` filter above.
+            let keys: Vec<(PExpr, Option<String>)> = keys.into_iter().flatten().collect();
             let rinst = &cfg.refs[r0];
             let compressed = !rinst.chain.levels[l0].interval;
             // A search of the *outermost* interval level with permutation
@@ -1134,7 +1140,9 @@ fn solve_bindings(cfg: &Config, stmt: usize, eqs: &[EqItem]) -> HashMap<String, 
             if divisor_blocked || unknowns.len() != 1 {
                 continue;
             }
-            let (v, c) = unknowns.pop().unwrap();
+            let Some((v, c)) = unknowns.pop() else {
+                continue;
+            };
             // c * v = rest  =>  v = rest / c
             let (num, den) = if c < 0 {
                 let mut neg = PExpr::constant(-rest.cst);

@@ -819,7 +819,11 @@ pub(crate) fn global_plan_cache() -> &'static PlanCache {
 /// result-affecting knob. `parallel` and `cache_plans` are deliberately
 /// excluded: they never change the result. `prune` is included because
 /// it changes the `examined`/`pruned` accounting.
-fn plan_cache_key(p: &Program, views: &[(&str, FormatView)], opts: &SynthOptions) -> String {
+pub(crate) fn plan_cache_key(
+    p: &Program,
+    views: &[(&str, FormatView)],
+    opts: &SynthOptions,
+) -> String {
     let mut vs: Vec<String> = views.iter().map(|(n, v)| format!("{n}={v:?}")).collect();
     vs.sort();
     let s = &opts.stats;

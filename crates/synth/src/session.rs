@@ -20,6 +20,7 @@
 //! Every failure a caller can trigger surfaces as a typed
 //! [`SynthError`]; nothing on these paths panics.
 
+use crate::compiled::{KernelArg, KernelBackend, LoadError, LoadedKernel};
 use crate::config::ConfigError;
 use crate::interp::{run_plan, ExecEnv, RunStats};
 use crate::plan::Plan;
@@ -245,10 +246,16 @@ impl Session {
                 reasons: report.reasons,
             });
         }
+        // The same key the plan cache uses also names the kernel's
+        // on-disk artifact (plus ABI/toolchain salt added by the
+        // kernel store): identical compiles reload identical binaries,
+        // across processes.
+        let cache_key = crate::search::plan_cache_key(&problem.program, &views, opts);
         Ok(CompiledKernel {
             program: problem.program.clone(),
             view_map: problem.views.iter().cloned().collect(),
             report,
+            cache_key,
         })
     }
 
@@ -327,6 +334,9 @@ pub struct CompiledKernel {
     program: Program,
     view_map: HashMap<String, FormatView>,
     report: SearchReport,
+    /// Logical identity of this compile (program + views + options);
+    /// also keys the on-disk kernel artifact cache.
+    cache_key: String,
 }
 
 impl CompiledKernel {
@@ -391,6 +401,73 @@ impl CompiledKernel {
             )))
         })?;
         Ok(run_plan(&c.plan, env)?)
+    }
+
+    /// The logical cache key of this compile (program + views +
+    /// options). The kernel store salts it with ABI version, generated
+    /// source, and toolchain identity to name on-disk artifacts.
+    pub fn cache_key(&self) -> &str {
+        &self.cache_key
+    }
+
+    /// Compiles the best plan to native code at runtime and loads it:
+    /// the emitted kernel is written as a self-contained cdylib crate,
+    /// built with `rustc` through the default on-disk artifact store
+    /// (warm artifacts skip the build entirely), and loaded behind the
+    /// stable `extern "C"` ABI of [`crate::compiled`].
+    pub fn load(&self) -> Result<LoadedKernel, LoadError> {
+        self.load_in(&bernoulli_kernel_cache::KernelStore::default_store())
+    }
+
+    /// [`load`](CompiledKernel::load) against an explicit artifact
+    /// store (tests and benchmarks point this at scratch directories).
+    pub fn load_in(
+        &self,
+        store: &bernoulli_kernel_cache::KernelStore,
+    ) -> Result<LoadedKernel, LoadError> {
+        crate::compiled::load_kernel(
+            &self.program,
+            self.plan(),
+            &self.view_map,
+            &self.cache_key,
+            store,
+        )
+    }
+
+    /// The execution backend for this kernel: native loaded code when
+    /// the host can build it, otherwise the interpreter together with
+    /// the typed reason ([`LoadError`]) native loading was impossible.
+    /// Never fails — degradation is part of the contract.
+    pub fn backend(&self) -> KernelBackend {
+        self.backend_in(&bernoulli_kernel_cache::KernelStore::default_store())
+    }
+
+    /// [`backend`](CompiledKernel::backend) against an explicit
+    /// artifact store.
+    pub fn backend_in(&self, store: &bernoulli_kernel_cache::KernelStore) -> KernelBackend {
+        match self.load_in(store) {
+            Ok(k) => KernelBackend::Compiled(k),
+            Err(reason) => KernelBackend::Interpreted { reason },
+        }
+    }
+
+    /// Runs the kernel through whichever backend was selected, with
+    /// the *same positional call convention* on both: `params` in
+    /// program order, one [`KernelArg`] per declared array. The two
+    /// paths are interchangeable — the equivalence tests in
+    /// `bernoulli-blas` hold them bitwise-identical.
+    pub fn run_with(
+        &self,
+        backend: &KernelBackend,
+        params: &[i64],
+        args: &mut [KernelArg<'_>],
+    ) -> Result<(), SynthError> {
+        match backend {
+            KernelBackend::Compiled(k) => Ok(k.run(params, args)?),
+            KernelBackend::Interpreted { .. } => {
+                crate::compiled::interp_positional(&self.program, self.plan(), params, args)
+            }
+        }
     }
 
     /// Specializes the best plan to a self-contained Rust module

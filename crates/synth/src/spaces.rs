@@ -151,26 +151,21 @@ pub fn candidate_spaces_opt(
     // dim k precedes the cluster of its dim k+1.
     let nclusters = clusters.len();
     let mut prec: Vec<Vec<bool>> = vec![vec![false; nclusters]; nclusters];
-    let cluster_of = |dim_i: usize| -> usize {
-        clusters
-            .iter()
-            .position(|c| c.contains(&dim_i))
-            .expect("dim in some cluster")
-    };
+    // Every dim is in exactly one cluster by construction; a miss here
+    // (or a missing successor dim) just contributes no precedence edge.
+    let cluster_of = |dim_i: usize| clusters.iter().position(|c| c.contains(&dim_i));
     for (i, d) in dims.iter().enumerate() {
         if let DimKind::Data { ref_id, dim_idx } = d.kind {
             if dim_idx + 1 < cfg.refs[ref_id].dims.len() {
                 // find dim index of the next dim of same ref
-                let next = dims
-                    .iter()
-                    .position(|d2| {
-                        matches!(d2.kind, DimKind::Data { ref_id: r2, dim_idx: k2 }
-                            if r2 == ref_id && k2 == dim_idx + 1)
-                    })
-                    .unwrap();
-                let (a, b) = (cluster_of(i), cluster_of(next));
-                if a != b {
-                    prec[a][b] = true;
+                let next = dims.iter().position(|d2| {
+                    matches!(d2.kind, DimKind::Data { ref_id: r2, dim_idx: k2 }
+                        if r2 == ref_id && k2 == dim_idx + 1)
+                });
+                if let (Some(a), Some(b)) = (cluster_of(i), next.and_then(cluster_of)) {
+                    if a != b {
+                        prec[a][b] = true;
+                    }
                 }
             }
         }

@@ -63,6 +63,14 @@ pub use bernoulli_synth::{
     BoundProblem, Budget, BudgetError, CancelToken, CompiledKernel, DepReport, Session,
 };
 
+// The compiled-kernel execution path (S37): `CompiledKernel::load` and
+// the unified compiled-or-interpreted runner, plus the on-disk artifact
+// cache behind it.
+pub use bernoulli_synth::{
+    kernel_cache_stats, kernel_cache_stats_reset, rustc_info, KernelArg, KernelBackend,
+    KernelCacheError, KernelCacheStats, KernelCallError, KernelStore, LoadError, LoadedKernel,
+};
+
 /// The workspace-wide error type: every crate's typed error converges
 /// here via `From`, so embedding code can `?` any stage of the pipeline
 /// into one `Result<_, bernoulli::Error>`.
@@ -166,4 +174,5 @@ pub mod prelude {
     };
     pub use bernoulli_ir::{parse_program, Program};
     pub use bernoulli_synth::{run_plan, synthesize, ExecEnv, SearchReport, SynthOptions};
+    pub use bernoulli_synth::{KernelArg, KernelBackend, KernelStore, LoadError, LoadedKernel};
 }
