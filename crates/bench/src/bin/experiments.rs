@@ -2,7 +2,7 @@
 //! EXPERIMENTS.md, and writes each table as machine-readable
 //! `BENCH_<experiment>.json` in the working directory.
 //!
-//! Usage: `cargo run --release -p bernoulli-bench --bin experiments -- [all|fig12|mvm|join|order|costmodel|parallel|trace|synth]`
+//! Usage: `cargo run --release -p bernoulli-bench --bin experiments -- [all|fig12|mvm|join|order|costmodel|parallel|trace|synth|kernels|service]`
 //!
 //! `trace` exercises the synthesis pipeline and the parallel runtime
 //! under the observability layer and writes `BENCH_trace.json`. It
@@ -14,6 +14,12 @@
 //! pool-parallel wall time, warm-cache speedup, polyhedral memo-cache
 //! hit rates and branch-and-bound pruning counts over the same five
 //! workloads, writing `BENCH_synth.json`.
+//!
+//! `service` measures the multi-tenant compile service (S38): N
+//! concurrent clients × M distinct programs through one shared
+//! `Service` (throughput, p50/p99 latency), persistent plan-cache
+//! warm-start vs cold compiles, and admission-control shed accounting,
+//! writing `BENCH_service.json`.
 
 #![allow(clippy::needless_range_loop, clippy::type_complexity)]
 use bernoulli_bench::report::{obj, Json};
@@ -51,6 +57,7 @@ fn main() {
         "trace" => trace(),
         "synth" => synth_perf(),
         "kernels" => kernels(),
+        "service" => service_perf(),
         "all" => {
             fig12();
             mvm();
@@ -61,11 +68,12 @@ fn main() {
             trace();
             synth_perf();
             kernels();
+            service_perf();
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: experiments [all|fig12|mvm|join|order|costmodel|parallel|trace|synth|kernels]"
+                "usage: experiments [all|fig12|mvm|join|order|costmodel|parallel|trace|synth|kernels|service]"
             );
             std::process::exit(1);
         }
@@ -1257,6 +1265,331 @@ fn synth_perf() {
             ("workloads", Json::Arr(rows)),
             ("plan_cache_hits", Json::num(pc_hits as f64)),
             ("plan_cache_misses", Json::num(pc_misses as f64)),
+        ]),
+    );
+    println!();
+}
+
+/// S38 — the multi-tenant compile service: N concurrent clients × M
+/// distinct programs through one shared
+/// [`Service`](bernoulli_synth::Service), reporting
+/// throughput and latency percentiles per client count; persistent
+/// plan-cache warm-start vs cold compile latency per matrix workload;
+/// and an admission-control burst with exact shed accounting.
+///
+/// The persistent-cache directories live under `BERNOULLI_PLAN_CACHE`
+/// when set (CI caches that directory across runs, so run N+1 measures
+/// a genuine cross-process warm start), else under the system temp dir.
+fn service_perf() {
+    use bernoulli_synth::{Service, ServiceConfig};
+    use std::path::PathBuf;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    println!("== S38: multi-tenant compile service (BENCH_service.json) ==");
+    let lanes = par::Pool::global().nthreads();
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!("  pool lanes={lanes}, host cores={cores}");
+
+    let workloads = Arc::new(synth_workloads());
+
+    // Sequential fresh-session baseline: the byte-level reference every
+    // concurrent result is checked against.
+    let baseline: Vec<String> = workloads
+        .iter()
+        .map(|(_, p, views, base)| {
+            let opts = SynthOptions {
+                parallel: true,
+                cache_plans: false,
+                ..base.clone()
+            };
+            let s = Session::new();
+            let b = s.bind(p, views).unwrap();
+            s.compile_with(&b, &opts).unwrap().plan().to_string()
+        })
+        .collect();
+
+    let percentile = |sorted: &[f64], q: f64| -> f64 {
+        sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+    };
+
+    // --- Client sweep: every request is a full search (plan caching
+    // off), so the rows measure the service under genuine compile load,
+    // not cache lookups. ---
+    let mut client_rows = Vec::new();
+    let mut determinism_ok = true;
+    const ROUNDS_PER_CLIENT: usize = 2;
+    for clients in [1usize, 4, 8] {
+        // Admission sized to the client count: the sweep measures
+        // concurrent compiles over shared caches, not queueing (the
+        // admission burst below covers that).
+        let svc = Arc::new(Service::new(ServiceConfig {
+            max_inflight: clients,
+            max_queue: 64,
+            ..ServiceConfig::default()
+        }));
+        let t0 = Instant::now();
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let svc = Arc::clone(&svc);
+            let wl = Arc::clone(&workloads);
+            handles.push(std::thread::spawn(move || {
+                let mut lat = Vec::new();
+                let mut plans = Vec::new();
+                for r in 0..ROUNDS_PER_CLIENT {
+                    for i in 0..wl.len() {
+                        // Rotate per client and round so distinct
+                        // searches overlap in flight.
+                        let w = (i + c + r) % wl.len();
+                        let (_, p, views, base) = &wl[w];
+                        let opts = SynthOptions {
+                            parallel: true,
+                            cache_plans: false,
+                            ..base.clone()
+                        };
+                        let bound = svc.bind(p, views).unwrap();
+                        let t = Instant::now();
+                        let k = svc.compile_with(&bound, &opts, None).unwrap();
+                        lat.push(t.elapsed().as_secs_f64());
+                        plans.push((w, k.plan().to_string()));
+                    }
+                }
+                (lat, plans)
+            }));
+        }
+        let mut lats = Vec::new();
+        for h in handles {
+            let (lat, plans) = h.join().expect("service client thread panicked");
+            lats.extend(lat);
+            for (w, plan) in plans {
+                if plan != baseline[w] {
+                    determinism_ok = false;
+                }
+            }
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        lats.sort_by(|a, b| a.total_cmp(b));
+        let n = lats.len();
+        let (p50, p99) = (percentile(&lats, 0.50), percentile(&lats, 0.99));
+        let thr = n as f64 / wall;
+        let stats = svc.stats();
+        println!(
+            "  clients={clients}  {n:3} compiles in {:6.2} s  {thr:7.1} req/s  p50 {:7.2} ms  p99 {:7.2} ms  peak-inflight {}",
+            wall,
+            p50 * 1e3,
+            p99 * 1e3,
+            stats.peak_inflight,
+        );
+        client_rows.push(obj(vec![
+            ("name", Json::str(format!("clients_{clients}"))),
+            ("clients", Json::num(clients as f64)),
+            ("requests", Json::num(n as f64)),
+            ("throughput_per_s", Json::num(thr)),
+            ("p50_ms", Json::num(p50 * 1e3)),
+            ("p99_ms", Json::num(p99 * 1e3)),
+            ("p99_per_s", Json::num(1.0 / p99)),
+            ("peak_inflight", Json::num(stats.peak_inflight as f64)),
+        ]));
+    }
+
+    // Steady state: one pre-warmed service, every request a plan-cache
+    // hit — the latency floor of the admission + lookup path.
+    {
+        let svc = Arc::new(Service::new(ServiceConfig {
+            max_inflight: 8,
+            max_queue: 64,
+            ..ServiceConfig::default()
+        }));
+        for (_, p, views, base) in workloads.iter() {
+            let bound = svc.bind(p, views).unwrap();
+            svc.compile_with(&bound, base, None).unwrap();
+        }
+        const WARM_REQS: usize = 64;
+        let clients = 8;
+        let t0 = Instant::now();
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let svc = Arc::clone(&svc);
+            let wl = Arc::clone(&workloads);
+            handles.push(std::thread::spawn(move || {
+                let mut lat = Vec::new();
+                for i in 0..WARM_REQS {
+                    let (_, p, views, base) = &wl[(i + c) % wl.len()];
+                    let bound = svc.bind(p, views).unwrap();
+                    let t = Instant::now();
+                    let k = svc.compile_with(&bound, base, None).unwrap();
+                    assert!(k.from_cache(), "steady-state request missed the cache");
+                    lat.push(t.elapsed().as_secs_f64());
+                }
+                lat
+            }));
+        }
+        let mut lats = Vec::new();
+        for h in handles {
+            lats.extend(h.join().expect("warm client thread panicked"));
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        lats.sort_by(|a, b| a.total_cmp(b));
+        let n = lats.len();
+        let (p50, p99) = (percentile(&lats, 0.50), percentile(&lats, 0.99));
+        let thr = n as f64 / wall;
+        println!(
+            "  warm-hits clients={clients}  {n:3} requests  {thr:9.1} req/s  p50 {:7.1} us  p99 {:7.1} us",
+            p50 * 1e6,
+            p99 * 1e6,
+        );
+        client_rows.push(obj(vec![
+            ("name", Json::str("warm_hits_clients_8")),
+            ("clients", Json::num(clients as f64)),
+            ("requests", Json::num(n as f64)),
+            ("throughput_per_s", Json::num(thr)),
+            ("p50_ms", Json::num(p50 * 1e3)),
+            ("p99_ms", Json::num(p99 * 1e3)),
+            ("p99_per_s", Json::num(1.0 / p99)),
+        ]));
+    }
+
+    // --- Persistent plan cache: cold search-and-persist vs a
+    // restarted service warm-starting from disk. ---
+    let persist_base = std::env::var("BERNOULLI_PLAN_CACHE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir().join("bernoulli-service-bench"));
+    let mut warm_rows = Vec::new();
+    for (label, p, views, base) in workloads.iter().filter(|(l, ..)| !l.starts_with("spdot")) {
+        let tag = label.replace('/', "-");
+        let cold_dir = persist_base.join(format!("cold-{tag}"));
+        let (mut t_cold, mut cold_plan) = (f64::INFINITY, String::new());
+        for _ in 0..3 {
+            // A cleared directory each rep: every cold compile searches
+            // and writes the entry from scratch.
+            let _ = std::fs::remove_dir_all(&cold_dir);
+            let svc = Service::new(ServiceConfig {
+                persist_dir: Some(cold_dir.clone()),
+                opts: base.clone(),
+                ..ServiceConfig::default()
+            });
+            let bound = svc.bind(p, views).unwrap();
+            let t = Instant::now();
+            let k = svc.compile(&bound).unwrap();
+            t_cold = t_cold.min(t.elapsed().as_secs_f64());
+            assert!(!k.report().plan_cache_hit, "{label}: cold compile hit");
+            cold_plan = k.plan().to_string();
+        }
+        let _ = std::fs::remove_dir_all(&cold_dir);
+
+        // The warm directory survives across runs (CI caches it): the
+        // populate step itself warm-starts on run N+1.
+        let warm_dir = persist_base.join(format!("warm-{tag}"));
+        {
+            let svc = Service::new(ServiceConfig {
+                persist_dir: Some(warm_dir.clone()),
+                opts: base.clone(),
+                ..ServiceConfig::default()
+            });
+            let bound = svc.bind(p, views).unwrap();
+            svc.compile(&bound).unwrap();
+        }
+        let (mut t_warm, mut warm_plan, mut disk_hit) = (f64::INFINITY, String::new(), false);
+        for _ in 0..5 {
+            // A fresh service per rep: empty in-memory caches, so the
+            // compile can only be served by the persistent tier.
+            let svc = Service::new(ServiceConfig {
+                persist_dir: Some(warm_dir.clone()),
+                opts: base.clone(),
+                ..ServiceConfig::default()
+            });
+            let bound = svc.bind(p, views).unwrap();
+            let t = Instant::now();
+            let k = svc.compile(&bound).unwrap();
+            t_warm = t_warm.min(t.elapsed().as_secs_f64());
+            disk_hit = k.report().plan_cache_disk_hit;
+            warm_plan = k.plan().to_string();
+        }
+        assert_eq!(warm_plan, cold_plan, "{label}: warm-start changed the plan");
+        let speedup = t_cold / t_warm;
+        println!(
+            "  warm-start {label:<12} cold {:7.2} ms  warm {:7.2} ms  speedup {speedup:6.1}x  disk-hit {disk_hit}",
+            t_cold * 1e3,
+            t_warm * 1e3,
+        );
+        warm_rows.push(obj(vec![
+            ("workload", Json::str(*label)),
+            ("cold_ms", Json::num(t_cold * 1e3)),
+            ("warm_start_ms", Json::num(t_warm * 1e3)),
+            ("warm_vs_cold_speedup", Json::num(speedup)),
+            ("disk_hit", Json::Bool(disk_hit)),
+            ("deterministic", Json::Bool(warm_plan == cold_plan)),
+        ]));
+    }
+
+    // --- Admission burst: more clients than slots + queue, with a
+    // deadline — typed sheds, and the accounting must be exact. ---
+    let burst = 16usize;
+    let (max_inflight, max_queue) = (2usize, 2usize);
+    let (_, p_mvm, views_mvm, base_mvm) = &workloads[0];
+    let svc = Arc::new(Service::new(ServiceConfig {
+        max_inflight,
+        max_queue,
+        opts: SynthOptions {
+            parallel: false,
+            cache_plans: false,
+            ..base_mvm.clone()
+        },
+        ..ServiceConfig::default()
+    }));
+    let bound = Arc::new(svc.bind(p_mvm, views_mvm).unwrap());
+    let mut handles = Vec::new();
+    for _ in 0..burst {
+        let svc = Arc::clone(&svc);
+        let bound = Arc::clone(&bound);
+        let opts = svc.config().opts.clone();
+        handles.push(std::thread::spawn(move || {
+            svc.compile_with(&bound, &opts, Some(std::time::Duration::from_millis(200)))
+                .map(|_| ())
+        }));
+    }
+    for h in handles {
+        let _ = h.join().expect("burst client thread panicked");
+    }
+    let s = svc.stats();
+    assert_eq!(s.submitted, burst as u64, "burst accounting");
+    assert_eq!(
+        s.admitted + s.shed_overloaded + s.shed_deadline,
+        s.submitted,
+        "admission accounting must be exact: {s:?}"
+    );
+    assert_eq!(s.completed + s.failed, s.admitted, "{s:?}");
+    println!(
+        "  burst {burst} @ {max_inflight} slots + {max_queue} queue: completed {}  shed-overloaded {}  shed-deadline {}  peak-inflight {}",
+        s.completed, s.shed_overloaded, s.shed_deadline, s.peak_inflight,
+    );
+
+    assert!(determinism_ok, "concurrent plans diverged from baseline");
+    report::write(
+        "BENCH_service.json",
+        &obj(vec![
+            ("experiment", Json::str("service")),
+            ("pool_lanes", Json::num(lanes as f64)),
+            ("host_cores", Json::num(cores as f64)),
+            ("programs", Json::num(workloads.len() as f64)),
+            ("clients", Json::Arr(client_rows)),
+            ("warm_start", Json::Arr(warm_rows)),
+            (
+                "admission",
+                obj(vec![
+                    ("burst", Json::num(burst as f64)),
+                    ("max_inflight", Json::num(max_inflight as f64)),
+                    ("max_queue", Json::num(max_queue as f64)),
+                    ("completed", Json::num(s.completed as f64)),
+                    ("failed", Json::num(s.failed as f64)),
+                    ("shed_overloaded", Json::num(s.shed_overloaded as f64)),
+                    ("shed_deadline", Json::num(s.shed_deadline as f64)),
+                    ("peak_inflight", Json::num(s.peak_inflight as f64)),
+                ]),
+            ),
+            ("determinism_ok", Json::Bool(determinism_ok)),
         ]),
     );
     println!();

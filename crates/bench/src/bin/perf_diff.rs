@@ -26,8 +26,10 @@ use bernoulli_bench::report::{parse, Json};
 /// paths measured in the same run against each other, so they stay
 /// meaningful on noisy hosts where absolute MFLOP/s swing, and
 /// `warm_load_per_s` regressing means warm artifact-cache loads are no
-/// longer sub-millisecond.
-const METRICS: [&str; 21] = [
+/// longer sub-millisecond. `throughput_per_s` / `p99_per_s` (inverse
+/// tail latency) and `warm_vs_cold_speedup` gate the S38 multi-tenant
+/// service report (`BENCH_service.json`).
+const METRICS: [&str; 24] = [
     "synth",
     "nist_c",
     "nist_f",
@@ -49,6 +51,9 @@ const METRICS: [&str; 21] = [
     "loaded_vs_hand",
     "loaded_vs_interp",
     "warm_load_per_s",
+    "throughput_per_s",
+    "p99_per_s",
+    "warm_vs_cold_speedup",
 ];
 
 /// Flattens a report into `(labeled path, value)` pairs; objects

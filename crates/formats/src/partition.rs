@@ -46,7 +46,7 @@ pub fn split_ptr_by_cost(ptr: &[usize], nblocks: usize) -> Vec<usize> {
         bounds.push(cut);
         start = cut;
     }
-    if *bounds.last().unwrap() != n {
+    if bounds.last() != Some(&n) {
         bounds.push(n);
     }
     bounds
@@ -64,7 +64,8 @@ pub fn split_even(n: usize, nblocks: usize) -> Vec<usize> {
     }
     for k in 1..nblocks {
         let cut = (n as u128 * k as u128 / nblocks as u128) as usize;
-        let prev = *bounds.last().unwrap();
+        // `bounds` always starts with the pushed 0, so `last` is total.
+        let prev = bounds.last().copied().unwrap_or(0);
         if cut > prev && cut < n {
             bounds.push(cut);
         }

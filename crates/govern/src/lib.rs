@@ -13,10 +13,13 @@
 //!   deadline, and a [`CancelToken`], all checked cooperatively via
 //!   [`Budget::charge`] / [`Budget::check`]. Exhaustion is *sticky*: once
 //!   a budget trips, every later check reports the same typed cause.
-//! - a process-wide **installed budget** slot ([`install_scoped`],
-//!   [`current`]) so deeply-nested library code (and pool worker threads)
-//!   can observe the active budget without threading it through every
-//!   signature — the same pattern as `bernoulli-polyhedra`'s cache slot.
+//! - a per-thread **installed budget** slot ([`install_scoped`],
+//!   [`current`]) so deeply-nested library code can observe the active
+//!   budget without threading it through every signature — the same
+//!   pattern as `bernoulli-polyhedra`'s cache slot. The slot is
+//!   thread-local so concurrent compiles never govern each other; the
+//!   search layer re-installs the submitting thread's budget inside
+//!   every pool job it fans out.
 //! - [`faults`] — named fault-injection sites (panic / delay / budget
 //!   starvation), compiled to no-ops unless the `faults` feature is on.
 //!
@@ -27,7 +30,7 @@
 //! 2% bar the benchmarks enforce.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How many charged operations may elapse between wall-clock / cancel
@@ -232,32 +235,37 @@ impl Budget {
     }
 }
 
-/// Process-wide installed budget, observed by library code that has no
-/// budget parameter (polyhedra, search inner loops, pool workers).
-static CURRENT: RwLock<Option<Arc<Budget>>> = RwLock::new(None);
-
-/// The currently installed budget, if any.
-pub fn current() -> Option<Arc<Budget>> {
-    CURRENT
-        .read()
-        .unwrap_or_else(|e| e.into_inner())
-        .as_ref()
-        .cloned()
+// Per-thread installed budget, observed by library code that has no
+// budget parameter (polyhedra, search inner loops, pool workers). This
+// slot is deliberately thread-local rather than process-wide: the
+// compile service runs many sessions concurrently, and a process-wide
+// slot would let one request's budget govern (or cancel) another's
+// work. The search layer captures the submitting thread's budget and
+// re-installs it inside every pool job, so worker threads still observe
+// the budget of the compile they are working for.
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Arc<Budget>>> =
+        const { std::cell::RefCell::new(None) };
 }
 
-/// Installs `budget` process-wide (replacing any previous one) and
-/// returns the previous occupant. Prefer [`install_scoped`].
+/// The budget installed on the current thread, if any.
+pub fn current() -> Option<Arc<Budget>> {
+    CURRENT.with(|slot| slot.borrow().clone())
+}
+
+/// Installs `budget` on the current thread (replacing any previous one)
+/// and returns the previous occupant. Prefer [`install_scoped`].
 pub fn install(budget: Option<Arc<Budget>>) -> Option<Arc<Budget>> {
-    let mut slot = CURRENT.write().unwrap_or_else(|e| e.into_inner());
-    std::mem::replace(&mut *slot, budget)
+    CURRENT.with(|slot| std::mem::replace(&mut *slot.borrow_mut(), budget))
 }
 
 /// Installs `budget` for the lifetime of the returned guard; the
-/// previous budget (possibly none) is restored on drop. As with the
-/// polyhedral cache slot, the installation is process-wide, so
-/// concurrent sessions in one process share whichever budget was
-/// installed last — per-session isolation holds as long as compiles do
-/// not overlap in time.
+/// previous budget (possibly none) is restored on drop. The
+/// installation is per-thread, so concurrent compiles on different
+/// threads are fully isolated from each other's budgets. Code that
+/// fans work out to a pool must capture [`current`] before submitting
+/// and re-install it inside each job (the synthesis search does this)
+/// — a bare pool worker thread has no installed budget of its own.
 pub fn install_scoped(budget: Option<Arc<Budget>>) -> ScopedBudget {
     ScopedBudget {
         prev: install(budget),
@@ -412,7 +420,9 @@ mod tests {
     use super::*;
     use std::sync::Mutex;
 
-    /// Tests touching the process-wide budget slot must not interleave.
+    /// The budget slot is thread-local, so tests that install budgets
+    /// no longer interfere across threads; the lock is kept only to
+    /// document the historical hazard and guard same-thread reentry.
     static SLOT: Mutex<()> = Mutex::new(());
 
     #[test]
@@ -492,6 +502,23 @@ mod tests {
             assert!(Arc::ptr_eq(&current().unwrap(), &inner));
         }
         assert!(Arc::ptr_eq(&current().unwrap(), &outer));
+    }
+
+    #[test]
+    fn installs_are_thread_local() {
+        let mine = Arc::new(Budget::unlimited().with_max_ops(5));
+        let _g = install_scoped(Some(Arc::clone(&mine)));
+        // A freshly spawned thread sees no budget, and installing one
+        // there does not disturb this thread's installation.
+        std::thread::spawn(|| {
+            assert!(current().is_none());
+            let theirs = Arc::new(Budget::unlimited().with_max_ops(11));
+            let _h = install_scoped(Some(Arc::clone(&theirs)));
+            assert!(Arc::ptr_eq(&current().unwrap(), &theirs));
+        })
+        .join()
+        .unwrap();
+        assert!(Arc::ptr_eq(&current().unwrap(), &mine));
     }
 
     #[test]

@@ -31,7 +31,10 @@ mod farkas;
 mod fm;
 mod system;
 
-pub use cache::{cache_stats, clear_caches, install, install_scoped, CacheStats, PolyCaches};
+pub use cache::{
+    cache_context, cache_stats, clear_caches, install_context_scoped, install_overlay_scoped,
+    install_scoped, shared_tier, CacheContext, CacheStats, PolyCaches, ScopedCaches,
+};
 pub use expr::LinExpr;
 pub use farkas::{farkas_nonneg_conditions, try_farkas_nonneg_conditions};
 pub use fm::{eliminate_var, try_eliminate_var, variable_bounds};

@@ -31,7 +31,7 @@
 //! `params` are the program's symbolic parameters in declaration order;
 //! `dims` and `slices` are the flattened scalar fields and array fields
 //! of every operand in declaration order, using the fixed per-format
-//! field order of [`view_marshal`]. Returns 0 on success, 1 when the
+//! field order of `view_marshal`. Returns 0 on success, 1 when the
 //! kernel body panicked (caught inside the library — panics never cross
 //! the FFI boundary), 2 on an arity mismatch. Plans whose outermost
 //! step enumerates the rows of a row-major format additionally export

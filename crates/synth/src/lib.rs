@@ -49,8 +49,10 @@ pub mod groups;
 pub mod interp;
 pub mod legal;
 pub mod lower;
+pub mod persist;
 pub mod plan;
 pub mod search;
+pub mod service;
 pub mod session;
 pub mod spaces;
 pub mod zero;
@@ -62,11 +64,15 @@ pub use config::{Config, ConfigError, RefInst, StmtCopy};
 pub use cost::{cost_floor, WorkloadStats};
 pub use emit::{emit_module, emit_rust, emit_rust_ranged, range_splittable, EmitError};
 pub use interp::{run_plan, ExecEnv, PlanError, RunStats};
+pub use persist::{PersistStats, PersistentPlanCache};
 pub use plan::{Plan, Step};
 pub use search::{
     plan_cache_clear, plan_cache_stats, synthesize, synthesize_all, synthesize_all_report,
     synthesize_all_with_pool, Candidate, PlanCacheStats, SearchReport, SynthError, SynthOptions,
     Synthesized,
+};
+pub use service::{
+    Admission, AdmissionPermit, CacheMode, Service, ServiceConfig, ServiceError, ServiceStats,
 };
 pub use session::{BoundProblem, CompiledKernel, DepReport, Session};
 

@@ -131,6 +131,9 @@ pub struct SearchReport {
     pub reasons: Vec<String>,
     /// True iff the whole result came from the plan cache.
     pub plan_cache_hit: bool,
+    /// True iff the plan-cache hit was served from the *persistent*
+    /// (on-disk) tier rather than memory — a service warm-start.
+    pub plan_cache_disk_hit: bool,
     /// True iff the compute budget ran out mid-search: the candidates
     /// are the verified-legal best-so-far (or the baseline fallback),
     /// not the full ranking. Degraded results are never stored in the
@@ -319,7 +322,7 @@ pub fn synthesize_all_report(
     opts: &SynthOptions,
 ) -> Result<SearchReport, SynthError> {
     let pool = opts.parallel.then(Pool::global);
-    run_search(p, views, opts, pool, global_plan_cache())
+    run_search(p, views, opts, pool, global_plan_cache(), None)
 }
 
 /// [`synthesize_all_report`] on a caller-supplied pool (ignores
@@ -332,7 +335,7 @@ pub fn synthesize_all_with_pool(
     opts: &SynthOptions,
     pool: &Pool,
 ) -> Result<SearchReport, SynthError> {
-    run_search(p, views, opts, Some(pool), global_plan_cache())
+    run_search(p, views, opts, Some(pool), global_plan_cache(), None)
 }
 
 /// Rejection reasons are deduplicated and capped at this many entries.
@@ -407,6 +410,7 @@ pub(crate) fn run_search(
     opts: &SynthOptions,
     pool: Option<&Pool>,
     cache: &PlanCache,
+    persist: Option<&crate::persist::PersistentPlanCache>,
 ) -> Result<SearchReport, SynthError> {
     bernoulli_trace::counter!("synth.searches");
     bernoulli_trace::span!("synth.search");
@@ -425,6 +429,7 @@ pub(crate) fn run_search(
                 pruned: c.pruned,
                 reasons: c.reasons,
                 plan_cache_hit: true,
+                plan_cache_disk_hit: false,
                 degraded: false,
                 budget: None,
                 skipped_configs: 0,
@@ -432,13 +437,41 @@ pub(crate) fn run_search(
         }
         cache.misses.fetch_add(1, Ordering::Relaxed);
         bernoulli_trace::counter!("synth.plan_cache_misses");
+        // Persistent tier: a restarted service finds the previous
+        // process's completed searches on disk, promotes them into the
+        // in-memory cache, and skips the search entirely (warm-start).
+        if let Some(ps) = persist {
+            if let Some(c) = ps.load(k) {
+                bernoulli_trace::counter!("synth.plan_cache_disk_hits");
+                let mut g = cache.lock();
+                if g.len() >= PLAN_CACHE_CAP {
+                    g.clear();
+                }
+                g.insert(k.clone(), c.clone());
+                drop(g);
+                return Ok(SearchReport {
+                    candidates: c.candidates,
+                    examined: c.examined,
+                    pruned: c.pruned,
+                    reasons: c.reasons,
+                    plan_cache_hit: true,
+                    plan_cache_disk_hit: true,
+                    degraded: false,
+                    budget: None,
+                    skipped_configs: 0,
+                });
+            }
+        }
     }
 
-    // The active budget, read once per search. Pool workers observe the
-    // same process-wide slot from inside the polyhedral layer (fine-
-    // grained op charging); the coarse per-space gate in `search_config`
-    // gets it threaded explicitly so the fallback can substitute its own.
+    // The active budget, read once per search from the *calling*
+    // thread's slot, and the calling thread's polyhedral cache view.
+    // Both slots are thread-local (concurrent compiles are isolated),
+    // so `search_config` re-installs this captured context inside every
+    // pool job — worker threads must attribute fine-grained op charging
+    // and memo lookups to the compile they are working for.
     let budget = bernoulli_govern::current();
+    let poly_ctx = bernoulli_polyhedra::cache_context();
 
     let view_map: HashMap<String, FormatView> = views
         .iter()
@@ -465,7 +498,13 @@ pub(crate) fn run_search(
                          iteration_centric: bool,
                          max_emb: usize,
                          seed: &[f64],
-                         budget: Option<&Budget>| {
+                         budget: Option<&Arc<Budget>>| {
+        // Re-establish the submitting compile's context on whichever
+        // thread runs this configuration: pool workers have no installed
+        // budget or cache view of their own, and with thread-local slots
+        // they must observe the session's, not a neighbor compile's.
+        let _poly = bernoulli_polyhedra::install_context_scoped(&poly_ctx);
+        let _gov = bernoulli_govern::install_scoped(budget.cloned());
         bernoulli_govern::faults::hit("synth.config");
         let mut o = ConfigOutcome::default();
         let mut bound: BinaryHeap<OrdF64> = seed.iter().map(|&c| OrdF64(c)).collect();
@@ -596,7 +635,7 @@ pub(crate) fn run_search(
                         iteration_centric,
                         1,
                         &[],
-                        budget.as_deref(),
+                        budget.as_ref(),
                     )
                 })?,
                 _ => configs
@@ -609,7 +648,7 @@ pub(crate) fn run_search(
                                 iteration_centric,
                                 1,
                                 &[],
-                                budget.as_deref(),
+                                budget.as_ref(),
                             )
                         })
                     })
@@ -634,7 +673,7 @@ pub(crate) fn run_search(
                     iteration_centric,
                     opts.max_embeddings,
                     &seed,
-                    budget.as_deref(),
+                    budget.as_ref(),
                 )
             })?,
             _ => configs
@@ -647,7 +686,7 @@ pub(crate) fn run_search(
                             iteration_centric,
                             opts.max_embeddings,
                             &seed,
-                            budget.as_deref(),
+                            budget.as_ref(),
                         )
                     })
                 })
@@ -723,21 +762,23 @@ pub(crate) fn run_search(
         reasons.push("no candidate lowered successfully".to_string());
     }
     // A degraded search is an incomplete search: caching it would serve
-    // the truncated result to future *unbudgeted* callers forever.
+    // the truncated result to future *unbudgeted* callers forever —
+    // neither tier (memory, disk) ever stores one.
     if let (Some(k), false) = (key, degraded) {
+        let entry = CachedSearch {
+            candidates: out.clone(),
+            examined,
+            pruned,
+            reasons: reasons.clone(),
+        };
+        if let Some(ps) = persist {
+            ps.store(&k, &entry, p, &view_map);
+        }
         let mut g = cache.lock();
         if g.len() >= PLAN_CACHE_CAP {
             g.clear();
         }
-        g.insert(
-            k,
-            CachedSearch {
-                candidates: out.clone(),
-                examined,
-                pruned,
-                reasons: reasons.clone(),
-            },
-        );
+        g.insert(k, entry);
     }
     Ok(SearchReport {
         candidates: out,
@@ -745,6 +786,7 @@ pub(crate) fn run_search(
         pruned,
         reasons,
         plan_cache_hit: false,
+        plan_cache_disk_hit: false,
         degraded,
         budget: budget_cause,
         skipped_configs,
@@ -755,11 +797,11 @@ pub(crate) fn run_search(
 // Whole-search plan cache.
 
 #[derive(Clone)]
-struct CachedSearch {
-    candidates: Vec<Candidate>,
-    examined: usize,
-    pruned: usize,
-    reasons: Vec<String>,
+pub(crate) struct CachedSearch {
+    pub(crate) candidates: Vec<Candidate>,
+    pub(crate) examined: usize,
+    pub(crate) pruned: usize,
+    pub(crate) reasons: Vec<String>,
 }
 
 /// Cached whole-search results; cleared wholesale when full.

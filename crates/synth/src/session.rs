@@ -179,31 +179,7 @@ impl Session {
         p: &Program,
         views: &[(&str, FormatView)],
     ) -> Result<BoundProblem, SynthError> {
-        p.validate()?;
-        for (name, view) in views {
-            let decl = p.array(name).ok_or_else(|| SynthError::UnknownMatrix {
-                name: name.to_string(),
-            })?;
-            let need = match decl.kind {
-                ArrayKind::Matrix => 2,
-                ArrayKind::Vector => 1,
-            };
-            if view.dense_attrs.len() != need {
-                return Err(SynthError::Config(ConfigError(format!(
-                    "view {:?} for array {name:?} has {} dense attrs, \
-                     but the array is declared with {need} dimension(s)",
-                    view.name,
-                    view.dense_attrs.len()
-                ))));
-            }
-        }
-        Ok(BoundProblem {
-            program: p.clone(),
-            views: views
-                .iter()
-                .map(|(n, v)| (n.to_string(), v.clone()))
-                .collect(),
-        })
+        bind_problem(p, views)
     }
 
     /// Stage 4 — run the search (§4.2–4.3) with the session's options,
@@ -240,7 +216,7 @@ impl Session {
             SessionPool::Owned(p) => opts.parallel.then_some(&**p),
             SessionPool::Shared => opts.parallel.then(Pool::global),
         };
-        let report = run_search(&problem.program, &views, opts, pool, &self.plan_cache)?;
+        let report = run_search(&problem.program, &views, opts, pool, &self.plan_cache, None)?;
         if report.candidates.is_empty() {
             return Err(SynthError::NoLegalPlan {
                 reasons: report.reasons,
@@ -281,6 +257,41 @@ impl Default for Session {
     fn default() -> Session {
         Session::new()
     }
+}
+
+/// Stage-3 validation shared by [`Session::bind`] and
+/// [`crate::service::Service::bind`]: every bound name must be a
+/// declared array, and the view's dense rank must match the array kind
+/// (2 for matrices, 1 for vectors).
+pub(crate) fn bind_problem(
+    p: &Program,
+    views: &[(&str, FormatView)],
+) -> Result<BoundProblem, SynthError> {
+    p.validate()?;
+    for (name, view) in views {
+        let decl = p.array(name).ok_or_else(|| SynthError::UnknownMatrix {
+            name: name.to_string(),
+        })?;
+        let need = match decl.kind {
+            ArrayKind::Matrix => 2,
+            ArrayKind::Vector => 1,
+        };
+        if view.dense_attrs.len() != need {
+            return Err(SynthError::Config(ConfigError(format!(
+                "view {:?} for array {name:?} has {} dense attrs, \
+                 but the array is declared with {need} dimension(s)",
+                view.name,
+                view.dense_attrs.len()
+            ))));
+        }
+    }
+    Ok(BoundProblem {
+        program: p.clone(),
+        views: views
+            .iter()
+            .map(|(n, v)| (n.to_string(), v.clone()))
+            .collect(),
+    })
 }
 
 /// The dependence classes of a program (stage 2 output).
@@ -340,6 +351,24 @@ pub struct CompiledKernel {
 }
 
 impl CompiledKernel {
+    /// Assembles a kernel from a finished search; shared by
+    /// [`Session::compile`] and [`crate::service::Service::compile`].
+    /// Callers must have rejected empty candidate lists already
+    /// ([`SynthError::NoLegalPlan`]).
+    pub(crate) fn from_parts(
+        program: Program,
+        view_map: HashMap<String, FormatView>,
+        report: SearchReport,
+        cache_key: String,
+    ) -> CompiledKernel {
+        CompiledKernel {
+            program,
+            view_map,
+            report,
+            cache_key,
+        }
+    }
+
     /// The cheapest legal, zero-safe candidate.
     pub fn best(&self) -> &Candidate {
         // Internal invariant: `Session::compile` errors with

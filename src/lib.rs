@@ -63,6 +63,14 @@ pub use bernoulli_synth::{
     BoundProblem, Budget, BudgetError, CancelToken, CompiledKernel, DepReport, Session,
 };
 
+// The multi-tenant compile service (S38): concurrent `compile` calls
+// over shared cache tiers, with admission control and an optional
+// persistent plan cache for warm-start across restarts.
+pub use bernoulli_synth::{
+    CacheMode, PersistStats, PersistentPlanCache, Service, ServiceConfig, ServiceError,
+    ServiceStats,
+};
+
 // The compiled-kernel execution path (S37): `CompiledKernel::load` and
 // the unified compiled-or-interpreted runner, plus the on-disk artifact
 // cache behind it.
@@ -84,6 +92,10 @@ pub enum Error {
     Poly(bernoulli_polyhedra::PolyError),
     /// Synthesis failure: binding, search, interpretation or emission.
     Synth(bernoulli_synth::SynthError),
+    /// Service-layer rejection: shed load or an expired queue deadline
+    /// (the compile never ran). Admitted-compile failures unwrap to
+    /// [`Error::Synth`] instead.
+    Service(bernoulli_synth::ServiceError),
 }
 
 impl std::fmt::Display for Error {
@@ -93,6 +105,7 @@ impl std::fmt::Display for Error {
             Error::Format(e) => e.fmt(f),
             Error::Poly(e) => e.fmt(f),
             Error::Synth(e) => e.fmt(f),
+            Error::Service(e) => e.fmt(f),
         }
     }
 }
@@ -104,6 +117,7 @@ impl std::error::Error for Error {
             Error::Format(e) => Some(e),
             Error::Poly(e) => Some(e),
             Error::Synth(e) => Some(e),
+            Error::Service(e) => Some(e),
         }
     }
 }
@@ -144,6 +158,17 @@ impl From<bernoulli_synth::SynthError> for Error {
     }
 }
 
+impl From<bernoulli_synth::ServiceError> for Error {
+    fn from(e: bernoulli_synth::ServiceError) -> Error {
+        // An admitted compile that failed is a synthesis error; only
+        // genuine service-layer rejections keep the `Service` tag.
+        match e {
+            bernoulli_synth::ServiceError::Synth(inner) => Error::Synth(inner),
+            other => Error::Service(other),
+        }
+    }
+}
+
 impl From<bernoulli_synth::PlanError> for Error {
     fn from(e: bernoulli_synth::PlanError) -> Error {
         Error::Synth(e.into())
@@ -167,6 +192,7 @@ pub mod prelude {
     pub use crate::{
         BoundProblem, Budget, BudgetError, CancelToken, CompiledKernel, DepReport, Error, Session,
     };
+    pub use crate::{CacheMode, Service, ServiceConfig, ServiceError, ServiceStats};
     pub use bernoulli_blas::kernels;
     pub use bernoulli_formats::{
         AnyFormat, Coo, Csc, Csr, Dense, Dia, DiagSplit, Ell, HashVec, Jad, SparseMatrix,

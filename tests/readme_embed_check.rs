@@ -1,6 +1,6 @@
-//! Mirror of the README "Embedding the compiler" and "Running
-//! synthesized kernels" examples — keeps the documented snippets
-//! compiling and running as the API evolves.
+//! Mirror of the README "Embedding the compiler", "Running as a
+//! service" and "Running synthesized kernels" examples — keeps the
+//! documented snippets compiling and running as the API evolves.
 
 use bernoulli::prelude::*;
 
@@ -24,6 +24,49 @@ fn build() -> Result<(), bernoulli::Error> {
 #[test]
 fn readme_snippet_runs() {
     build().unwrap();
+}
+
+// README "Running as a service" — identical to the documented snippet
+// except for a test-scoped persist_dir (the README points at a
+// relative "plan-cache" path; tests must not litter the repo root).
+fn serve(persist_dir: std::path::PathBuf) -> Result<(), bernoulli::Error> {
+    use std::time::Duration;
+
+    let svc = std::sync::Arc::new(Service::new(ServiceConfig {
+        max_inflight: 4,                                    // concurrent compiles
+        max_queue: 64,                                      // waiters beyond that
+        default_deadline: Some(Duration::from_millis(250)), // queue wait + compile
+        persist_dir: Some(persist_dir),                     // warm-start across restarts
+        ..ServiceConfig::default()
+    }));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let svc = std::sync::Arc::clone(&svc);
+            std::thread::spawn(move || {
+                let t = Triplets::from_entries(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]);
+                let a = Csr::from_triplets(&t);
+                let bound = svc.bind(&kernels::mvm(), &[("A", a.format_view())])?;
+                svc.compile(&bound).map(|k| k.plan().to_string())
+            })
+        })
+        .collect();
+    let mut plans: Vec<String> = Vec::new();
+    for h in handles {
+        match h.join() {
+            Ok(r) => plans.push(r?),
+            Err(_) => unreachable!("client thread panicked"),
+        }
+    }
+    assert!(plans.windows(2).all(|w| w[0] == w[1])); // byte-identical under concurrency
+    Ok(())
+}
+
+#[test]
+fn readme_service_snippet_runs() {
+    let dir = std::env::temp_dir().join(format!("bernoulli-readme-service-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    serve(dir.clone()).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // README "Running synthesized kernels" — identical to the documented
