@@ -8,6 +8,7 @@
 //! fidelity tests in `synth` check the same property for the emitted
 //! kernels, and the benchmarks compare their speed.
 
+pub mod bsr;
 pub mod coo;
 pub mod csc;
 pub mod csr;
@@ -16,8 +17,10 @@ pub mod dia;
 pub mod ell;
 pub mod jad;
 pub mod sky;
+pub mod vbr;
 pub mod vecops;
 
+pub use bsr::{mvm_bsr, mvmt_bsr};
 pub use coo::{mvm_coo, mvmt_coo};
 pub use csc::{mvm_csc, mvmt_csc, ts_csc};
 pub use csr::{mvm_csr, mvmt_csr, ts_csr};
@@ -26,6 +29,7 @@ pub use dia::{mvm_dia, mvmt_dia, ts_dia};
 pub use ell::{mvm_ell, mvmt_ell, ts_ell};
 pub use jad::{mvm_jad, mvmt_jad, ts_jad};
 pub use sky::{mvm_sky, ts_sky};
+pub use vbr::{mvm_vbr, mvmt_vbr};
 pub use vecops::{axpy, dot, nrm2, spdot_hash, spdot_merge};
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 //! `nthreads`.
 
 use super::partition;
-use bernoulli_formats::{Csr, Ell};
+use bernoulli_formats::{Bsr, Csr, Ell, Vbr};
 use bernoulli_pool::Pool;
 use bernoulli_synth::{KernelArg, KernelCallError, LoadedKernel, RawOut};
 use std::sync::Mutex;
@@ -106,6 +106,57 @@ pub fn par_loaded_mvm_ell(
     })
 }
 
+/// `y += A·x` through a loaded BSR MVM kernel over cell-balanced,
+/// block-aligned row blocks — the loaded-kernel analogue of
+/// [`super::par_mvm_bsr`], bitwise equal to a sequential `run` of the
+/// same kernel (the ranged body derives the block row from each logical
+/// row, so block-aligned bands partition the block walk exactly).
+pub fn par_loaded_mvm_bsr(
+    k: &LoadedKernel,
+    a: &Bsr<f64>,
+    x: &[f64],
+    y: &mut [f64],
+    nthreads: usize,
+) -> Result<(), KernelCallError> {
+    assert_eq!(x.len(), a.ncols, "x length");
+    assert_eq!(y.len(), a.nrows, "y length");
+    let bounds = a.partition_rows(nthreads.max(1));
+    // SAFETY: each ranged call writes only rows lo..hi of y, and the
+    // row blocks are disjoint across chunks.
+    let yo = unsafe { RawOut::new(y.as_mut_ptr(), y.len()) };
+    par_run_rows(k, &[a.nrows as i64, a.ncols as i64], &bounds, &|| {
+        vec![
+            KernelArg::Bsr(a),
+            KernelArg::In(x),
+            KernelArg::OutShared(yo),
+        ]
+    })
+}
+
+/// `y += A·x` through a loaded VBR MVM kernel over cell-balanced,
+/// strip-aligned row blocks — the loaded-kernel analogue of
+/// [`super::par_mvm_vbr`].
+pub fn par_loaded_mvm_vbr(
+    k: &LoadedKernel,
+    a: &Vbr<f64>,
+    x: &[f64],
+    y: &mut [f64],
+    nthreads: usize,
+) -> Result<(), KernelCallError> {
+    assert_eq!(x.len(), a.ncols, "x length");
+    assert_eq!(y.len(), a.nrows, "y length");
+    let bounds = a.partition_rows(nthreads.max(1));
+    // SAFETY: disjoint row blocks, as above.
+    let yo = unsafe { RawOut::new(y.as_mut_ptr(), y.len()) };
+    par_run_rows(k, &[a.nrows as i64, a.ncols as i64], &bounds, &|| {
+        vec![
+            KernelArg::Vbr(a),
+            KernelArg::In(x),
+            KernelArg::OutShared(yo),
+        ]
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +198,49 @@ mod tests {
             let mut y = y_par.clone();
             par_loaded_mvm_csr(&k, &a, &x, &mut y, threads).expect("parallel run");
             assert_eq!(y_seq, y, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_loaded_blocked_match_sequential_run() {
+        let t = gen::fem_blocked(192, 2, 2, 0.85, 29);
+        let x = gen::dense_vector(192, 4);
+
+        let a = Bsr::from_triplets(&t, 2, 2);
+        let Some(k) = try_load(a.format_view()) else {
+            return;
+        };
+        let mut y_seq = vec![0.25; a.nrows];
+        let mut args = [
+            KernelArg::Bsr(&a),
+            KernelArg::In(&x),
+            KernelArg::Out(&mut y_seq),
+        ];
+        k.run(&[a.nrows as i64, a.ncols as i64], &mut args)
+            .expect("sequential run");
+        for threads in [1, 2, 8] {
+            let mut y = vec![0.25; a.nrows];
+            par_loaded_mvm_bsr(&k, &a, &x, &mut y, threads).expect("parallel run");
+            assert_eq!(y_seq, y, "bsr threads = {threads}");
+        }
+
+        let (rp, cp) = bernoulli_formats::discover_strips(&t);
+        let v = Vbr::from_triplets(&t, &rp, &cp);
+        let Some(k) = try_load(v.format_view()) else {
+            return;
+        };
+        let mut y_seq = vec![0.25; v.nrows];
+        let mut args = [
+            KernelArg::Vbr(&v),
+            KernelArg::In(&x),
+            KernelArg::Out(&mut y_seq),
+        ];
+        k.run(&[v.nrows as i64, v.ncols as i64], &mut args)
+            .expect("sequential run");
+        for threads in [1, 2, 8] {
+            let mut y = vec![0.25; v.nrows];
+            par_loaded_mvm_vbr(&k, &v, &x, &mut y, threads).expect("parallel run");
+            assert_eq!(y_seq, y, "vbr threads = {threads}");
         }
     }
 

@@ -29,10 +29,11 @@
 //! per output element, accumulation order identical to the sequential
 //! kernel) are additionally **bitwise equal** to their sequential
 //! counterparts at every thread count: `par_mvm_csr`, `par_mvm_ell`,
-//! `par_mvm_dia`, `par_mvmt_csc`, `par_mvmt_dia`, `par_ts_csr` and
-//! `par_axpy` (and `par_mvm_jad` when `y` starts zeroed). Scatter-shaped
-//! kernels (`par_mvm_csc`, `par_mvmt_csr`, `par_mvmt_ell`,
-//! `par_mvmt_jad`) and reductions (`par_dot`) combine per-chunk partial
+//! `par_mvm_dia`, `par_mvm_bsr`, `par_mvm_vbr`, `par_mvmt_csc`,
+//! `par_mvmt_dia`, `par_ts_csr` and `par_axpy` (and `par_mvm_jad` when
+//! `y` starts zeroed). Scatter-shaped kernels (`par_mvm_csc`,
+//! `par_mvmt_csr`, `par_mvmt_ell`, `par_mvmt_jad`, `par_mvmt_bsr`,
+//! `par_mvmt_vbr`) and reductions (`par_dot`) combine per-chunk partial
 //! results in fixed chunk order — run-to-run reproducible, equal to
 //! sequential up to floating-point reassociation.
 
@@ -44,10 +45,13 @@ pub mod trisolve;
 pub mod vecops;
 
 pub use bernoulli_pool::{default_threads, Pool, THREADS_ENV};
-pub use loaded::{par_loaded_mvm_csr, par_loaded_mvm_ell, par_run_rows};
+pub use loaded::{
+    par_loaded_mvm_bsr, par_loaded_mvm_csr, par_loaded_mvm_ell, par_loaded_mvm_vbr, par_run_rows,
+};
 pub use mvm::{
-    par_mvm_csc, par_mvm_csr, par_mvm_dia, par_mvm_ell, par_mvm_jad, par_mvmt_csc, par_mvmt_csr,
-    par_mvmt_dia, par_mvmt_ell, par_mvmt_jad,
+    par_mvm_bsr, par_mvm_csc, par_mvm_csr, par_mvm_dia, par_mvm_ell, par_mvm_jad, par_mvm_vbr,
+    par_mvmt_bsr, par_mvmt_csc, par_mvmt_csr, par_mvmt_dia, par_mvmt_ell, par_mvmt_jad,
+    par_mvmt_vbr,
 };
 pub use solvers::{cg, cg_csr, jacobi, jacobi_csr, ParOps};
 pub use trisolve::{par_ts_csr, par_ts_csr_scheduled, LevelSchedule};

@@ -17,7 +17,7 @@
 
 use super::{partition, SlicePtr};
 use bernoulli_formats::partition::split_even;
-use bernoulli_formats::{Csc, Csr, Dia, Ell, Jad, Scalar};
+use bernoulli_formats::{Bsr, Csc, Csr, Dia, Ell, Jad, Scalar, Vbr};
 use bernoulli_pool::Pool;
 
 /// Per-kernel call/nnz/flop counters (`par.<kernel>.{calls,nnz,flops}`);
@@ -289,6 +289,90 @@ pub fn par_mvmt_jad<T: Scalar + Send + Sync>(a: &Jad<T>, x: &[T], y: &mut [T], n
     });
 }
 
+/// `y += A·x` over cell-balanced, block-aligned row blocks (BSR).
+///
+/// The chunk bounds from [`Bsr::partition_rows`] are multiples of the
+/// block height, so each chunk runs the register-tiled block-row kernel
+/// ([`crate::handwritten::mvm_bsr`]) on whole block rows; per-row
+/// accumulation order is chunk-independent, so the result is bitwise
+/// equal to the sequential kernel at every `nthreads`.
+pub fn par_mvm_bsr<T: Scalar + Send + Sync>(a: &Bsr<T>, x: &[T], y: &mut [T], nthreads: usize) {
+    assert_eq!(x.len(), a.ncols, "x length");
+    assert_eq!(y.len(), a.nrows, "y length");
+    mvm_trace!("mvm_bsr", a.values.len());
+    let bounds = a.partition_rows(nthreads.max(1));
+    let yp = SlicePtr::new(y);
+    Pool::global().run(bounds.len() - 1, &|chunk| {
+        let (lo, hi) = (bounds[chunk], bounds[chunk + 1]);
+        // SAFETY: row blocks are disjoint across chunks.
+        let yb = unsafe { yp.range_mut(lo, hi) };
+        crate::handwritten::bsr::mvm_bsr_rows(a, x, yb, lo / a.r, hi / a.r);
+    });
+}
+
+/// `y += A·x` over cell-balanced, strip-aligned row blocks (VBR);
+/// bitwise equal to [`crate::handwritten::mvm_vbr`] at every
+/// `nthreads` (one writer per row, chunk-independent accumulation
+/// order).
+pub fn par_mvm_vbr<T: Scalar + Send + Sync>(a: &Vbr<T>, x: &[T], y: &mut [T], nthreads: usize) {
+    assert_eq!(x.len(), a.ncols, "x length");
+    assert_eq!(y.len(), a.nrows, "y length");
+    mvm_trace!("mvm_vbr", a.val.len());
+    let bounds = a.partition_rows(nthreads.max(1));
+    let yp = SlicePtr::new(y);
+    Pool::global().run(bounds.len() - 1, &|chunk| {
+        let (lo, hi) = (bounds[chunk], bounds[chunk + 1]);
+        // SAFETY: row blocks are disjoint across chunks.
+        let yb = unsafe { yp.range_mut(lo, hi) };
+        crate::handwritten::vbr::mvm_vbr_strips(a, x, yb, vbr_strip(a, lo), vbr_strip(a, hi));
+    });
+}
+
+/// Strip index of a strip-aligned logical-row bound.
+fn vbr_strip<T: Scalar>(a: &Vbr<T>, row: usize) -> usize {
+    if row == a.nrows {
+        a.rpntr.len() - 1
+    } else {
+        a.rowblk[row]
+    }
+}
+
+/// `y += Aᵀ·x` for BSR — a scatter along block rows, parallelized with
+/// per-chunk partial outputs reduced in fixed chunk order.
+pub fn par_mvmt_bsr<T: Scalar + Send + Sync>(a: &Bsr<T>, x: &[T], y: &mut [T], nthreads: usize) {
+    assert_eq!(x.len(), a.nrows, "x length");
+    assert_eq!(y.len(), a.ncols, "y length");
+    mvm_trace!("mvmt_bsr", a.values.len());
+    let bounds = a.partition_rows(nthreads.max(1));
+    scatter_reduce(&bounds, a.ncols, y, nthreads, &|chunk, buf| {
+        crate::handwritten::bsr::mvmt_bsr_rows(
+            a,
+            x,
+            buf,
+            bounds[chunk] / a.r,
+            bounds[chunk + 1] / a.r,
+        );
+    });
+}
+
+/// `y += Aᵀ·x` for VBR — a scatter along block strips, parallelized
+/// with per-chunk partial outputs reduced in fixed chunk order.
+pub fn par_mvmt_vbr<T: Scalar + Send + Sync>(a: &Vbr<T>, x: &[T], y: &mut [T], nthreads: usize) {
+    assert_eq!(x.len(), a.nrows, "x length");
+    assert_eq!(y.len(), a.ncols, "y length");
+    mvm_trace!("mvmt_vbr", a.val.len());
+    let bounds = a.partition_rows(nthreads.max(1));
+    scatter_reduce(&bounds, a.ncols, y, nthreads, &|chunk, buf| {
+        crate::handwritten::vbr::mvmt_vbr_strips(
+            a,
+            x,
+            buf,
+            vbr_strip(a, bounds[chunk]),
+            vbr_strip(a, bounds[chunk + 1]),
+        );
+    });
+}
+
 /// Runs a scatter kernel with one private zeroed buffer per chunk, then
 /// reduces the buffers into `y` in ascending chunk order (the reduction
 /// is itself parallel over disjoint `y` ranges, preserving that order
@@ -419,6 +503,66 @@ mod tests {
             hw::mvm_jad(&jad, &x, &mut y_seq);
             par_mvm_jad(&jad, &x, &mut y_par, threads);
             assert_eq!(y_seq, y_par, "jad mvm (zeroed y), threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_bitwise_equal_pools_1_2_8() {
+        use bernoulli_formats::{discover_strips, Bsr, Vbr};
+        // Pool sizes from the blocked-tier acceptance criteria; partial
+        // fill makes the block rows genuinely unbalanced.
+        let t = gen::fem_blocked(240, 4, 3, 0.7, 41);
+        let x = gen::dense_vector(240, 6);
+        let bsr = Bsr::from_triplets(&t, 4, 4);
+        let (rp, cp) = discover_strips(&t);
+        let vbr = Vbr::from_triplets(&t, &rp, &cp);
+
+        let mut y_seq = vec![0.125; 240];
+        hw::mvm_bsr(&bsr, &x, &mut y_seq);
+        let mut z_seq = vec![0.125; 240];
+        hw::mvm_vbr(&vbr, &x, &mut z_seq);
+        for threads in [1usize, 2, 8] {
+            let mut y_par = vec![0.125; 240];
+            par_mvm_bsr(&bsr, &x, &mut y_par, threads);
+            assert_eq!(y_seq, y_par, "bsr mvm, threads = {threads}");
+
+            let mut z_par = vec![0.125; 240];
+            par_mvm_vbr(&vbr, &x, &mut z_par, threads);
+            assert_eq!(z_seq, z_par, "vbr mvm, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn blocked_transpose_matches_sequential_closely() {
+        use bernoulli_formats::{discover_strips, Bsr, Vbr};
+        let t = gen::fem_blocked(120, 3, 2, 0.8, 43);
+        let x = gen::dense_vector(120, 9);
+        let bsr = Bsr::from_triplets(&t, 3, 3);
+        let (rp, cp) = discover_strips(&t);
+        let vbr = Vbr::from_triplets(&t, &rp, &cp);
+        let close = |a: &[f64], b: &[f64], what: &str| {
+            for (i, (u, v)) in a.iter().zip(b).enumerate() {
+                assert!(
+                    (u - v).abs() <= 1e-12 * (1.0 + u.abs().max(v.abs())),
+                    "{what}[{i}]: {u} vs {v}"
+                );
+            }
+        };
+        for threads in [1usize, 2, 8] {
+            let mut y_seq = vec![0.0; 120];
+            hw::mvmt_bsr(&bsr, &x, &mut y_seq);
+            let mut y_par = vec![0.0; 120];
+            par_mvmt_bsr(&bsr, &x, &mut y_par, threads);
+            close(&y_seq, &y_par, "bsr mvmt");
+            if threads == 1 {
+                assert_eq!(y_seq, y_par, "single chunk is bitwise sequential");
+            }
+
+            let mut y_seq = vec![0.0; 120];
+            hw::mvmt_vbr(&vbr, &x, &mut y_seq);
+            let mut y_par = vec![0.0; 120];
+            par_mvmt_vbr(&vbr, &x, &mut y_par, threads);
+            close(&y_seq, &y_par, "vbr mvmt");
         }
     }
 

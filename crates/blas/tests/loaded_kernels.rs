@@ -12,7 +12,9 @@
 
 use bernoulli_blas::handwritten as hw;
 use bernoulli_blas::synth;
-use bernoulli_formats::{gen, Coo, Csc, Csr, Dia, Ell, Jad, Sky, Triplets};
+use bernoulli_formats::{
+    discover_strips, gen, Bsr, Coo, Csc, Csr, Dia, Ell, Jad, Sky, Triplets, Vbr,
+};
 use bernoulli_synth::{KernelArg, KernelBackend, KernelStore, LoadError, Session};
 
 enum Mat {
@@ -23,6 +25,8 @@ enum Mat {
     Ell(Ell<f64>),
     Jad(Jad<f64>),
     Sky(Sky<f64>),
+    Bsr(Bsr<f64>),
+    Vbr(Vbr<f64>),
 }
 
 impl Mat {
@@ -35,6 +39,11 @@ impl Mat {
             "ell" => Mat::Ell(Ell::from_triplets(t)),
             "jad" => Mat::Jad(Jad::from_triplets(t)),
             "sky" => Mat::Sky(Sky::from_triplets(t)),
+            "bsr2x2" => Mat::Bsr(Bsr::from_triplets(t, 2, 2)),
+            "vbr" => {
+                let (rp, cp) = discover_strips(t);
+                Mat::Vbr(Vbr::from_triplets(t, &rp, &cp))
+            }
             other => panic!("unknown format {other}"),
         }
     }
@@ -48,6 +57,8 @@ impl Mat {
             Mat::Ell(m) => KernelArg::Ell(m),
             Mat::Jad(m) => KernelArg::Jad(m),
             Mat::Sky(m) => KernelArg::Sky(m),
+            Mat::Bsr(m) => KernelArg::Bsr(m),
+            Mat::Vbr(m) => KernelArg::Vbr(m),
         }
     }
 }
@@ -73,9 +84,13 @@ fn run_committed(kernel: &str, m: &Mat, mm: i64, nn: i64, x: &[f64], out: &mut [
         ("mvm", Mat::Ell(a)) => synth::mvm_ell(mm, nn, a, x, out),
         ("mvm", Mat::Jad(a)) => synth::mvm_jad(mm, nn, a, x, out),
         ("mvm", Mat::Sky(a)) => synth::mvm_sky(mm, nn, a, x, out),
+        ("mvm", Mat::Bsr(a)) => synth::mvm_bsr2x2(mm, nn, a, x, out),
+        ("mvm", Mat::Vbr(a)) => synth::mvm_vbr(mm, nn, a, x, out),
         ("mvmt", Mat::Csr(a)) => synth::mvmt_csr(mm, nn, a, x, out),
         ("mvmt", Mat::Csc(a)) => synth::mvmt_csc(mm, nn, a, x, out),
         ("mvmt", Mat::Coo(a)) => synth::mvmt_coo(mm, nn, a, x, out),
+        ("mvmt", Mat::Bsr(a)) => synth::mvmt_bsr2x2(mm, nn, a, x, out),
+        ("mvmt", Mat::Vbr(a)) => synth::mvmt_vbr(mm, nn, a, x, out),
         ("ts", Mat::Csr(l)) => synth::ts_csr(nn, l, out),
         ("ts", Mat::Csc(l)) => synth::ts_csc(nn, l, out),
         ("ts", Mat::Jad(l)) => synth::ts_jad(nn, l, out),
@@ -95,9 +110,13 @@ fn run_handwritten(kernel: &str, m: &Mat, x: &[f64], out: &mut [f64]) {
         ("mvm", Mat::Ell(a)) => hw::mvm_ell(a, x, out),
         ("mvm", Mat::Jad(a)) => hw::mvm_jad(a, x, out),
         ("mvm", Mat::Sky(a)) => hw::mvm_sky(a, x, out),
+        ("mvm", Mat::Bsr(a)) => hw::mvm_bsr(a, x, out),
+        ("mvm", Mat::Vbr(a)) => hw::mvm_vbr(a, x, out),
         ("mvmt", Mat::Csr(a)) => hw::mvmt_csr(a, x, out),
         ("mvmt", Mat::Csc(a)) => hw::mvmt_csc(a, x, out),
         ("mvmt", Mat::Coo(a)) => hw::mvmt_coo(a, x, out),
+        ("mvmt", Mat::Bsr(a)) => hw::mvmt_bsr(a, x, out),
+        ("mvmt", Mat::Vbr(a)) => hw::mvmt_vbr(a, x, out),
         ("ts", Mat::Csr(l)) => hw::ts_csr(l, out),
         ("ts", Mat::Csc(l)) => hw::ts_csc(l, out),
         ("ts", Mat::Jad(l)) => hw::ts_jad(l, out),

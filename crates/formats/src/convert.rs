@@ -1,7 +1,7 @@
 //! Any-to-any format conversion through [`Triplets`].
 
 use crate::scalar::Scalar;
-use crate::{Coo, Csc, Csr, Dense, Dia, DiagSplit, Ell, Jad, Triplets};
+use crate::{Bsr, Coo, Csc, Csr, Dense, Dia, DiagSplit, Ell, Jad, Triplets, Vbr};
 
 /// Errors a caller can trigger through the format layer: asking for a
 /// format this build doesn't know, converting into a format whose
@@ -86,6 +86,8 @@ pub const FORMAT_NAMES: &[&str] = &[
     "ell",
     "jad",
     "diagsplit",
+    "bsr",
+    "vbr",
 ];
 
 /// A dynamically-chosen matrix format (conversion and experiment-harness
@@ -100,6 +102,8 @@ pub enum AnyFormat<T: Scalar = f64> {
     Ell(Ell<T>),
     Jad(Jad<T>),
     DiagSplit(DiagSplit<T>),
+    Bsr(Bsr<T>),
+    Vbr(Vbr<T>),
 }
 
 impl<T: Scalar> AnyFormat<T> {
@@ -137,6 +141,18 @@ impl<T: Scalar> AnyFormat<T> {
                 }
                 AnyFormat::DiagSplit(DiagSplit::from_triplets(t))
             }
+            // Blocked formats pick their structure by discovery: the
+            // dominant near-dense block size for BSR, the natural
+            // identical-support strips for VBR. Both fall back to 1x1
+            // blocking, so any matrix converts.
+            "bsr" => {
+                let rep = crate::blocks::discover_block_size(t, 8, 0.9);
+                AnyFormat::Bsr(Bsr::from_triplets(t, rep.r, rep.c))
+            }
+            "vbr" => {
+                let (rp, cp) = crate::blocks::discover_strips(t);
+                AnyFormat::Vbr(Vbr::from_triplets(t, &rp, &cp))
+            }
             other => {
                 return Err(FormatError::UnknownFormat {
                     name: other.to_string(),
@@ -156,6 +172,8 @@ impl<T: Scalar> AnyFormat<T> {
             AnyFormat::Ell(m) => m.to_triplets(),
             AnyFormat::Jad(m) => m.to_triplets(),
             AnyFormat::DiagSplit(m) => m.to_triplets(),
+            AnyFormat::Bsr(m) => m.to_triplets(),
+            AnyFormat::Vbr(m) => m.to_triplets(),
         }
     }
 
@@ -171,6 +189,8 @@ impl<T: Scalar> AnyFormat<T> {
             AnyFormat::Dia(m) => m.validate(),
             AnyFormat::Ell(m) => m.validate(),
             AnyFormat::Jad(m) => m.validate(),
+            AnyFormat::Bsr(m) => m.validate(),
+            AnyFormat::Vbr(m) => m.validate(),
             AnyFormat::Dense(_) | AnyFormat::Coo(_) | AnyFormat::DiagSplit(_) => Ok(()),
         }
     }
@@ -186,6 +206,8 @@ impl<T: Scalar> AnyFormat<T> {
             AnyFormat::Ell(_) => "ell",
             AnyFormat::Jad(_) => "jad",
             AnyFormat::DiagSplit(_) => "diagsplit",
+            AnyFormat::Bsr(_) => "bsr",
+            AnyFormat::Vbr(_) => "vbr",
         }
     }
 }
@@ -202,6 +224,8 @@ impl AnyFormat<f64> {
             AnyFormat::Ell(m) => m,
             AnyFormat::Jad(m) => m,
             AnyFormat::DiagSplit(m) => m,
+            AnyFormat::Bsr(m) => m,
+            AnyFormat::Vbr(m) => m,
         }
     }
 
@@ -216,6 +240,8 @@ impl AnyFormat<f64> {
             AnyFormat::Ell(m) => m,
             AnyFormat::Jad(m) => m,
             AnyFormat::DiagSplit(m) => m,
+            AnyFormat::Bsr(m) => m,
+            AnyFormat::Vbr(m) => m,
         }
     }
 }
@@ -276,16 +302,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown format")]
     fn unknown_format_panics() {
-        let _ = AnyFormat::<f64>::from_triplets("bsr", &sample());
+        let _ = AnyFormat::<f64>::from_triplets("bcrs", &sample());
     }
 
     #[test]
     fn try_from_triplets_reports_typed_errors() {
-        let e = AnyFormat::<f64>::try_from_triplets("bsr", &sample()).unwrap_err();
+        let e = AnyFormat::<f64>::try_from_triplets("bcrs", &sample()).unwrap_err();
         assert_eq!(
             e,
             FormatError::UnknownFormat {
-                name: "bsr".to_string()
+                name: "bcrs".to_string()
             }
         );
         assert!(e.to_string().contains("csr"), "{e}"); // lists known names

@@ -53,9 +53,9 @@ impl<T: Scalar> Dia<T> {
             debug_assert!(l < h, "diagonal {d} has empty extent");
             lo.push(l);
             hi.push(h);
-            ptr.push(ptr.last().unwrap() + (h - l) as usize);
+            ptr.push(ptr[ptr.len() - 1] + (h - l) as usize);
         }
-        let mut values = vec![T::ZERO; *ptr.last().unwrap()];
+        let mut values = vec![T::ZERO; ptr[ptr.len() - 1]];
         for &(r, c, v) in t.entries() {
             let d = r as i64 - c as i64;
             let k = diags.binary_search(&d).unwrap();

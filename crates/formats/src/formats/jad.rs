@@ -72,9 +72,9 @@ impl<T: Scalar> Jad<T> {
         dptr.push(0usize);
         for d in 0..nd {
             let cnt = rowlen.partition_point(|&len| len > d);
-            dptr.push(dptr.last().unwrap() + cnt);
+            dptr.push(dptr[dptr.len() - 1] + cnt);
         }
-        let nnz = *dptr.last().unwrap();
+        let nnz = dptr[dptr.len() - 1];
         let mut colind = vec![0usize; nnz];
         let mut values = vec![T::ZERO; nnz];
         for rr in 0..m {

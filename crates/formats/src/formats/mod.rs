@@ -8,6 +8,7 @@
 //! - the low-level API ([`crate::SparseView`]) with a
 //!   [`crate::view::FormatView`] index-structure description.
 
+pub mod bsr;
 pub mod coo;
 pub mod csc;
 pub mod csr;
@@ -18,3 +19,4 @@ pub mod ell;
 pub mod jad;
 pub mod sky;
 pub mod sparsevec;
+pub mod vbr;

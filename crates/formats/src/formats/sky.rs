@@ -48,7 +48,7 @@ impl<T: Scalar> Sky<T> {
         for r in 0..n {
             ptr.push(ptr[r] + (r - lo[r] + 1));
         }
-        let mut values = vec![T::ZERO; *ptr.last().unwrap()];
+        let mut values = vec![T::ZERO; ptr[ptr.len() - 1]];
         for &(r, c, v) in t.entries() {
             values[ptr[r] + (c - lo[r])] = v;
         }

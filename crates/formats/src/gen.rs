@@ -149,6 +149,54 @@ pub fn structurally_symmetric(n: usize, nnz: usize, spread: usize, seed: u64) ->
     t
 }
 
+/// FEM-style blocked matrix of order `n`: dense `block x block` diagonal
+/// blocks plus symmetric off-diagonal block coupling (each block row is
+/// coupled to its `coupling` nearest block neighbors on each side), all
+/// aligned to the `block` grid — the pattern a finite-element assembly
+/// with `block` unknowns per node produces.
+///
+/// `fill` is the probability that an off-diagonal cell *within* a
+/// touched block is stored (the scalar diagonal is always stored):
+/// `fill = 1.0` gives perfectly dense blocks (a BSR fill ratio of 1.0),
+/// lower values leave holes that blocked storage must pay for as
+/// fill-in. Deterministic for a fixed seed; values diagonally dominant.
+///
+/// # Panics
+/// Panics if `block` is zero or does not divide `n`, or `fill` is
+/// outside `[0, 1]`.
+pub fn fem_blocked(n: usize, block: usize, coupling: usize, fill: f64, seed: u64) -> Triplets<f64> {
+    assert!(block > 0 && n.is_multiple_of(block), "block must divide n");
+    assert!((0.0..=1.0).contains(&fill), "fill must be in [0, 1]");
+    let nb = n / block;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Triplets::new(n, n);
+    let push_block = |t: &mut Triplets<f64>, rng: &mut StdRng, bi: usize, bj: usize| {
+        for rr in 0..block {
+            for cc in 0..block {
+                let (r, c) = (bi * block + rr, bj * block + cc);
+                if r == c {
+                    // Dominant diagonal: bounds the row sum of every
+                    // coupled block.
+                    t.push(r, c, 2.0 * (block * (2 * coupling + 1)) as f64);
+                } else if rng.gen_range(0.0..1.0) < fill {
+                    t.push(r, c, rng.gen_range(-1.0..1.0));
+                }
+            }
+        }
+    };
+    for bi in 0..nb {
+        push_block(&mut t, &mut rng, bi, bi);
+        for d in 1..=coupling {
+            if bi + d < nb {
+                push_block(&mut t, &mut rng, bi, bi + d);
+                push_block(&mut t, &mut rng, bi + d, bi);
+            }
+        }
+    }
+    t.normalize();
+    t
+}
+
 /// A deterministic dense vector with entries in `[-1, 1)`.
 pub fn dense_vector(n: usize, seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -26,6 +26,7 @@
 //!   and synthetic workload generators (including the `can_1072`-like
 //!   matrix substituting for the Harwell–Boeing input of the paper's §5).
 
+pub mod blocks;
 pub mod convert;
 pub mod cursor;
 pub mod formats;
@@ -36,8 +37,10 @@ pub mod scalar;
 pub mod triplet;
 pub mod view;
 
+pub use blocks::{block_fill, discover_block_size, discover_strips, BlockReport};
 pub use convert::{AnyFormat, FormatError, FORMAT_NAMES};
 pub use cursor::{ChainCursor, KeyTuple, Position, SparseView};
+pub use formats::bsr::Bsr;
 pub use formats::coo::Coo;
 pub use formats::csc::Csc;
 pub use formats::csr::Csr;
@@ -48,6 +51,7 @@ pub use formats::ell::Ell;
 pub use formats::jad::Jad;
 pub use formats::sky::Sky;
 pub use formats::sparsevec::{HashVec, SparseVec};
+pub use formats::vbr::Vbr;
 pub use scalar::Scalar;
 pub use triplet::Triplets;
 pub use view::{

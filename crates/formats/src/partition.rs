@@ -88,7 +88,7 @@ mod tests {
         for nb in 1..10 {
             let b = split_ptr_by_cost(&ptr, nb);
             assert_eq!(b[0], 0);
-            assert_eq!(*b.last().unwrap(), 7);
+            assert_eq!(b[b.len() - 1], 7);
             assert!(b.windows(2).all(|w| w[0] < w[1]), "monotone: {b:?}");
             assert!(b.len() <= nb + 1);
         }
@@ -101,7 +101,7 @@ mod tests {
         let mut ptr = vec![0usize];
         for i in 0..100 {
             let cost = if i == 0 { 1000 } else { 1 };
-            ptr.push(ptr.last().unwrap() + cost);
+            ptr.push(ptr[ptr.len() - 1] + cost);
         }
         let b = split_ptr_by_cost(&ptr, 4);
         let costs = block_costs(&ptr, &b);

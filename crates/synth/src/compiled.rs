@@ -45,7 +45,7 @@ use crate::interp::{run_plan, ExecEnv, PlanError};
 use crate::plan::{Plan, StepKind, ValueSource};
 use crate::search::SynthError;
 use bernoulli_formats::view::FormatView;
-use bernoulli_formats::{Coo, Csc, Csr, Dia, Ell, Jad, Sky};
+use bernoulli_formats::{Bsr, Coo, Csc, Csr, Dia, Ell, Jad, Sky, Vbr};
 use bernoulli_ir::{ArrayKind, Program, Role};
 use bernoulli_kernel_cache::{Artifact, KernelCacheError, KernelStore, Library};
 use std::collections::HashMap;
@@ -215,6 +215,8 @@ pub enum KernelArg<'a> {
     Ell(&'a Ell<f64>),
     Jad(&'a Jad<f64>),
     Sky(&'a Sky<f64>),
+    Bsr(&'a Bsr<f64>),
+    Vbr(&'a Vbr<f64>),
     /// Read-only dense vector.
     In(&'a [f64]),
     /// Writable dense vector.
@@ -234,6 +236,8 @@ impl KernelArg<'_> {
             KernelArg::Ell(_) => "ell",
             KernelArg::Jad(_) => "jad",
             KernelArg::Sky(_) => "sky",
+            KernelArg::Bsr(_) => "bsr",
+            KernelArg::Vbr(_) => "vbr",
             KernelArg::In(_) => "vec-in",
             KernelArg::Out(_) | KernelArg::OutShared(_) => "vec-out",
         }
@@ -265,9 +269,20 @@ impl SliceTy {
     }
 }
 
+/// The marshalling/mirror identity of a view name: every `bsr{R}x{C}`
+/// view shares the `"bsr"` layout and mirror struct (the block shape is
+/// carried in `dims`, specialized as literals in the body).
+fn view_base(view: &str) -> &str {
+    if crate::emit::parse_bsr(view).is_some() {
+        "bsr"
+    } else {
+        view
+    }
+}
+
 fn view_marshal(view: &str) -> Option<ViewMarshal> {
     use SliceTy::*;
-    Some(match view {
+    Some(match view_base(view) {
         "csr" => ViewMarshal {
             dims: &["nrows", "ncols"],
             slices: &[("rowptr", Usize), ("colind", Usize), ("values", F64)],
@@ -309,6 +324,23 @@ fn view_marshal(view: &str) -> Option<ViewMarshal> {
             dims: &["n"],
             slices: &[("lo", Usize), ("ptr", Usize), ("values", F64)],
         },
+        "bsr" => ViewMarshal {
+            dims: &["nrows", "ncols", "r", "c"],
+            slices: &[("browptr", Usize), ("bcolind", Usize), ("values", F64)],
+        },
+        "vbr" => ViewMarshal {
+            dims: &["nrows", "ncols"],
+            slices: &[
+                ("val", F64),
+                ("indx", Usize),
+                ("bindx", Usize),
+                ("rpntr", Usize),
+                ("cpntr", Usize),
+                ("bpntrb", Usize),
+                ("bpntre", Usize),
+                ("rowblk", Usize),
+            ],
+        },
         _ => return None,
     })
 }
@@ -317,7 +349,7 @@ fn view_marshal(view: &str) -> Option<ViewMarshal> {
 /// search semantics) emitted into the self-contained kernel source for
 /// a view, so the generated body compiles without this workspace.
 fn mirror_decl(view: &str) -> Option<&'static str> {
-    Some(match view {
+    Some(match view_base(view) {
         "csr" => {
             r#"pub struct Csr<T: 'static = f64> {
     pub nrows: usize,
@@ -464,6 +496,62 @@ impl<T> Sky<T> {
 }
 "#
         }
+        "bsr" => {
+            r#"pub struct Bsr<T: 'static = f64> {
+    pub nrows: usize,
+    pub ncols: usize,
+    pub r: usize,
+    pub c: usize,
+    pub browptr: &'static [usize],
+    pub bcolind: &'static [usize],
+    pub values: &'static [T],
+}
+impl<T> Bsr<T> {
+    #[inline]
+    pub fn find(&self, row: usize, col: usize) -> Option<usize> {
+        let br = row / self.r;
+        let (lo, hi) = (self.browptr[br], self.browptr[br + 1]);
+        self.bcolind[lo..hi]
+            .binary_search(&(col / self.c))
+            .ok()
+            .map(|k| ((lo + k) * self.r + row % self.r) * self.c + col % self.c)
+    }
+}
+"#
+        }
+        "vbr" => {
+            r#"pub struct Vbr<T: 'static = f64> {
+    pub nrows: usize,
+    pub ncols: usize,
+    pub val: &'static [T],
+    pub indx: &'static [usize],
+    pub bindx: &'static [usize],
+    pub rpntr: &'static [usize],
+    pub cpntr: &'static [usize],
+    pub bpntrb: &'static [usize],
+    pub bpntre: &'static [usize],
+    pub rowblk: &'static [usize],
+}
+impl<T> Vbr<T> {
+    #[inline]
+    pub fn find(&self, row: usize, col: usize) -> Option<usize> {
+        let br = self.rowblk[row];
+        let rr = row - self.rpntr[br];
+        for b in self.bpntrb[br]..self.bpntre[br] {
+            let bc = self.bindx[b];
+            if col < self.cpntr[bc] {
+                return None;
+            }
+            if col < self.cpntr[bc + 1] {
+                let w = self.cpntr[bc + 1] - self.cpntr[bc];
+                return Some(self.indx[b] + rr * w + (col - self.cpntr[bc]));
+            }
+        }
+        None
+    }
+}
+"#
+        }
         _ => return None,
     })
 }
@@ -577,8 +665,10 @@ pub(crate) fn cdylib_source(
     let mut seen: Vec<&str> = Vec::new();
     for (_, spec) in &sig.args {
         if let ArgSpec::View(v) = spec {
-            if !seen.contains(&v.as_str()) {
-                seen.push(v);
+            // Dedup on the marshalling base so two block shapes of the
+            // same format share one mirror struct.
+            if !seen.contains(&view_base(v)) {
+                seen.push(view_base(v));
                 if let Some(decl) = mirror_decl(v) {
                     out.push_str(decl);
                     out.push('\n');
@@ -622,7 +712,7 @@ pub(crate) fn cdylib_source(
                     array: name.clone(),
                     view: v.clone(),
                 })?;
-                let ty = match v.as_str() {
+                let ty = match view_base(v) {
                     "csr" => "Csr",
                     "csc" => "Csc",
                     "coo" => "Coo",
@@ -630,6 +720,8 @@ pub(crate) fn cdylib_source(
                     "ell" => "Ell",
                     "jad" => "Jad",
                     "sky" => "Sky",
+                    "bsr" => "Bsr",
+                    "vbr" => "Vbr",
                     _ => {
                         return Err(LoadError::UnsupportedView {
                             array: name.clone(),
@@ -650,7 +742,7 @@ pub(crate) fn cdylib_source(
                     "        let {var} = {ty}::<f64> {{ {} }};\n",
                     fields.join(", ")
                 ));
-                if outer_nrows.is_none() && matches!(v.as_str(), "csr" | "ell") {
+                if outer_nrows.is_none() && matches!(view_base(v), "csr" | "ell" | "bsr" | "vbr") {
                     outer_nrows = Some(format!("{var}.nrows"));
                 }
                 call_args.push(format!("&{var}"));
@@ -893,6 +985,9 @@ fn marshal(
         detail: format!("operand {name:?}: expected {want}, got {got}"),
     };
     let matches_spec = match (spec, &*arg) {
+        // A BSR view name carries the block shape the kernel was
+        // specialized for; the operand must match it exactly.
+        (ArgSpec::View(v), KernelArg::Bsr(m)) => crate::emit::parse_bsr(v) == Some((m.r, m.c)),
         (ArgSpec::View(v), a) => v == a.kind(),
         (ArgSpec::VecIn, KernelArg::In(_)) => true,
         (ArgSpec::VecOut, KernelArg::Out(_) | KernelArg::OutShared(_)) => true,
@@ -953,6 +1048,23 @@ fn marshal(
             slices.push(raw(m.lo.as_ptr() as *const u8, m.lo.len()));
             slices.push(raw(m.ptr.as_ptr() as *const u8, m.ptr.len()));
             slices.push(raw(m.values.as_ptr() as *const u8, m.values.len()));
+        }
+        KernelArg::Bsr(m) => {
+            dims.extend([m.nrows, m.ncols, m.r, m.c]);
+            slices.push(raw(m.browptr.as_ptr() as *const u8, m.browptr.len()));
+            slices.push(raw(m.bcolind.as_ptr() as *const u8, m.bcolind.len()));
+            slices.push(raw(m.values.as_ptr() as *const u8, m.values.len()));
+        }
+        KernelArg::Vbr(m) => {
+            dims.extend([m.nrows, m.ncols]);
+            slices.push(raw(m.val.as_ptr() as *const u8, m.val.len()));
+            slices.push(raw(m.indx.as_ptr() as *const u8, m.indx.len()));
+            slices.push(raw(m.bindx.as_ptr() as *const u8, m.bindx.len()));
+            slices.push(raw(m.rpntr.as_ptr() as *const u8, m.rpntr.len()));
+            slices.push(raw(m.cpntr.as_ptr() as *const u8, m.cpntr.len()));
+            slices.push(raw(m.bpntrb.as_ptr() as *const u8, m.bpntrb.len()));
+            slices.push(raw(m.bpntre.as_ptr() as *const u8, m.bpntre.len()));
+            slices.push(raw(m.rowblk.as_ptr() as *const u8, m.rowblk.len()));
         }
         KernelArg::In(x) => {
             slices.push(raw(x.as_ptr() as *const u8, x.len()));
@@ -1068,6 +1180,8 @@ pub(crate) fn interp_positional(
             KernelArg::Ell(m) => env.bind_sparse(&decl.name, *m),
             KernelArg::Jad(m) => env.bind_sparse(&decl.name, *m),
             KernelArg::Sky(m) => env.bind_sparse(&decl.name, *m),
+            KernelArg::Bsr(m) => env.bind_sparse(&decl.name, *m),
+            KernelArg::Vbr(m) => env.bind_sparse(&decl.name, *m),
             KernelArg::In(x) => env.bind_vec(&decl.name, x.to_vec()),
             KernelArg::Out(y) => env.bind_vec(&decl.name, y.to_vec()),
             KernelArg::OutShared(_) => {

@@ -31,8 +31,33 @@ impl std::fmt::Display for EmitError {
 
 impl std::error::Error for EmitError {}
 
+/// Parses a BSR view name (`bsr{r}x{c}`) into its block shape. The
+/// shape rides in the name so the emitter can unroll the within-block
+/// loop with literal bounds (and so plans for distinct shapes never
+/// collide in the plan cache).
+pub(crate) fn parse_bsr(view_name: &str) -> Option<(usize, usize)> {
+    let (r, c) = view_name.strip_prefix("bsr")?.split_once('x')?;
+    match (r.parse(), c.parse()) {
+        (Ok(r), Ok(c)) if r > 0 && c > 0 => Some((r, c)),
+        _ => None,
+    }
+}
+
+/// The per-(chain, level) template name for a view: BSR's shape-carrying
+/// names all share the `bsr` templates.
+fn template_name(view_name: &str) -> &str {
+    if parse_bsr(view_name).is_some() {
+        "bsr"
+    } else {
+        view_name
+    }
+}
+
 /// The Rust type for a view name.
 fn rust_type(view_name: &str) -> Result<&'static str, EmitError> {
+    if parse_bsr(view_name).is_some() {
+        return Ok("Bsr<f64>");
+    }
     Ok(match view_name {
         "dense" => "Dense<f64>",
         "coo" => "Coo<f64>",
@@ -43,6 +68,7 @@ fn rust_type(view_name: &str) -> Result<&'static str, EmitError> {
         "jad" => "Jad<f64>",
         "diagsplit" => "DiagSplit<f64>",
         "sky" => "Sky<f64>",
+        "vbr" => "Vbr<f64>",
         "spvec" => "SparseVec<f64>",
         "hashvec" => "HashVec<f64>",
         other => return Err(EmitError(format!("no Rust type for view {other:?}"))),
@@ -420,7 +446,10 @@ pub fn range_splittable(p: &Program, plan: &Plan, views: &HashMap<String, Format
     if step.dir != Dir::Fwd
         || primary.level != 0
         || primary.chain != 0
-        || !matches!(view.name.as_str(), "csr" | "ell" | "dense")
+        || !matches!(
+            template_name(&view.name),
+            "csr" | "ell" | "dense" | "bsr" | "vbr"
+        )
     {
         return false;
     }
@@ -531,7 +560,9 @@ impl Emitter<'_> {
             self.line(&format!("let _ = {}_;", q.to_lowercase()));
         }
 
-        self.nest(0)?;
+        if !self.bsr_tiled_nest()? && !self.vbr_tiled_nest()? {
+            self.nest(0)?;
+        }
 
         self.indent -= 1;
         self.line("}");
@@ -539,6 +570,302 @@ impl Emitter<'_> {
             self.out.insert_str(helper_at, IX_HELPER);
         }
         Ok(())
+    }
+
+    /// Register-tiled emission of the blocked gather pattern: a
+    /// two-step plan `rows (bsr level 0) → blocks (bsr level 1)` whose
+    /// single full-depth statement reduces into a promoted
+    /// row-invariant element (the MVM shape). The generic nest walks
+    /// each block row `R` times — once per logical row — with a single
+    /// serial accumulator chain; this template walks it once with `R`
+    /// independent accumulators, one per row of the block row. Each
+    /// row's reduction order is unchanged (blocks ascending, then
+    /// within-block columns ascending), so results stay bitwise
+    /// identical to the generic nest and the interpreter; the win is
+    /// that the `R` dependency chains now retire in parallel, which is
+    /// exactly where the hand-written micro-kernels get their
+    /// throughput. Rows outside the leading/trailing block boundary
+    /// (reachable only through the ranged entry) run the generic
+    /// scalar per-row body.
+    ///
+    /// Returns `Ok(false)` — emit nothing — when the plan is not this
+    /// shape.
+    fn bsr_tiled_nest(&mut self) -> Result<bool, EmitError> {
+        if self.plan.steps.len() != 2 || self.plan.execs.len() != 1 {
+            return Ok(false);
+        }
+        let (s0, s1) = (self.plan.steps[0].clone(), self.plan.steps[1].clone());
+        let (StepKind::Level { primary: p0, .. }, StepKind::Level { primary: p1, .. }) =
+            (&s0.kind, &s1.kind)
+        else {
+            return Ok(false);
+        };
+        let e = self.plan.execs[0].clone();
+        let Some(pr) = self.promotion.clone() else {
+            return Ok(false);
+        };
+        let view_name = match self.views.get(&p0.matrix) {
+            Some(v) => v.name.clone(),
+            None => return Ok(false),
+        };
+        let Some((rb, cb)) = parse_bsr(&view_name) else {
+            return Ok(false);
+        };
+        if rb < 2
+            || s0.dir != Dir::Fwd
+            || s1.dir != Dir::Fwd
+            || (p0.chain, p0.level) != (0, 0)
+            || (p1.chain, p1.level) != (0, 1)
+            || p0.ref_id != p1.ref_id
+            || s0.nslots != 1
+            || s1.nslots != 1
+            || !s0.searches.is_empty()
+            || !s1.searches.is_empty()
+            || !s0.sharers.is_empty()
+            || !s1.sharers.is_empty()
+            || e.depth != 2
+            || pr.deferred_div.is_some()
+        {
+            return Ok(false);
+        }
+
+        let m = self.mat(&p0.matrix).to_string();
+        let arr = self.mat(&pr.array).to_string();
+        let v0 = slot_var(s0.first_slot);
+        let v1 = slot_var(s1.first_slot);
+        let pv0 = pos_var(p0.ref_id, 0);
+        let pv1 = pos_var(p1.ref_id, 1);
+
+        if self.ranged {
+            self.line("let mut r0__ = row_lo__;");
+            self.line("let rend__ = row_hi__;");
+        } else {
+            self.line("let mut r0__ = 0i64;");
+            self.line(&format!("let rend__ = {m}.nrows as i64;"));
+        }
+        // Scalar rows up to the first block-row boundary (a no-op from
+        // the full entry: row 0 is always aligned).
+        let scalar_row = |this: &mut Self| -> Result<(), EmitError> {
+            this.line(&format!("let {v0} = r0__;"));
+            this.line(&format!("let {pv0} = {v0} as usize;"));
+            this.nest(1)?;
+            this.line("r0__ += 1;");
+            Ok(())
+        };
+        self.line(&format!(
+            "while r0__ < rend__ && !(r0__ as usize).is_multiple_of({rb}) {{"
+        ));
+        self.indent += 1;
+        scalar_row(self)?;
+        self.indent -= 1;
+        self.line("}");
+
+        // Full block rows, one walk, R register accumulators.
+        let (blo, bhi, bcol) = (
+            self.ix(&format!("{m}.browptr"), "br__"),
+            self.ix(&format!("{m}.browptr"), "br__ + 1"),
+            self.ix(&format!("{m}.bcolind"), "b__"),
+        );
+        self.line(&format!("while r0__ + {rb} <= rend__ {{"));
+        self.indent += 1;
+        self.line(&format!("let br__ = (r0__ as usize) / {rb};"));
+        for k in 0..rb {
+            self.line(&format!("let {v0} = r0__ + {k};"));
+            let idx = self.pexpr(&pr.idx);
+            self.line(&format!("let mut acc{k}t__ = {arr}[({idx}) as usize];"));
+        }
+        self.line(&format!("for b__ in {blo}..{bhi} {{"));
+        self.indent += 1;
+        self.line(&format!("let base__ = b__ * {};", rb * cb));
+        self.line(&format!("let c0__ = {bcol} * {cb};"));
+        self.line(&format!("for s__ in 0..{cb} {{"));
+        self.indent += 1;
+        self.line(&format!("let {v1} = (c0__ + s__) as i64;"));
+        self.line(&format!("let _ = {v1};"));
+        for k in 0..rb {
+            self.line(&format!("let {v0} = r0__ + {k};"));
+            self.line(&format!("let _ = {v0};"));
+            self.line(&format!("let {pv1} = base__ + {} + s__;", k * cb));
+            self.line(&format!("let _ = {pv1};"));
+            if let Some(p) = self.promotion.as_mut() {
+                p.reg = format!("acc{k}t__");
+            }
+            self.exec(&e)?;
+        }
+        self.promotion = Some(pr.clone());
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("}");
+        for k in 0..rb {
+            self.line(&format!("let {v0} = r0__ + {k};"));
+            let idx = self.pexpr(&pr.idx);
+            self.line(&format!("{arr}[({idx}) as usize] = acc{k}t__;"));
+        }
+        self.line(&format!("r0__ += {rb};"));
+        self.indent -= 1;
+        self.line("}");
+
+        // Scalar rows after the last full block row (ranged entries
+        // whose band ends mid-block).
+        self.line("while r0__ < rend__ {");
+        self.indent += 1;
+        scalar_row(self)?;
+        self.indent -= 1;
+        self.line("}");
+        Ok(true)
+    }
+
+    /// Strip-tiled emission of the VBR gather pattern: the same
+    /// two-step blocked-MVM shape as [`Self::bsr_tiled_nest`], but the
+    /// strip extents are runtime data (`rpntr`/`cpntr`), so the tile
+    /// height is the strip height read at run time instead of a
+    /// compile-time literal. Each full strip walks its stored blocks
+    /// once with one accumulator per strip row — spilled to a reused
+    /// buffer between blocks, held in a register inside each block —
+    /// where the generic nest walks the strip's blocks once per row.
+    /// Each row's reduction order (blocks ascending, then within-block
+    /// columns ascending) is unchanged, so results stay bitwise
+    /// identical to the generic nest and the interpreter. Rows whose
+    /// strip extends outside the entry's row range (reachable only
+    /// through the ranged entry; the partitioner is strip-aligned) run
+    /// the generic scalar per-row body.
+    ///
+    /// Returns `Ok(false)` — emit nothing — when the plan is not this
+    /// shape.
+    fn vbr_tiled_nest(&mut self) -> Result<bool, EmitError> {
+        if self.plan.steps.len() != 2 || self.plan.execs.len() != 1 {
+            return Ok(false);
+        }
+        let (s0, s1) = (self.plan.steps[0].clone(), self.plan.steps[1].clone());
+        let (StepKind::Level { primary: p0, .. }, StepKind::Level { primary: p1, .. }) =
+            (&s0.kind, &s1.kind)
+        else {
+            return Ok(false);
+        };
+        let e = self.plan.execs[0].clone();
+        let Some(pr) = self.promotion.clone() else {
+            return Ok(false);
+        };
+        let view_name = match self.views.get(&p0.matrix) {
+            Some(v) => v.name.clone(),
+            None => return Ok(false),
+        };
+        if template_name(&view_name) != "vbr"
+            || s0.dir != Dir::Fwd
+            || s1.dir != Dir::Fwd
+            || (p0.chain, p0.level) != (0, 0)
+            || (p1.chain, p1.level) != (0, 1)
+            || p0.ref_id != p1.ref_id
+            || s0.nslots != 1
+            || s1.nslots != 1
+            || !s0.searches.is_empty()
+            || !s1.searches.is_empty()
+            || !s0.sharers.is_empty()
+            || !s1.sharers.is_empty()
+            || e.depth != 2
+            || pr.deferred_div.is_some()
+        {
+            return Ok(false);
+        }
+
+        let m = self.mat(&p0.matrix).to_string();
+        let arr = self.mat(&pr.array).to_string();
+        let v0 = slot_var(s0.first_slot);
+        let v1 = slot_var(s1.first_slot);
+        let pv0 = pos_var(p0.ref_id, 0);
+        let pv1 = pos_var(p1.ref_id, 1);
+
+        if self.ranged {
+            self.line("let mut r0__ = row_lo__;");
+            self.line("let rend__ = row_hi__;");
+        } else {
+            self.line("let mut r0__ = 0i64;");
+            self.line(&format!("let rend__ = {m}.nrows as i64;"));
+        }
+        self.line("let mut accv__: Vec<f64> = Vec::new();");
+        let rowblk = self.ix(&format!("{m}.rowblk"), "r0__ as usize");
+        let (rp0, rp1) = (
+            self.ix(&format!("{m}.rpntr"), "br__"),
+            self.ix(&format!("{m}.rpntr"), "br__ + 1"),
+        );
+        self.line("while r0__ < rend__ {");
+        self.indent += 1;
+        self.line(&format!("let br__ = {rowblk};"));
+        self.line(&format!("let s0__ = {rp0} as i64;"));
+        self.line(&format!("let s1__ = {rp1} as i64;"));
+        self.line("if r0__ == s0__ && s1__ <= rend__ {");
+        self.indent += 1;
+        // Full strip: one block walk, one accumulator per strip row.
+        self.line("let h__ = (s1__ - s0__) as usize;");
+        self.line("accv__.clear();");
+        self.line("for k__ in 0..h__ {");
+        self.indent += 1;
+        self.line(&format!("let {v0} = s0__ + k__ as i64;"));
+        let idx = self.pexpr(&pr.idx);
+        self.line(&format!("accv__.push({arr}[({idx}) as usize]);"));
+        self.indent -= 1;
+        self.line("}");
+        let (blo, bhi) = (
+            self.ix(&format!("{m}.bpntrb"), "br__"),
+            self.ix(&format!("{m}.bpntre"), "br__"),
+        );
+        let bcol = self.ix(&format!("{m}.bindx"), "b__");
+        let (cj0, cj1) = (
+            self.ix(&format!("{m}.cpntr"), "bc__"),
+            self.ix(&format!("{m}.cpntr"), "bc__ + 1"),
+        );
+        let base = self.ix(&format!("{m}.indx"), "b__");
+        self.line(&format!("for b__ in {blo}..{bhi} {{"));
+        self.indent += 1;
+        self.line(&format!("let bc__ = {bcol};"));
+        self.line(&format!("let cj0__ = {cj0};"));
+        self.line(&format!("let w__ = {cj1} - cj0__;"));
+        self.line(&format!("let bbase__ = {base};"));
+        self.line("for k__ in 0..h__ {");
+        self.indent += 1;
+        self.line("let mut acct__ = accv__[k__];");
+        self.line(&format!("let {v0} = s0__ + k__ as i64;"));
+        self.line(&format!("let _ = {v0};"));
+        self.line("for s__ in 0..w__ {");
+        self.indent += 1;
+        self.line(&format!("let {v1} = (cj0__ + s__) as i64;"));
+        self.line(&format!("let _ = {v1};"));
+        self.line(&format!("let {pv1} = bbase__ + k__ * w__ + s__;"));
+        self.line(&format!("let _ = {pv1};"));
+        if let Some(p) = self.promotion.as_mut() {
+            p.reg = "acct__".into();
+        }
+        self.exec(&e)?;
+        self.promotion = Some(pr.clone());
+        self.indent -= 1;
+        self.line("}");
+        self.line("accv__[k__] = acct__;");
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("}");
+        self.line("for k__ in 0..h__ {");
+        self.indent += 1;
+        self.line(&format!("let {v0} = s0__ + k__ as i64;"));
+        let idx = self.pexpr(&pr.idx);
+        self.line(&format!("{arr}[({idx}) as usize] = accv__[k__];"));
+        self.indent -= 1;
+        self.line("}");
+        self.line("r0__ = s1__;");
+        self.indent -= 1;
+        self.line("} else {");
+        self.indent += 1;
+        // A strip cut by the entry's row range: generic per-row body.
+        self.line(&format!("let {v0} = r0__;"));
+        self.line(&format!("let {pv0} = {v0} as usize;"));
+        self.nest(1)?;
+        self.line("r0__ += 1;");
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("}");
+        Ok(true)
     }
 
     /// `ix(&arr, i)` — the unchecked-in-release read of a format-owned
@@ -698,11 +1025,73 @@ impl Emitter<'_> {
         } else {
             format!("0..{m}.nrows as i64")
         };
-        match (view_name.as_str(), primary.chain, primary.level) {
-            ("csr", 0, 0) | ("ell", 0, 0) => {
+        // Most templates open a single loop; the two-level blocked
+        // formats open a block loop plus a within-block loop.
+        let mut opened = 1usize;
+        match (template_name(&view_name), primary.chain, primary.level) {
+            ("csr", 0, 0) | ("ell", 0, 0) | ("bsr", 0, 0) | ("vbr", 0, 0) => {
                 self.line(&format!("for {v0} in {row_range} {{"));
                 self.indent += 1;
                 self.line(&format!("let {pv} = {v0} as usize;"));
+            }
+            ("bsr", 0, 1) => {
+                // Blocked row walk: the outer loop runs over the stored
+                // blocks of the parent row's block row, the inner over
+                // the row's contiguous slice of each block. The block
+                // shape is a compile-time literal (from the view name),
+                // so LLVM fully unrolls the inner loop.
+                let Some((rb, cb)) = parse_bsr(&view_name) else {
+                    return Err(EmitError(format!(
+                        "bsr template on non-bsr view {view_name}"
+                    )));
+                };
+                let (blo, bhi, bcol) = (
+                    self.ix(&format!("{m}.browptr"), "br__"),
+                    self.ix(&format!("{m}.browptr"), "br__ + 1"),
+                    self.ix(&format!("{m}.bcolind"), "b__"),
+                );
+                self.line(&format!("let br__ = {parent} / {rb};"));
+                self.line(&format!("let rr__ = {parent} % {rb};"));
+                self.line(&format!("for b__ in {blo}..{bhi} {{"));
+                self.indent += 1;
+                self.line(&format!("let base__ = (b__ * {rb} + rr__) * {cb};"));
+                self.line(&format!("let c0__ = {bcol} * {cb};"));
+                self.line(&format!("for s__ in 0..{cb} {{"));
+                self.indent += 1;
+                self.line(&format!("let {pv} = base__ + s__;"));
+                self.line(&format!("let {v0} = (c0__ + s__) as i64;"));
+                opened = 2;
+            }
+            ("vbr", 0, 1) => {
+                // Variable block strips: block extents are runtime data
+                // (`cpntr`), so the within-block trip count is hoisted
+                // per block; the inner loop is a fixed-stride slice walk
+                // that autovectorizes.
+                let rowblk = self.ix(&format!("{m}.rowblk"), &parent);
+                let rp = self.ix(&format!("{m}.rpntr"), "br__");
+                let (blo, bhi) = (
+                    self.ix(&format!("{m}.bpntrb"), "br__"),
+                    self.ix(&format!("{m}.bpntre"), "br__"),
+                );
+                let bcol = self.ix(&format!("{m}.bindx"), "b__");
+                let (cj0, cj1) = (
+                    self.ix(&format!("{m}.cpntr"), "bc__"),
+                    self.ix(&format!("{m}.cpntr"), "bc__ + 1"),
+                );
+                let base = self.ix(&format!("{m}.indx"), "b__");
+                self.line(&format!("let br__ = {rowblk};"));
+                self.line(&format!("let rr__ = {parent} - {rp};"));
+                self.line(&format!("for b__ in {blo}..{bhi} {{"));
+                self.indent += 1;
+                self.line(&format!("let bc__ = {bcol};"));
+                self.line(&format!("let cj0__ = {cj0};"));
+                self.line(&format!("let w__ = {cj1} - cj0__;"));
+                self.line(&format!("let base__ = {base} + rr__ * w__;"));
+                self.line("for s__ in 0..w__ {");
+                self.indent += 1;
+                self.line(&format!("let {pv} = base__ + s__;"));
+                self.line(&format!("let {v0} = (cj0__ + s__) as i64;"));
+                opened = 2;
             }
             ("csr", 0, 1) => {
                 self.line(&format!(
@@ -842,8 +1231,10 @@ impl Emitter<'_> {
             }
         }
         self.step_tail(si, step)?;
-        self.indent -= 1;
-        self.line("}");
+        for _ in 0..opened {
+            self.indent -= 1;
+            self.line("}");
+        }
         Ok(())
     }
 
@@ -930,7 +1321,13 @@ impl Emitter<'_> {
         }
         let k0 = keys[0].clone();
 
-        let find = match (view_name.as_str(), sp.target.chain, lev) {
+        let find = match (template_name(&view_name), sp.target.chain, lev) {
+            ("bsr", 0, 0) | ("vbr", 0, 0) => format!(
+                "if ({k0}) >= 0 && ({k0}) < {m}.nrows as i64 {{ Some(({k0}) as usize) }} else {{ None }}"
+            ),
+            ("bsr", 0, 1) | ("vbr", 0, 1) => format!(
+                "if ({k0}) >= 0 {{ {m}.find({parent}, ({k0}) as usize) }} else {{ None }}"
+            ),
             ("csr", 0, 0) | ("ell", 0, 0) => format!(
                 "if ({k0}) >= 0 && ({k0}) < {m}.nrows as i64 {{ Some(({k0}) as usize) }} else {{ None }}"
             ),
@@ -1304,6 +1701,7 @@ impl Emitter<'_> {
             ("dense", _) => self.ix(&format!("{m}.data"), pv),
             ("diagsplit", 0) => self.ix(&format!("{m}.diag"), pv),
             ("diagsplit", 1) => self.ix(&format!("{m}.off.values"), pv),
+            ("vbr", _) => self.ix(&format!("{m}.val"), pv),
             _ => self.ix(&format!("{m}.values"), pv),
         })
     }

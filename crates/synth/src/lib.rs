@@ -64,7 +64,7 @@ pub use config::{Config, ConfigError, RefInst, StmtCopy};
 pub use cost::{cost_floor, WorkloadStats};
 pub use emit::{emit_module, emit_rust, emit_rust_ranged, range_splittable, EmitError};
 pub use interp::{run_plan, ExecEnv, PlanError, RunStats};
-pub use persist::{PersistStats, PersistentPlanCache};
+pub use persist::{PersistStats, PersistentPlanCache, DEFAULT_MAX_BYTES, DEFAULT_MAX_ENTRIES};
 pub use plan::{Plan, Step};
 pub use search::{
     plan_cache_clear, plan_cache_stats, synthesize, synthesize_all, synthesize_all_report,

@@ -782,15 +782,39 @@ pub struct PersistentPlanCache {
     /// The most recent decode rejection, kept for diagnostics (the
     /// load path itself treats every rejection as a plain miss).
     last_error: Mutex<Option<String>>,
+    /// Entry-count cap enforced by [`gc`](PersistentPlanCache::gc).
+    max_entries: usize,
+    /// Total-size cap (bytes) enforced by [`gc`](PersistentPlanCache::gc).
+    max_bytes: u64,
 }
+
+/// Default entry-count cap of [`PersistentPlanCache::new`] — generous
+/// (a busy multi-tenant service stays well under it) but finite, so a
+/// long-lived shared directory cannot grow without bound.
+pub const DEFAULT_MAX_ENTRIES: usize = 4096;
+
+/// Default total-size cap of [`PersistentPlanCache::new`]: 64 MiB.
+pub const DEFAULT_MAX_BYTES: u64 = 64 * 1024 * 1024;
 
 /// Uniquifies temp-file names across threads within this process; the
 /// pid distinguishes processes.
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl PersistentPlanCache {
-    /// A store rooted at `dir` (created lazily on first write).
+    /// A store rooted at `dir` (created lazily on first write), bounded
+    /// by [`DEFAULT_MAX_ENTRIES`] / [`DEFAULT_MAX_BYTES`].
     pub fn new(dir: impl Into<PathBuf>) -> PersistentPlanCache {
+        PersistentPlanCache::with_limits(dir, DEFAULT_MAX_ENTRIES, DEFAULT_MAX_BYTES)
+    }
+
+    /// A store with explicit size bounds: at most `max_entries` entry
+    /// files totalling at most `max_bytes` bytes, enforced oldest-first
+    /// by [`gc`](PersistentPlanCache::gc) after every store.
+    pub fn with_limits(
+        dir: impl Into<PathBuf>,
+        max_entries: usize,
+        max_bytes: u64,
+    ) -> PersistentPlanCache {
         PersistentPlanCache {
             dir: dir.into(),
             hits: AtomicU64::new(0),
@@ -798,6 +822,8 @@ impl PersistentPlanCache {
             writes: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             last_error: Mutex::new(None),
+            max_entries,
+            max_bytes,
         }
     }
 
@@ -912,6 +938,57 @@ impl PersistentPlanCache {
             return;
         }
         self.writes.fetch_add(1, Ordering::Relaxed);
+        self.gc();
+    }
+
+    /// Evicts entry files, oldest modification time first, until the
+    /// directory is within both the entry-count and total-byte caps.
+    /// Returns how many files were removed. Runs automatically after
+    /// every store; exposed so services
+    /// can also sweep on a schedule (e.g. after shrinking the caps).
+    ///
+    /// Eviction is cooperative under concurrency: entries are published
+    /// atomically, so removing one can never expose a partial file, and
+    /// a concurrently re-stored entry simply reappears (newest mtime)
+    /// on the next write.
+    pub fn gc(&self) -> usize {
+        let rd = match std::fs::read_dir(&self.dir) {
+            Ok(rd) => rd,
+            Err(_) => return 0,
+        };
+        let mut entries: Vec<(std::time::SystemTime, u64, PathBuf)> = rd
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_str()
+                    .is_some_and(|n| n.starts_with("plan-") && n.ends_with(".bsp"))
+            })
+            .filter_map(|e| {
+                let md = e.metadata().ok()?;
+                let mtime = md.modified().ok()?;
+                Some((mtime, md.len(), e.path()))
+            })
+            .collect();
+        let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        if entries.len() <= self.max_entries && total <= self.max_bytes {
+            return 0;
+        }
+        // Oldest first; path tie-breaks equal timestamps so eviction
+        // order is deterministic on coarse-mtime filesystems.
+        entries.sort_by(|a, b| (a.0, &a.2).cmp(&(b.0, &b.2)));
+        let mut removed = 0usize;
+        let mut keep = entries.len();
+        for (_, len, path) in &entries {
+            if keep <= self.max_entries && total <= self.max_bytes {
+                break;
+            }
+            if std::fs::remove_file(path).is_ok() {
+                removed += 1;
+                keep -= 1;
+                total = total.saturating_sub(*len);
+            }
+        }
+        removed
     }
 
     /// How many entries the directory currently holds (bench reporting).
@@ -963,6 +1040,63 @@ mod tests {
         write_v(&mut s, &v);
         let back = parse_top(&s);
         assert_eq!(back.ok().as_ref(), Some(&v));
+    }
+
+    fn fake_entry(dir: &Path, name: &str, bytes: usize) {
+        assert!(std::fs::create_dir_all(dir).is_ok());
+        assert!(std::fs::write(dir.join(name), "x".repeat(bytes)).is_ok());
+        // Distinct mtimes even on coarse-granularity filesystems are not
+        // guaranteed; gc tie-breaks by path, and the sleep orders the
+        // common (fine-granularity) case.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    #[test]
+    fn gc_enforces_entry_cap_oldest_first() {
+        let dir = std::env::temp_dir().join(format!("bernoulli-persist-gc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for i in 0..5 {
+            fake_entry(&dir, &format!("plan-{i:016x}.bsp"), 10);
+        }
+        let cache = PersistentPlanCache::with_limits(&dir, 2, u64::MAX);
+        assert_eq!(cache.gc(), 3);
+        assert_eq!(cache.entry_count(), 2);
+        // The two newest survive.
+        assert!(dir.join("plan-0000000000000003.bsp").exists());
+        assert!(dir.join("plan-0000000000000004.bsp").exists());
+        // Within caps: a second sweep is a no-op.
+        assert_eq!(cache.gc(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_enforces_byte_cap() {
+        let dir =
+            std::env::temp_dir().join(format!("bernoulli-persist-gcb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for i in 0..4 {
+            fake_entry(&dir, &format!("plan-{i:016x}.bsp"), 100);
+        }
+        // 400 bytes stored, cap 250 → evict the two oldest.
+        let cache = PersistentPlanCache::with_limits(&dir, usize::MAX, 250);
+        assert_eq!(cache.gc(), 2);
+        assert_eq!(cache.entry_count(), 2);
+        assert!(dir.join("plan-0000000000000003.bsp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_ignores_foreign_files() {
+        let dir =
+            std::env::temp_dir().join(format!("bernoulli-persist-gcf-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        fake_entry(&dir, "plan-00ff.bsp", 10);
+        fake_entry(&dir, "README.txt", 10_000);
+        let cache = PersistentPlanCache::with_limits(&dir, 1, 100);
+        assert_eq!(cache.gc(), 0, "foreign files neither count nor die");
+        assert!(dir.join("README.txt").exists());
+        assert!(dir.join("plan-00ff.bsp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

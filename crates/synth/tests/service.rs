@@ -226,6 +226,49 @@ fn persistent_cache_warm_starts_a_fresh_service() {
 }
 
 #[test]
+fn blocked_plans_persist_and_restore_through_the_service_tier() {
+    use bernoulli_formats::{discover_strips, gen, Bsr, Vbr};
+
+    let dir = scratch_dir("blocked");
+    let cfg = || ServiceConfig {
+        persist_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    };
+
+    let t = gen::fem_blocked(24, 2, 2, 1.0, 7);
+    let bsr = Bsr::from_triplets(&t, 2, 2);
+    let (rp, cp) = discover_strips(&t);
+    let vbr = Vbr::from_triplets(&t, &rp, &cp);
+
+    for view in [bsr.format_view(), vbr.format_view()] {
+        let cold = Service::new(cfg());
+        let p = cold.parse(MVM).unwrap();
+        let bound = cold.bind(&p, &[("A", view.clone())]).unwrap();
+        let k_cold = cold.compile(&bound).unwrap();
+        assert!(!k_cold.report().plan_cache_hit, "{}", view.name);
+
+        // Restarted service over the same directory: the blocked plan
+        // warm-starts from disk and is byte-identical.
+        let warm = Service::new(cfg());
+        let bound2 = warm.bind(&p, &[("A", view.clone())]).unwrap();
+        let k_warm = warm.compile(&bound2).unwrap();
+        assert!(k_warm.report().plan_cache_hit, "{}", view.name);
+        assert!(k_warm.report().plan_cache_disk_hit, "{}", view.name);
+        assert_eq!(k_warm.plan().to_string(), k_cold.plan().to_string());
+        assert_eq!(k_warm.emit("f").unwrap(), k_cold.emit("f").unwrap());
+
+        // The stored entry round-trips the emitted source exactly.
+        let store = PersistentPlanCache::new(&dir);
+        let (plans, emitted) = store.load_with_source(k_cold.cache_key()).unwrap();
+        assert_eq!(plans[0], k_cold.plan().to_string());
+        assert_eq!(emitted, k_cold.emit("kernel").unwrap());
+        assert_eq!(store.last_error(), None);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn corrupt_persistent_entries_degrade_to_cold_compiles() {
     let dir = scratch_dir("corrupt");
     let cfg = || ServiceConfig {

@@ -195,8 +195,9 @@ pub mod prelude {
     pub use crate::{CacheMode, Service, ServiceConfig, ServiceError, ServiceStats};
     pub use bernoulli_blas::kernels;
     pub use bernoulli_formats::{
-        AnyFormat, Coo, Csc, Csr, Dense, Dia, DiagSplit, Ell, HashVec, Jad, SparseMatrix,
-        SparseVec, SparseView, Triplets,
+        block_fill, discover_block_size, discover_strips, AnyFormat, BlockReport, Bsr, Coo, Csc,
+        Csr, Dense, Dia, DiagSplit, Ell, HashVec, Jad, SparseMatrix, SparseVec, SparseView,
+        Triplets, Vbr,
     };
     pub use bernoulli_ir::{parse_program, Program};
     pub use bernoulli_synth::{run_plan, synthesize, ExecEnv, SearchReport, SynthOptions};

@@ -1,6 +1,7 @@
 //! Mirror of the README "Embedding the compiler", "Running as a
-//! service" and "Running synthesized kernels" examples — keeps the
-//! documented snippets compiling and running as the API evolves.
+//! service", "Running synthesized kernels" and "Blocked formats"
+//! examples — keeps the documented snippets compiling and running as
+//! the API evolves.
 
 use bernoulli::prelude::*;
 
@@ -100,4 +101,38 @@ fn run() -> Result<(), bernoulli::Error> {
 #[test]
 fn readme_loaded_kernel_snippet_runs() {
     run().unwrap();
+}
+
+// README "Blocked formats" — identical to the documented snippet.
+#[rustfmt::skip]
+fn blocked() -> Result<(), bernoulli::Error> {
+    let session = Session::new();
+    // Two dense 2x2 diagonal blocks plus one 2x2 coupling block.
+    let t = Triplets::from_entries(4, 4, &[
+        (0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 4.0),
+        (2, 2, 5.0), (2, 3, 2.0), (3, 2, 2.0), (3, 3, 5.0),
+        (0, 2, 1.0), (0, 3, 0.5), (1, 2, 0.5), (1, 3, 1.0),
+    ]);
+
+    // Discovery scores every candidate shape by fill.
+    let rep = discover_block_size(&t, 4, 0.9);
+    assert_eq!((rep.r, rep.c, rep.fill), (2, 2, 1.0));
+
+    // Fixed blocks (BSR) and variable strips (VBR) are ordinary views:
+    // the same MVM spec synthesizes over the two-level blocked index
+    // space, and the emitter tiles the result.
+    let a = Bsr::from_triplets(&t, rep.r, rep.c);
+    let k = session.compile(&session.bind(&kernels::mvm(), &[("A", a.format_view())])?)?;
+    assert!(k.emit("mvm_bsr2x2")?.contains("acc0t__")); // register accumulators
+
+    let (rp, cp) = discover_strips(&t);
+    let v = Vbr::from_triplets(&t, &rp, &cp);
+    let kv = session.compile(&session.bind(&kernels::mvm(), &[("A", v.format_view())])?)?;
+    assert!(kv.emit("mvm_vbr")?.contains("accv__")); // strip accumulators
+    Ok(())
+}
+
+#[test]
+fn readme_blocked_snippet_runs() {
+    blocked().unwrap();
 }
