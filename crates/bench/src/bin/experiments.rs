@@ -2,7 +2,7 @@
 //! EXPERIMENTS.md, and writes each table as machine-readable
 //! `BENCH_<experiment>.json` in the working directory.
 //!
-//! Usage: `cargo run --release -p bernoulli-bench --bin experiments -- [all|fig12|mvm|join|order|costmodel|parallel|trace|synth|kernels|service|blocked]`
+//! Usage: `cargo run --release -p bernoulli-bench --bin experiments -- [all|fig12|mvm|join|order|costmodel|advisor|parallel|trace|synth|kernels|service|blocked]`
 //!
 //! `trace` exercises the synthesis pipeline and the parallel runtime
 //! under the observability layer and writes `BENCH_trace.json`. It
@@ -25,6 +25,12 @@
 //! vs CSR on synthetic FEM matrices across a dense-block fill sweep,
 //! sequential hand-written vs loaded vs parallel, with each blocking's
 //! fill-in overhead, writing `BENCH_blocked.json`.
+//!
+//! `advisor` measures structure-aware selection (S40): `Session::advise`
+//! picks a (format, plan) pair per instance from measured structure,
+//! scored here as chosen-vs-best *regret* against interpreted kernel
+//! times over every candidate, on a small (~1k-row) and a large
+//! (≥10^5-row, via `gen::scale`) tier, writing `BENCH_advisor.json`.
 
 #![allow(clippy::needless_range_loop, clippy::type_complexity)]
 use bernoulli_bench::report::{obj, Json};
@@ -61,6 +67,7 @@ fn main() {
         "join" => join(),
         "order" => order(),
         "costmodel" => costmodel(),
+        "advisor" => advisor(),
         "parallel" => parallel_scaling(),
         "trace" => trace(),
         "synth" => synth_perf(),
@@ -73,6 +80,7 @@ fn main() {
             join();
             order();
             costmodel();
+            advisor();
             parallel_scaling();
             trace();
             synth_perf();
@@ -83,7 +91,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: experiments [all|fig12|mvm|join|order|costmodel|parallel|trace|synth|kernels|service|blocked]"
+                "usage: experiments [all|fig12|mvm|join|order|costmodel|advisor|parallel|trace|synth|kernels|service|blocked]"
             );
             std::process::exit(1);
         }
@@ -422,9 +430,13 @@ fn costmodel() {
     println!("== E6: cost model validation (TS on JAD, all candidates) ==");
     let spec = kernels::ts();
     let view = bernoulli_blas::synth::view_for("ts", "jad");
-    let stats = bernoulli_synth::WorkloadStats::default()
-        .with_param("N", 400.0)
-        .with_matrix("L", 400.0, 400.0, 2600.0);
+    // Stats are derived from the actual instance the candidates will be
+    // measured on — the cost model sees what the interpreter sees.
+    let t = gen::structurally_symmetric(400, 2600, 16, 9).lower_triangle_full_diag(1.0);
+    let stats = bernoulli_synth::WorkloadStats::from_features(&[(
+        "L",
+        &bernoulli_formats::StructureFeatures::of_triplets(&t),
+    )]);
     let opts = SynthOptions {
         stats,
         keep: 64,
@@ -438,7 +450,6 @@ fn costmodel() {
     let examined = kernel.report().examined;
     println!("candidates: {} (examined {examined})", cands.len());
 
-    let t = gen::structurally_symmetric(400, 2600, 16, 9).lower_triangle_full_diag(1.0);
     let jad = Jad::from_triplets(&t);
     let b0 = gen::dense_vector(400, 4);
 
@@ -489,6 +500,150 @@ fn costmodel() {
                         .collect(),
                 ),
             ),
+        ]),
+    );
+    println!();
+}
+
+/// S40 — structure-aware advisor: `Session::advise` derives the cost
+/// model's statistics from the instance and picks a (format, plan)
+/// pair; this lane scores the pick against *measured* interpreted
+/// kernel times over every candidate, reporting chosen-vs-best regret
+/// on a small tier (~1k-row inputs) and a large tier (≥10^5 rows via
+/// `gen::scale`). Writes `BENCH_advisor.json`; `small_max_regret` is
+/// the CI-gated headline (`ci/advisor_gate.sh`).
+fn advisor() {
+    println!("== S40: structure-aware advisor, chosen-vs-best regret (BENCH_advisor.json) ==");
+    let spec = kernels::mvm();
+    let session = Session::new();
+
+    let mut small: Vec<(String, bernoulli_formats::Triplets<f64>)> =
+        vec![("can1072".to_string(), can1072())];
+    for (name, t) in extra_inputs() {
+        small.push((name.to_string(), t));
+    }
+    small.push(("tridiag_1000".to_string(), gen::tridiagonal(1000)));
+    small.push((
+        "fem_256_b4".to_string(),
+        gen::fem_blocked(256, 4, 3, 1.0, 13),
+    ));
+    let large: Vec<(String, bernoulli_formats::Triplets<f64>)> = vec![
+        ("can1072_x100".to_string(), gen::scale(&can1072(), 100, 40)),
+        (
+            "poisson2d_32_x100".to_string(),
+            gen::scale(&gen::poisson2d(32), 100, 41),
+        ),
+    ];
+
+    let run_tier = |tier: &str,
+                    inputs: &[(String, bernoulli_formats::Triplets<f64>)],
+                    rounds: usize,
+                    reps: usize|
+     -> (Json, f64, f64) {
+        let mut rows = Vec::new();
+        let mut picked = 0usize;
+        let mut max_regret: f64 = 0.0;
+        let mut sum_regret = 0.0;
+        for (input, t) in inputs {
+            let advice = session
+                .advise(&spec, "A", t, &[])
+                .unwrap_or_else(|e| panic!("{tier}/{input}: advise failed: {e}"));
+            let (nr, nc, nnz) = (t.nrows(), t.ncols(), t.nnz());
+            let x = gen::dense_vector(nc, 7);
+            // Measure every scored candidate on its actual format.
+            let mut measured: Vec<(String, f64, f64)> = Vec::new();
+            for e in &advice.ranked {
+                let f = bernoulli_formats::AnyFormat::<f64>::try_from_triplets(&e.format, t)
+                    .unwrap_or_else(|err| panic!("{input}/{}: {err}", e.format));
+                let time = time_best_of(rounds, reps, || {
+                    let mut env = ExecEnv::new();
+                    env.set_param("M", nr as i64).set_param("N", nc as i64);
+                    env.bind_sparse("A", f.as_view());
+                    env.bind_vec("x", x.clone());
+                    env.bind_vec("y", vec![0.0; nr]);
+                    e.kernel.interpret(&mut env).unwrap();
+                    black_box(env.take_vec("y"));
+                });
+                measured.push((e.format.clone(), e.predicted_cost, time));
+            }
+            let chosen = &measured[0];
+            let best = measured
+                .iter()
+                .min_by(|a, b| a.2.total_cmp(&b.2))
+                .expect("advice.ranked is never empty");
+            let regret = chosen.2 / best.2;
+            // "Picked best" tolerates measurement noise between formats
+            // whose kernels are effectively tied.
+            let picked_best = regret <= 1.05;
+            picked += picked_best as usize;
+            max_regret = max_regret.max(regret);
+            sum_regret += regret;
+            println!(
+                "  [{tier}] {input:<18} n={nr:<7} nnz={nnz:<8} chosen {:<4} \
+                 best {:<4} regret {regret:.2}{}",
+                chosen.0,
+                best.0,
+                if picked_best { "" } else { "  (MISS)" }
+            );
+            rows.push(obj(vec![
+                ("input", Json::str(input.as_str())),
+                ("nrows", Json::num(nr as f64)),
+                ("nnz", Json::num(nnz as f64)),
+                ("chosen", Json::str(chosen.0.as_str())),
+                ("measured_best", Json::str(best.0.as_str())),
+                ("picked_best", Json::Bool(picked_best)),
+                ("regret", Json::num(regret)),
+                ("chosen_mflops", Json::num(mflops(mvm_flops(nnz), chosen.2))),
+                (
+                    "formats",
+                    Json::Arr(
+                        measured
+                            .iter()
+                            .map(|(fmt, cost, time)| {
+                                obj(vec![
+                                    ("format", Json::str(fmt.as_str())),
+                                    ("predicted_cost", Json::num(*cost)),
+                                    ("interp_us", Json::num(time * 1e6)),
+                                    ("interp_mflops", Json::num(mflops(mvm_flops(nnz), *time))),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]));
+        }
+        let n = inputs.len();
+        let accuracy = picked as f64 / n.max(1) as f64;
+        let tier_json = obj(vec![
+            ("name", Json::str(tier)),
+            ("rows_count", Json::num(n as f64)),
+            ("advisor_accuracy", Json::num(accuracy)),
+            ("max_regret", Json::num(max_regret)),
+            ("mean_regret", Json::num(sum_regret / n.max(1) as f64)),
+            ("rows", Json::Arr(rows)),
+        ]);
+        (tier_json, accuracy, max_regret)
+    };
+
+    let (small_json, small_accuracy, small_max_regret) = run_tier("small", &small, 3, 4);
+    let (large_json, large_accuracy, large_max_regret) = run_tier("large", &large, 2, 2);
+    let large_min_nrows = large.iter().map(|(_, t)| t.nrows()).min().unwrap_or(0);
+    println!(
+        "small tier: accuracy {small_accuracy:.2}, max regret {small_max_regret:.2}; \
+         large tier (min n = {large_min_nrows}): accuracy {large_accuracy:.2}, \
+         max regret {large_max_regret:.2}"
+    );
+    report::write(
+        "BENCH_advisor.json",
+        &obj(vec![
+            ("experiment", Json::str("advisor")),
+            ("workload_kernel", Json::str("mvm")),
+            ("small_accuracy", Json::num(small_accuracy)),
+            ("small_max_regret", Json::num(small_max_regret)),
+            ("large_accuracy", Json::num(large_accuracy)),
+            ("large_max_regret", Json::num(large_max_regret)),
+            ("large_min_nrows", Json::num(large_min_nrows as f64)),
+            ("tiers", Json::Arr(vec![small_json, large_json])),
         ]),
     );
     println!();
@@ -799,15 +954,30 @@ fn synth_workloads() -> Vec<(
     SynthOptions,
 )> {
     use bernoulli_formats::formats::sparsevec::{hashvec_format_view, sparsevec_format_view};
-    let spdot_stats = bernoulli_synth::WorkloadStats::default()
-        .with_param("N", 10_000.0)
-        .with_matrix("x", 10_000.0, 1.0, 300.0)
-        .with_matrix("y", 10_000.0, 1.0, 500.0);
-    let matrix_stats = bernoulli_synth::WorkloadStats::default()
-        .with_param("N", 1072.0)
-        .with_param("M", 1072.0)
-        .with_matrix("A", 1072.0, 1072.0, 12_444.0)
-        .with_matrix("L", 1072.0, 1072.0, 6_758.0);
+    use bernoulli_formats::{vector_features, StructureFeatures};
+    // Statistics are measured off the actual workload instances (the
+    // same generators the runtime sweeps bind), not hand-written: the
+    // sparse-vector features steer the cost model to stored-entry
+    // enumeration exactly as the old literals did, but stay in sync
+    // with the generators by construction.
+    let can = gen::can_1072_like();
+    let spdot_stats = bernoulli_synth::WorkloadStats::from_features(&[
+        (
+            "x",
+            &vector_features(10_000, &gen::sparse_vector(10_000, 300, 1)),
+        ),
+        (
+            "y",
+            &vector_features(10_000, &gen::sparse_vector(10_000, 500, 2)),
+        ),
+    ]);
+    let matrix_stats = bernoulli_synth::WorkloadStats::from_features(&[
+        ("A", &StructureFeatures::of_triplets(&can)),
+        (
+            "L",
+            &StructureFeatures::of_triplets(&can.lower_triangle_full_diag(1.0)),
+        ),
+    ]);
     let with_stats = |stats: &bernoulli_synth::WorkloadStats| SynthOptions {
         stats: stats.clone(),
         ..SynthOptions::default()

@@ -7,9 +7,13 @@
 //! Walks both reports, pairs up every higher-is-better throughput leaf
 //! (`synth`, `nist_c`, `nist_f`, `mflops`, `seq_mflops`,
 //! `csr_parallel_4`) by its labeled path, and prints the relative
-//! change. Exits 1 if any metric dropped by more than `threshold`
-//! (default 0.25), 0 otherwise; missing-on-either-side metrics are
-//! reported but never fail the gate, so reports can grow fields.
+//! change. Exit codes: 1 if any metric dropped by more than
+//! `threshold` (default 0.25); 2 on unreadable/unparsable input; 3
+//! (with a typed [`DiffError`]) when the baseline is missing a series
+//! the candidate reports — a stale baseline, which would otherwise
+//! silently exempt the new series from the gate. Metrics present in
+//! the baseline but missing from the candidate are reported but never
+//! fail, so reports can shrink deliberately.
 
 use bernoulli_bench::report::{parse, Json};
 
@@ -28,8 +32,11 @@ use bernoulli_bench::report::{parse, Json};
 /// `warm_load_per_s` regressing means warm artifact-cache loads are no
 /// longer sub-millisecond. `throughput_per_s` / `p99_per_s` (inverse
 /// tail latency) and `warm_vs_cold_speedup` gate the S38 multi-tenant
-/// service report (`BENCH_service.json`).
-const METRICS: [&str; 24] = [
+/// service report (`BENCH_service.json`). `advisor_accuracy`
+/// (picked-best fraction) and `chosen_mflops` (throughput of the
+/// advisor's chosen format) gate the S40 structure-aware selection
+/// report (`BENCH_advisor.json`).
+const METRICS: [&str; 26] = [
     "synth",
     "nist_c",
     "nist_f",
@@ -54,6 +61,8 @@ const METRICS: [&str; 24] = [
     "throughput_per_s",
     "p99_per_s",
     "warm_vs_cold_speedup",
+    "advisor_accuracy",
+    "chosen_mflops",
 ];
 
 /// Flattens a report into `(labeled path, value)` pairs; objects
@@ -92,6 +101,48 @@ fn flatten(j: &Json, prefix: &str, out: &mut Vec<(String, f64)>) {
             }
         }
         _ => {}
+    }
+}
+
+/// A typed comparison failure that is not a throughput regression.
+#[derive(Debug, PartialEq)]
+enum DiffError {
+    /// The baseline lacks series the candidate reports: comparing
+    /// against it would silently exempt those series from the gate.
+    /// The fix is regenerating (re-committing) the baseline.
+    BaselineMissingSeries { paths: Vec<String> },
+}
+
+impl std::fmt::Display for DiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffError::BaselineMissingSeries { paths } => {
+                writeln!(
+                    f,
+                    "baseline is missing {} series present in the candidate \
+                     (stale baseline — regenerate it):",
+                    paths.len()
+                )?;
+                for p in paths {
+                    writeln!(f, "  {p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Series the candidate reports that the baseline does not.
+fn baseline_gaps(baseline: &[(String, f64)], current: &[(String, f64)]) -> Option<DiffError> {
+    let paths: Vec<String> = current
+        .iter()
+        .filter(|(p, _)| !baseline.iter().any(|(b, _)| b == p))
+        .map(|(p, _)| p.clone())
+        .collect();
+    if paths.is_empty() {
+        None
+    } else {
+        Some(DiffError::BaselineMissingSeries { paths })
     }
 }
 
@@ -160,12 +211,7 @@ fn main() {
     }
 
     let regressed = regressions(&baseline, &current, threshold);
-    if regressed.is_empty() {
-        println!(
-            "perf_diff: OK — no metric dropped more than {:.0}%",
-            threshold * 100.0
-        );
-    } else {
+    if !regressed.is_empty() {
         println!("perf_diff: {} metric(s) regressed:", regressed.len());
         for (path, old, new) in &regressed {
             println!(
@@ -175,6 +221,14 @@ fn main() {
         }
         std::process::exit(1);
     }
+    if let Some(e) = baseline_gaps(&baseline, &current) {
+        eprintln!("perf_diff: error: {e}");
+        std::process::exit(3);
+    }
+    println!(
+        "perf_diff: OK — no metric dropped more than {:.0}%",
+        threshold * 100.0
+    );
 }
 
 #[cfg(test)]
@@ -286,5 +340,36 @@ mod tests {
             .cloned()
             .collect();
         assert!(regressions(&base, &shorter, 0.25).is_empty());
+    }
+
+    #[test]
+    fn stale_baseline_is_a_typed_error() {
+        let mut base = Vec::new();
+        flatten(&sample(800.0), "", &mut base);
+        let mut cur = Vec::new();
+        flatten(&sample(800.0), "", &mut cur);
+        // Identical series: no gap.
+        assert_eq!(baseline_gaps(&base, &cur), None);
+        // The candidate grows a series the baseline lacks: typed error
+        // naming exactly the missing paths.
+        cur.push(("/can1072/jad.synth".to_string(), 650.0));
+        match baseline_gaps(&base, &cur) {
+            Some(DiffError::BaselineMissingSeries { paths }) => {
+                assert_eq!(paths, vec!["/can1072/jad.synth".to_string()]);
+            }
+            other => panic!("expected BaselineMissingSeries, got {other:?}"),
+        }
+        // The reverse direction (baseline has more) stays non-fatal.
+        let fewer: Vec<(String, f64)> = base
+            .iter()
+            .filter(|(k, _)| !k.ends_with(".nist_c"))
+            .cloned()
+            .collect();
+        assert_eq!(baseline_gaps(&base, &fewer), None);
+        // And the error renders the paths for the CI log.
+        let e = baseline_gaps(&base, &cur).unwrap();
+        let msg = e.to_string();
+        assert!(msg.contains("missing 1 series"));
+        assert!(msg.contains("/can1072/jad.synth"));
     }
 }

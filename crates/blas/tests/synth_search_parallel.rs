@@ -42,17 +42,29 @@ type Workload = (
     SynthOptions,
 );
 
-/// The five trace workloads, mirroring `experiments -- synth`.
+/// The five trace workloads, mirroring `experiments -- synth`: the
+/// statistics are derived from the same instances the experiment
+/// driver generates, not hand-written.
 fn workloads() -> Vec<Workload> {
-    let spdot_stats = WorkloadStats::default()
-        .with_param("N", 10_000.0)
-        .with_matrix("x", 10_000.0, 1.0, 300.0)
-        .with_matrix("y", 10_000.0, 1.0, 500.0);
-    let matrix_stats = WorkloadStats::default()
-        .with_param("N", 1072.0)
-        .with_param("M", 1072.0)
-        .with_matrix("A", 1072.0, 1072.0, 12_444.0)
-        .with_matrix("L", 1072.0, 1072.0, 6_758.0);
+    use bernoulli_formats::{gen, vector_features, StructureFeatures};
+    let can = gen::can_1072_like();
+    let spdot_stats = WorkloadStats::from_features(&[
+        (
+            "x",
+            &vector_features(10_000, &gen::sparse_vector(10_000, 300, 1)),
+        ),
+        (
+            "y",
+            &vector_features(10_000, &gen::sparse_vector(10_000, 500, 2)),
+        ),
+    ]);
+    let matrix_stats = WorkloadStats::from_features(&[
+        ("A", &StructureFeatures::of_triplets(&can)),
+        (
+            "L",
+            &StructureFeatures::of_triplets(&can.lower_triangle_full_diag(1.0)),
+        ),
+    ]);
     let with_stats = |stats: &WorkloadStats| SynthOptions {
         stats: stats.clone(),
         // The plan cache would make every call after the first a lookup;

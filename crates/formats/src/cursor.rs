@@ -149,16 +149,19 @@ pub trait SparseView: SparseMatrix {
 
 /// Walks an entire chain recursively, invoking `f` with the stored
 /// attribute keys (outermost-level first) and the value. Utility for
-/// tests and for the view-conformance checker.
+/// tests and for the view-conformance checker. A chain id the view
+/// does not declare has no entries, so the walk visits nothing.
 pub fn walk_chain(view: &dyn SparseView, chain: usize, f: &mut dyn FnMut(&[i64], f64)) {
     let fv = view.format_view();
-    let nlevels = fv
+    let Some(nlevels) = fv
         .alternatives()
         .into_iter()
         .flatten()
         .find(|c| c.id == chain)
         .map(|c| c.levels.len())
-        .expect("chain id in range");
+    else {
+        return;
+    };
     let mut keys: Vec<i64> = Vec::new();
     walk_rec(view, chain, 0, nlevels, 0, &mut keys, f);
 }

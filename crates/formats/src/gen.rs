@@ -197,6 +197,92 @@ pub fn fem_blocked(n: usize, block: usize, coupling: usize, fill: f64, seed: u64
     t
 }
 
+/// Structure-preserving scaling (MatrixGen-style): grows a seed pattern
+/// by `factor` in both dimensions while keeping the features that drive
+/// format selection — bandwidth, structural symmetry, diagonal fill,
+/// triangularity, and block profile.
+///
+/// The scaled matrix is the seed replicated `factor` times along the
+/// diagonal (every structural feature of the seed carries over
+/// exactly), plus a thin band of coupling entries across each tile
+/// boundary so the result is one connected system rather than `factor`
+/// independent ones. Coupling entries reuse the seed's own sub- and
+/// super-diagonal offsets (one entry per distinct offset per boundary),
+/// so they never widen the bandwidth, never break triangularity, and
+/// mirror each other exactly where the seed's pattern is symmetric.
+/// Rectangular seeds are replicated without coupling. Deterministic for
+/// a fixed seed value.
+pub fn scale(t: &Triplets<f64>, factor: usize, seed: u64) -> Triplets<f64> {
+    assert!(factor >= 1, "scale factor must be at least 1");
+    let (nr, nc) = (t.nrows(), t.ncols());
+    let mut out = Triplets::new(nr * factor, nc * factor);
+    for k in 0..factor {
+        for &(r, c, v) in t.entries() {
+            out.push(k * nr + r, k * nc + c, v);
+        }
+    }
+    if factor > 1 && nr == nc && nr > 0 {
+        let positions: std::collections::HashSet<(usize, usize)> =
+            t.entries().iter().map(|&(r, c, _)| (r, c)).collect();
+        // The seed's own strictly-lower / strictly-upper offsets: the
+        // coupling band reuses exactly these, so `max |r - c|` of the
+        // result equals the seed's bandwidth.
+        let mut lower_offsets: Vec<usize> = Vec::new();
+        let mut upper_offsets: Vec<usize> = Vec::new();
+        {
+            let mut lo = std::collections::HashSet::new();
+            let mut up = std::collections::HashSet::new();
+            for &(r, c, _) in t.entries() {
+                if r > c {
+                    lo.insert(r - c);
+                } else if c > r {
+                    up.insert(c - r);
+                }
+            }
+            lower_offsets.extend(lo);
+            upper_offsets.extend(up);
+            lower_offsets.sort_unstable();
+            upper_offsets.sort_unstable();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for k in 1..factor {
+            let b = k * nr; // first row/col of tile k
+            for &d in &lower_offsets {
+                let (r, c) = (b, b - d);
+                let v = rng.gen_range(-1.0..-0.05);
+                out.push(r, c, v);
+                // Keep diagonal dominance where the seed stores the
+                // affected diagonal positions (duplicates sum away in
+                // normalize, so structure is untouched).
+                for p in [r, c] {
+                    if positions.contains(&(p % nr, p % nr)) {
+                        out.push(p, p, -v);
+                    }
+                }
+                // Mirror exactly when the seed's pattern does.
+                if upper_offsets.binary_search(&d).is_ok() {
+                    out.push(c, r, v);
+                }
+            }
+            for &d in &upper_offsets {
+                if lower_offsets.binary_search(&d).is_ok() {
+                    continue; // already added as the mirror above
+                }
+                let (r, c) = (b - d, b);
+                let v = rng.gen_range(-1.0..-0.05);
+                out.push(r, c, v);
+                for p in [r, c] {
+                    if positions.contains(&(p % nr, p % nr)) {
+                        out.push(p, p, -v);
+                    }
+                }
+            }
+        }
+    }
+    out.normalize();
+    out
+}
+
 /// A deterministic dense vector with entries in `[-1, 1)`.
 pub fn dense_vector(n: usize, seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);

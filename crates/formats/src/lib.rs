@@ -29,6 +29,7 @@
 pub mod blocks;
 pub mod convert;
 pub mod cursor;
+pub mod features;
 pub mod formats;
 pub mod gen;
 pub mod io;
@@ -40,6 +41,7 @@ pub mod view;
 pub use blocks::{block_fill, discover_block_size, discover_strips, BlockReport};
 pub use convert::{AnyFormat, FormatError, FORMAT_NAMES};
 pub use cursor::{ChainCursor, KeyTuple, Position, SparseView};
+pub use features::{vector_features, StructureFeatures};
 pub use formats::bsr::Bsr;
 pub use formats::coo::Coo;
 pub use formats::csc::Csc;

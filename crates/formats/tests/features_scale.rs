@@ -1,0 +1,163 @@
+//! Property tests for the structure analyzer on degenerate inputs, and
+//! the pinning tests for `gen::scale`'s structure preservation.
+
+use bernoulli_formats::{gen, AnyFormat, StructureFeatures, Triplets};
+
+#[test]
+fn empty_matrix_features() {
+    let f = StructureFeatures::of_triplets(&Triplets::<f64>::new(8, 8));
+    assert_eq!((f.nrows, f.ncols, f.nnz), (8, 8, 0));
+    assert_eq!(f.density, 0.0);
+    assert_eq!(f.bandwidth, 0);
+    assert_eq!(f.profile, 0.0);
+    assert_eq!(f.symmetry, 1.0, "no off-diagonal entries: vacuously 1");
+    assert_eq!(f.diag_fill, 0.0);
+    assert!(f.lower_triangular && f.upper_triangular);
+    assert_eq!(f.level_depth, 0);
+    assert!(!f.full_diagonal());
+}
+
+#[test]
+fn zero_shape_features() {
+    let f = StructureFeatures::of_triplets(&Triplets::<f64>::new(0, 0));
+    assert_eq!((f.nrows, f.ncols, f.nnz), (0, 0, 0));
+    assert_eq!(f.density, 0.0);
+    assert_eq!(f.diag_fill, 1.0, "vacuous diagonal");
+    assert_eq!(f.level_depth, 0);
+}
+
+#[test]
+fn single_row_features() {
+    let t = Triplets::from_entries(1, 6, &[(0, 1, 1.0), (0, 4, 2.0)]);
+    let f = StructureFeatures::of_triplets(&t);
+    assert_eq!((f.nrows, f.ncols, f.nnz), (1, 6, 2));
+    assert_eq!(f.bandwidth, 4);
+    assert_eq!(f.profile, 4.0, "span of columns 1..=4");
+    assert_eq!(f.max_row_nnz, 2);
+    assert!(f.upper_triangular && !f.lower_triangular);
+    assert_eq!(f.level_depth, 1, "one nonempty row, no lower deps");
+}
+
+#[test]
+fn single_col_features() {
+    let t = Triplets::from_entries(6, 1, &[(1, 0, 1.0), (4, 0, 2.0)]);
+    let f = StructureFeatures::of_triplets(&t);
+    assert_eq!((f.nrows, f.ncols, f.nnz), (6, 1, 2));
+    assert_eq!(f.bandwidth, 4);
+    assert!(f.lower_triangular && !f.upper_triangular);
+    assert_eq!(f.avg_row_nnz, 2.0 / 6.0);
+}
+
+#[test]
+fn fully_dense_features() {
+    let n = 12;
+    let mut t = Triplets::new(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            t.push(r, c, (r * n + c + 1) as f64);
+        }
+    }
+    let f = StructureFeatures::of_triplets(&t);
+    assert_eq!(f.density, 1.0);
+    assert_eq!(f.bandwidth, n - 1);
+    assert_eq!(f.profile, n as f64);
+    assert_eq!(f.symmetry, 1.0);
+    assert!(f.full_diagonal());
+    assert!(!f.lower_triangular && !f.upper_triangular);
+    // A dense matrix is perfectly blocked at the largest probed shape.
+    assert!(f.block.r > 1 && (f.block_score() - 1.0).abs() < 1e-12);
+    assert_eq!(f.level_depth, n, "every row depends on every earlier row");
+}
+
+#[test]
+fn pure_diagonal_features() {
+    let n = 9;
+    let mut t = Triplets::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 2.0);
+    }
+    let f = StructureFeatures::of_triplets(&t);
+    assert_eq!(f.bandwidth, 0);
+    assert_eq!(f.profile, 1.0);
+    assert_eq!(f.symmetry, 1.0);
+    assert!(f.full_diagonal());
+    assert!(f.lower_triangular && f.upper_triangular);
+    assert_eq!(f.level_depth, 1, "no cross-row dependencies");
+}
+
+#[test]
+fn features_agree_across_formats() {
+    let t = gen::structurally_symmetric(96, 700, 12, 21);
+    let base = StructureFeatures::of_triplets(&t);
+    for name in ["coo", "csr", "csc", "ell", "jad"] {
+        let f = AnyFormat::<f64>::try_from_triplets(name, &t).unwrap();
+        assert_eq!(
+            StructureFeatures::of_format(&f),
+            base,
+            "features must not depend on the storage format ({name})"
+        );
+    }
+}
+
+/// `gen::scale` must preserve the selection-driving features within
+/// tolerance. Checked at 10x and 100x on a can_1072-style symmetric
+/// seed, and at 10x on a FEM-blocked seed (block profile).
+#[test]
+fn scale_preserves_structure() {
+    let seed = gen::structurally_symmetric(200, 2400, 24, 7);
+    let base = StructureFeatures::of_triplets(&seed);
+    for factor in [10usize, 100] {
+        let big = gen::scale(&seed, factor, 40);
+        let f = StructureFeatures::of_triplets(&big);
+        assert_eq!((f.nrows, f.ncols), (200 * factor, 200 * factor));
+        assert_eq!(f.bandwidth, base.bandwidth, "bandwidth at {factor}x");
+        assert_eq!(f.symmetry, base.symmetry, "symmetry at {factor}x");
+        assert_eq!(f.diag_fill, base.diag_fill, "diag fill at {factor}x");
+        assert_eq!((f.block.r, f.block.c), (base.block.r, base.block.c));
+        assert!(
+            (f.block_score() - base.block_score()).abs() <= 0.05,
+            "block score at {factor}x: {} vs {}",
+            f.block_score(),
+            base.block_score()
+        );
+        // Coupling adds at most a thin band per boundary.
+        let replicated = seed.nnz() * factor;
+        assert!(f.nnz >= replicated && f.nnz <= replicated + replicated / 10);
+    }
+}
+
+#[test]
+fn scale_preserves_blocked_profile() {
+    let seed = gen::fem_blocked(256, 4, 3, 1.0, 11);
+    let base = StructureFeatures::of_triplets(&seed);
+    assert_eq!((base.block.r, base.block.c), (4, 4));
+    let big = gen::scale(&seed, 10, 5);
+    let f = StructureFeatures::of_triplets(&big);
+    assert_eq!(f.bandwidth, base.bandwidth);
+    assert_eq!((f.block.r, f.block.c), (4, 4), "block shape survives 10x");
+    assert!(
+        (f.block_score() - base.block_score()).abs() <= 0.05,
+        "block score: {} vs {}",
+        f.block_score(),
+        base.block_score()
+    );
+}
+
+#[test]
+fn scale_preserves_triangularity() {
+    let seed = gen::can_1072_like().lower_triangle_full_diag(1.0);
+    let big = gen::scale(&seed, 10, 3);
+    let f = StructureFeatures::of_triplets(&big);
+    assert!(f.lower_triangular, "lower coupling only on a lower seed");
+    assert!(f.full_diagonal());
+}
+
+#[test]
+fn scale_identity_and_determinism() {
+    let seed = gen::banded(50, 2, 9);
+    let one = gen::scale(&seed, 1, 77);
+    let mut norm = seed.clone();
+    norm.normalize();
+    assert_eq!(one, norm, "factor 1 is the identity");
+    assert_eq!(gen::scale(&seed, 10, 77), gen::scale(&seed, 10, 77));
+}

@@ -249,7 +249,9 @@ impl System {
                     }
                     lo * hi
                 })
-                .unwrap();
+                // `num_vars() > 0` keeps the range nonempty; column 0
+                // is an arbitrary (unreachable) fallback, not a panic.
+                .unwrap_or(0);
             cur = eliminate_core(&cur, best, budget)?;
         }
         Ok(cur.has_contradiction())

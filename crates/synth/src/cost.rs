@@ -37,6 +37,34 @@ impl Default for WorkloadStats {
 }
 
 impl WorkloadStats {
+    /// Derives the statistics from measured instance structure: each
+    /// `(name, features)` operand contributes its exact row/column/nnz
+    /// counts, `default_n` becomes the largest dimension seen (so
+    /// unnamed loop parameters like `N`/`M` resolve to the instance
+    /// scale), and `default_nnz_per_row` the measured mean. This is the
+    /// structure-aware replacement for hand-written stats literals:
+    /// every derived value is a deterministic function of the instance,
+    /// so plan-cache keys stay stable across runs.
+    pub fn from_features(operands: &[(&str, &bernoulli_formats::StructureFeatures)]) -> Self {
+        let mut stats = WorkloadStats::default();
+        let mut dim = 0.0f64;
+        let mut rows = 0.0f64;
+        let mut nnz = 0.0f64;
+        for &(name, f) in operands {
+            stats = stats.with_matrix(name, f.nrows as f64, f.ncols as f64, f.nnz as f64);
+            dim = dim.max(f.nrows as f64).max(f.ncols as f64);
+            rows += f.nrows as f64;
+            nnz += f.nnz as f64;
+        }
+        if dim > 0.0 {
+            stats.default_n = dim;
+        }
+        if rows > 0.0 {
+            stats.default_nnz_per_row = (nnz / rows).max(1.0);
+        }
+        stats
+    }
+
     /// Sets a parameter estimate.
     pub fn with_param(mut self, name: &str, v: f64) -> Self {
         self.params.insert(name.to_string(), v);
@@ -279,6 +307,26 @@ mod tests {
         assert!(search_cost(SearchKind::Direct, 100.0) < search_cost(SearchKind::Sorted, 100.0));
         assert!(search_cost(SearchKind::Sorted, 100.0) < search_cost(SearchKind::Linear, 100.0));
         assert!(search_cost(SearchKind::None, 100.0).is_infinite());
+    }
+
+    #[test]
+    fn derived_stats_match_instance() {
+        use bernoulli_formats::{gen, StructureFeatures};
+        let t = gen::banded(64, 2, 1);
+        let a = StructureFeatures::of_triplets(&t);
+        let s = WorkloadStats::from_features(&[("A", &a)]);
+        assert_eq!(s.mat("A"), (64.0, 64.0, t.nnz() as f64));
+        // Unnamed loop parameters resolve to the instance dimension.
+        assert_eq!(s.param("N"), 64.0);
+        assert_eq!(s.param("M"), 64.0);
+        // Deterministic: same instance, identical derivation.
+        let s2 = WorkloadStats::from_features(&[("A", &a)]);
+        assert_eq!(s.mat("A"), s2.mat("A"));
+        assert_eq!(s.default_n.to_bits(), s2.default_n.to_bits());
+        assert_eq!(
+            s.default_nnz_per_row.to_bits(),
+            s2.default_nnz_per_row.to_bits()
+        );
     }
 
     #[test]

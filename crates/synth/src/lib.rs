@@ -39,6 +39,7 @@
 //! paper's compiler-instantiated C++ (Fig. 9).
 
 #![allow(clippy::needless_range_loop, clippy::type_complexity)]
+pub mod advise;
 pub mod compiled;
 pub mod config;
 pub mod cost;
@@ -57,6 +58,7 @@ pub mod session;
 pub mod spaces;
 pub mod zero;
 
+pub use advise::{view_for_features, Advice, AdviceEntry, DEFAULT_ADVISOR_FORMATS};
 pub use compiled::{
     KernelArg, KernelBackend, KernelCallError, KernelSig, LoadError, LoadedKernel, RawOut,
 };

@@ -436,6 +436,30 @@ impl Service {
         bind_problem(p, views)
     }
 
+    /// Structure-aware selection on the service: the multi-tenant
+    /// mirror of [`Session::advise`](crate::session::Session::advise).
+    /// Every candidate compile is a normal admitted request (counted,
+    /// queued, deadline-checked); a per-candidate synthesis failure
+    /// skips that format, while a service-level rejection (shed load,
+    /// expired queue deadline) aborts the whole advice.
+    pub fn advise(
+        &self,
+        p: &Program,
+        matrix: &str,
+        t: &bernoulli_formats::Triplets<f64>,
+        formats: &[&str],
+    ) -> Result<crate::advise::Advice, ServiceError> {
+        crate::advise::advise_core(p, matrix, t, formats, |bound, stats| {
+            let mut opts = self.cfg.opts.clone();
+            opts.stats = stats.clone();
+            match self.compile_with(bound, &opts, self.cfg.default_deadline) {
+                Ok(k) => Ok(Ok(k)),
+                Err(ServiceError::Synth(e)) => Ok(Err(e)),
+                Err(fatal) => Err(fatal),
+            }
+        })
+    }
+
     /// Stage 4 — compile under the service's configured options,
     /// deadline, and cache mode. Safe to call from many threads at
     /// once; admission control applies (see the module docs).

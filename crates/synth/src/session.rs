@@ -235,6 +235,30 @@ impl Session {
         })
     }
 
+    /// Structure-aware selection: analyze the instance bound to
+    /// `matrix`, derive the cost-model statistics from the measured
+    /// structure, compile `p` against every candidate format in
+    /// `formats` (or [`crate::advise::DEFAULT_ADVISOR_FORMATS`] when
+    /// empty), and return the `(format, plan)` pairs ranked by
+    /// predicted cost together with the feature snapshot.
+    ///
+    /// Each candidate compile is an ordinary [`Session::compile_with`]
+    /// run — same pool, caches, budget, and plan-cache keys — so a
+    /// repeated `advise` on the same instance is served warm.
+    pub fn advise(
+        &self,
+        p: &Program,
+        matrix: &str,
+        t: &bernoulli_formats::Triplets<f64>,
+        formats: &[&str],
+    ) -> Result<crate::advise::Advice, SynthError> {
+        crate::advise::advise_core(p, matrix, t, formats, |bound, stats| {
+            let mut opts = self.opts.clone();
+            opts.stats = stats.clone();
+            Ok(self.compile_with(bound, &opts))
+        })
+    }
+
     /// Hit/miss totals of this session's whole-search plan cache.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.plan_cache.stats()

@@ -9,9 +9,8 @@
 //! ```
 
 use bernoulli::formats::formats::sparsevec::{hashvec_format_view, sparsevec_format_view};
-use bernoulli::formats::gen;
+use bernoulli::formats::{gen, vector_features};
 use bernoulli::prelude::*;
-use bernoulli::synth::WorkloadStats;
 
 fn main() -> Result<(), Error> {
     let spec = kernels::spdot();
@@ -35,14 +34,15 @@ fn main() -> Result<(), Error> {
     }
     let expect: f64 = dx.iter().zip(&dy).map(|(a, b)| a * b).sum();
 
-    // Workload statistics steer the cost model (paper §4.2): with 300-
-    // and 500-entry vectors of logical length 10000, enumerating stored
-    // entries beats scanning the dense index range.
+    // Workload statistics steer the cost model (paper §4.2): derived
+    // from the actual operands, the 300- and 500-entry vectors of
+    // logical length 10000 make enumerating stored entries beat
+    // scanning the dense index range.
     let session = Session::with_options(SynthOptions {
-        stats: WorkloadStats::default()
-            .with_param("N", n as f64)
-            .with_matrix("x", n as f64, 1.0, xa.len() as f64)
-            .with_matrix("y", n as f64, 1.0, ya.len() as f64),
+        stats: WorkloadStats::from_features(&[
+            ("x", &vector_features(n, &xa)),
+            ("y", &vector_features(n, &ya)),
+        ]),
         ..SynthOptions::default()
     });
 

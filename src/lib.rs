@@ -63,6 +63,11 @@ pub use bernoulli_synth::{
     BoundProblem, Budget, BudgetError, CancelToken, CompiledKernel, DepReport, Session,
 };
 
+// Structure-aware selection (S40): instance features drive the cost
+// model and the format/plan advisor.
+pub use bernoulli_formats::{vector_features, StructureFeatures};
+pub use bernoulli_synth::{Advice, AdviceEntry, WorkloadStats, DEFAULT_ADVISOR_FORMATS};
+
 // The multi-tenant compile service (S38): concurrent `compile` calls
 // over shared cache tiers, with admission control and an optional
 // persistent plan cache for warm-start across restarts.
@@ -189,6 +194,7 @@ impl From<bernoulli_synth::ConfigError> for Error {
 
 /// Convenience re-exports for the common workflow.
 pub mod prelude {
+    pub use crate::{Advice, AdviceEntry, StructureFeatures, WorkloadStats};
     pub use crate::{
         BoundProblem, Budget, BudgetError, CancelToken, CompiledKernel, DepReport, Error, Session,
     };

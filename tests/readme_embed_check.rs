@@ -1,7 +1,7 @@
 //! Mirror of the README "Embedding the compiler", "Running as a
-//! service", "Running synthesized kernels" and "Blocked formats"
-//! examples — keeps the documented snippets compiling and running as
-//! the API evolves.
+//! service", "Running synthesized kernels", "Blocked formats" and
+//! "Structure-aware selection" examples — keeps the documented
+//! snippets compiling and running as the API evolves.
 
 use bernoulli::prelude::*;
 
@@ -135,4 +135,48 @@ fn blocked() -> Result<(), bernoulli::Error> {
 #[test]
 fn readme_blocked_snippet_runs() {
     blocked().unwrap();
+}
+
+// README "Structure-aware selection" — identical to the documented
+// snippet.
+fn advise() -> Result<(), bernoulli::Error> {
+    use bernoulli::formats::gen;
+
+    let session = Session::new();
+
+    // One instance, never benchmarked: analyze its structure, derive
+    // the cost model's statistics from it, and rank the candidate
+    // formats — one search per format, all sharing the session's
+    // plan cache.
+    let t = gen::banded(1000, 8, 7);
+    let advice = session.advise(&kernels::mvm(), "A", &t, &[])?; // &[] = default roster
+
+    for e in &advice.ranked {
+        println!("{:<4}  predicted cost {:>12.0}", e.format, e.predicted_cost);
+    }
+    println!(
+        "features: {}x{}, {} nnz, bandwidth {}",
+        advice.features.nrows,
+        advice.features.ncols,
+        advice.features.nnz,
+        advice.features.bandwidth
+    );
+
+    // The winner is a compiled kernel, ready to pair with the winning
+    // storage and execute.
+    let best = advice.best();
+    let a = AnyFormat::<f64>::try_from_triplets(&best.format, &t)?;
+    let mut env = ExecEnv::new();
+    env.set_param("M", 1000).set_param("N", 1000);
+    env.bind_sparse("A", a.as_view());
+    env.bind_vec("x", vec![1.0; 1000]);
+    env.bind_vec("y", vec![0.0; 1000]);
+    best.kernel.interpret(&mut env)?;
+    assert_eq!(env.take_vec("y").len(), 1000);
+    Ok(())
+}
+
+#[test]
+fn readme_advisor_snippet_runs() {
+    advise().unwrap();
 }
