@@ -35,8 +35,11 @@ use bernoulli_bench::report::{parse, Json};
 /// service report (`BENCH_service.json`). `advisor_accuracy`
 /// (picked-best fraction) and `chosen_mflops` (throughput of the
 /// advisor's chosen format) gate the S40 structure-aware selection
-/// report (`BENCH_advisor.json`).
-const METRICS: [&str; 26] = [
+/// report (`BENCH_advisor.json`). `validation_overhead` (warm load with
+/// the differential-validation memo vs validation off, ~1.0) and
+/// `coalesced_per_s` (16 coalesced clients on one key) gate the S41
+/// self-healing report.
+const METRICS: [&str; 28] = [
     "synth",
     "nist_c",
     "nist_f",
@@ -63,6 +66,8 @@ const METRICS: [&str; 26] = [
     "warm_vs_cold_speedup",
     "advisor_accuracy",
     "chosen_mflops",
+    "validation_overhead",
+    "coalesced_per_s",
 ];
 
 /// Flattens a report into `(labeled path, value)` pairs; objects

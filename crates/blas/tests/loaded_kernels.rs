@@ -190,9 +190,11 @@ fn loaded_interpreter_and_committed_agree_bitwise_on_every_pair() {
         );
 
         // Path 4: runtime-compiled native kernel, when the host can
-        // build one; otherwise the typed fallback must say why.
+        // build one; otherwise the typed fallback must say why. With
+        // rustc available the kernel must also pass differential
+        // validation (these probe-friendly signatures all have one).
         match k.backend_in(&store) {
-            KernelBackend::Compiled(_) => {
+            KernelBackend::Validated(_) | KernelBackend::Compiled(_) => {
                 let backend = k.backend_in(&store);
                 let mut y_native = init.clone();
                 let mut args = build_args(kernel, &m, &vecdata, &mut y_native);

@@ -38,12 +38,16 @@ impl<T: Scalar> SparseVec<T> {
         let mut values: Vec<T> = Vec::with_capacity(sorted.len());
         for (i, v) in sorted {
             assert!(i < n, "index {i} out of range");
-            if ind.last() == Some(&i) {
-                *values.last_mut().unwrap() += v;
-            } else {
-                ind.push(i);
-                values.push(v);
+            // `ind` and `values` grow in lock-step, so a duplicate
+            // index always has a value to accumulate into.
+            if let (Some(&last), Some(acc)) = (ind.last(), values.last_mut()) {
+                if last == i {
+                    *acc += v;
+                    continue;
+                }
             }
+            ind.push(i);
+            values.push(v);
         }
         SparseVec { n, ind, values }
     }

@@ -323,6 +323,10 @@ pub mod faults {
         DelayMs(u64),
         /// Force the installed budget into the exhausted state.
         Starve,
+        /// Make the site report an injected failure as its own *typed*
+        /// error (observed through [`fail`]; sites that only call
+        /// [`hit`] ignore it).
+        Fail,
     }
 
     #[derive(Debug)]
@@ -358,6 +362,8 @@ pub mod faults {
                 Action::Panic
             } else if action == "starve" {
                 Action::Starve
+            } else if action == "fail" {
+                Action::Fail
             } else if let Some(ms) = action.strip_prefix("delay:") {
                 Action::DelayMs(ms.parse().unwrap_or(1))
             } else {
@@ -379,29 +385,57 @@ pub mod faults {
         configure("");
     }
 
+    /// Consumes one hit of the site's armed fault, if any.
+    fn take(site: &str) -> Option<Action> {
+        let mut map = table().lock().unwrap_or_else(|e| e.into_inner());
+        match map.get_mut(site) {
+            Some(f) if f.remaining > 0 => {
+                if f.remaining != u64::MAX {
+                    f.remaining -= 1;
+                }
+                Some(f.action)
+            }
+            _ => None,
+        }
+    }
+
     /// A named fault-injection site. Panics, sleeps, or starves the
     /// installed budget if the site is armed; otherwise does nothing.
+    /// A `fail` arming is ignored here — only sites that observe
+    /// [`fail`] can surface it as a typed error.
     pub fn hit(site: &str) {
-        let action = {
-            let mut map = table().lock().unwrap_or_else(|e| e.into_inner());
-            match map.get_mut(site) {
-                Some(f) if f.remaining > 0 => {
-                    if f.remaining != u64::MAX {
-                        f.remaining -= 1;
-                    }
-                    Some(f.action)
-                }
-                _ => None,
-            }
-        };
-        match action {
-            None => {}
+        match take(site) {
+            None | Some(Action::Fail) => {}
             Some(Action::Panic) => panic!("injected fault at {site}"),
             Some(Action::DelayMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),
             Some(Action::Starve) => {
                 if let Some(b) = super::current() {
                     b.starve();
                 }
+            }
+        }
+    }
+
+    /// A named fault-injection site for code paths that report injected
+    /// faults as their own *typed* errors instead of panicking: returns
+    /// `true` when the site is armed with the `fail` action (the caller
+    /// must then take its documented failure path). Other armings
+    /// (panic/delay/starve) behave exactly as [`hit`] and return
+    /// `false`.
+    pub fn fail(site: &str) -> bool {
+        match take(site) {
+            None => false,
+            Some(Action::Fail) => true,
+            Some(Action::Panic) => panic!("injected fault at {site}"),
+            Some(Action::DelayMs(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                false
+            }
+            Some(Action::Starve) => {
+                if let Some(b) = super::current() {
+                    b.starve();
+                }
+                false
             }
         }
     }
@@ -413,6 +447,12 @@ pub mod faults {
     /// Disabled fault site: compiles to nothing.
     #[inline(always)]
     pub fn hit(_site: &str) {}
+
+    /// Disabled typed-error fault site: compiles to `false`.
+    #[inline(always)]
+    pub fn fail(_site: &str) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

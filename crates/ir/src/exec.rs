@@ -66,7 +66,7 @@ impl<'m> DenseEnv<'m> {
 }
 
 /// Errors surfaced by the executor.
-#[derive(Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExecError(pub String);
 
 impl std::fmt::Display for ExecError {

@@ -48,7 +48,7 @@ pub use parser::{parse_program, ParseError};
 /// Everything that can go wrong on this crate's library paths, as one
 /// typed error: syntax ([`ParseError`]), semantics ([`ValidateError`]),
 /// or reference execution ([`ExecError`]).
-#[derive(Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum IrError {
     Parse(ParseError),
     Validate(ValidateError),

@@ -26,7 +26,7 @@ use std::fmt;
 /// `line` and `column` are 1-based; [`parse_program`] fills them in from
 /// the byte `offset` before returning, so every surfaced error carries a
 /// usable position.
-#[derive(Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ParseError {
     pub msg: String,
     pub offset: usize,
@@ -528,8 +528,8 @@ mod tests {
     "#;
 
     #[test]
-    fn parses_triangular_solve() {
-        let p = parse_program(TS).unwrap();
+    fn parses_triangular_solve() -> Result<(), ParseError> {
+        let p = parse_program(TS)?;
         assert_eq!(p.name, "ts");
         assert_eq!(p.params, vec!["N"]);
         assert_eq!(p.arrays.len(), 2);
@@ -540,10 +540,11 @@ mod tests {
         assert_eq!(stmts[1].loop_vars(), vec!["j", "i"]);
         // inner loop lower bound is j + 1
         assert_eq!(stmts[1].loops[1].1, AffineExpr::from_terms(&[("j", 1)], 1));
+        Ok(())
     }
 
     #[test]
-    fn parses_mvm() {
+    fn parses_mvm() -> Result<(), ParseError> {
         let src = r#"
             program mvm(M, N) {
               in matrix A[M][N];
@@ -556,15 +557,16 @@ mod tests {
               }
             }
         "#;
-        let p = parse_program(src).unwrap();
+        let p = parse_program(src)?;
         assert_eq!(p.params, vec!["M", "N"]);
         let stmts = p.statements();
         assert_eq!(stmts.len(), 1);
         assert_eq!(stmts[0].accesses().len(), 4);
+        Ok(())
     }
 
     #[test]
-    fn comments_and_floats() {
+    fn comments_and_floats() -> Result<(), ParseError> {
         let src = r#"
             program scale(N) { // header comment
               inout vector x[N];
@@ -573,16 +575,17 @@ mod tests {
               }
             }
         "#;
-        let p = parse_program(src).unwrap();
+        let p = parse_program(src)?;
         let stmts = p.statements();
         match &stmts[0].stmt.rhs {
             ValueExpr::Mul(_, b) => assert_eq!(**b, ValueExpr::Const(2.5)),
             other => panic!("unexpected rhs {other:?}"),
         }
+        Ok(())
     }
 
     #[test]
-    fn affine_coefficients() {
+    fn affine_coefficients() -> Result<(), ParseError> {
         let src = r#"
             program p(N) {
               inout vector x[N];
@@ -591,24 +594,26 @@ mod tests {
               }
             }
         "#;
-        let p = parse_program(src).unwrap();
+        let p = parse_program(src)?;
         let idx = &p.statements()[0].stmt.lhs.idxs[0];
         assert_eq!(idx, &AffineExpr::from_terms(&[("i", 2), ("N", 1)], -1));
+        Ok(())
     }
 
     #[test]
-    fn operator_precedence() {
+    fn operator_precedence() -> Result<(), ParseError> {
         let src = r#"
             program p(N) {
               inout vector x[N];
               x[0] = 1 + 2 * 3 - 4 / 2;
             }
         "#;
-        let p = parse_program(src).unwrap();
+        let p = parse_program(src)?;
         let rhs = &p.statements()[0].stmt.rhs;
         // ((1 + (2*3)) - (4/2))
         let shown = rhs.to_string();
         assert_eq!(shown, "((1 + (2 * 3)) - (4 / 2))");
+        Ok(())
     }
 
     #[test]
@@ -656,10 +661,10 @@ mod tests {
     }
 
     #[test]
-    fn range_lexing() {
+    fn range_lexing() -> Result<(), ParseError> {
         // `0..N` must not lex as a float.
-        let p = parse_program("program p(N) { inout vector x[N]; for i in 0..N { x[i] = 0; } }")
-            .unwrap();
+        let p = parse_program("program p(N) { inout vector x[N]; for i in 0..N { x[i] = 0; } }")?;
         assert_eq!(p.statements().len(), 1);
+        Ok(())
     }
 }

@@ -21,6 +21,21 @@
 //! - **Observable.** Hits/misses/compiles are counted process-wide
 //!   ([`stats`]) and mirrored as `kernel.*` trace counters when the
 //!   `trace` feature is enabled.
+//! - **Self-healing.** Every artifact is published with a checksum
+//!   sidecar and verified on warm hits: a truncated or bit-rotted
+//!   shared object is a typed [`KernelCacheError::Corrupt`], evicted,
+//!   and rebuilt — never dlopened. Artifacts that misbehave *after*
+//!   loading (failed differential validation, bad ABI status) can be
+//!   [`KernelStore::quarantine`]d: they are evicted and never rebuilt
+//!   or re-loaded until the compiler identity changes. The `rustc`
+//!   child runs under a wall-clock timeout (killed and reaped on
+//!   expiry), transient failures are retried with backoff, and a
+//!   per-store circuit breaker short-circuits to
+//!   [`KernelCacheError::CircuitOpen`] after repeated infrastructure
+//!   failures so callers fall back to their interpreter without paying
+//!   full `rustc` latency per request. Concurrent builders of the same
+//!   artifact are coalesced: one compiles, the rest wait and share the
+//!   result (or the leader's typed error).
 //!
 //! The cache directory defaults to `bernoulli-kernel-cache` under the
 //! system temp dir and is overridable with `BERNOULLI_KERNEL_CACHE`
@@ -28,11 +43,17 @@
 //! across runs). `BERNOULLI_RUSTC` overrides the compiler binary, which
 //! doubles as the fallback-path test hook: pointing it at a nonexistent
 //! file makes every build report [`KernelCacheError::CompilerUnavailable`].
+//! `BERNOULLI_RUSTC_TIMEOUT_MS` overrides the default 60 s build
+//! timeout. With the `faults` feature, the `kernel.rustc` and
+//! `kernel.dlopen` sites of [`bernoulli_govern::faults`] inject typed
+//! failures into the build and load paths for chaos testing.
 
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::process::Command;
+use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Environment variable overriding the `rustc` binary used for kernel
 /// builds (also the test hook for the no-compiler fallback path).
@@ -40,6 +61,29 @@ pub const RUSTC_ENV: &str = "BERNOULLI_RUSTC";
 
 /// Environment variable overriding the artifact cache directory.
 pub const CACHE_DIR_ENV: &str = "BERNOULLI_KERNEL_CACHE";
+
+/// Environment variable overriding the `rustc` wall-clock timeout, in
+/// milliseconds ([`DEFAULT_BUILD_TIMEOUT`] otherwise).
+pub const RUSTC_TIMEOUT_ENV: &str = "BERNOULLI_RUSTC_TIMEOUT_MS";
+
+/// Default wall-clock ceiling on one `rustc` child. Generous — kernel
+/// crates build in well under a second — so only a wedged compiler or
+/// a saturated host ever trips it.
+pub const DEFAULT_BUILD_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Build attempts per [`KernelStore::get_or_build`] call: transient
+/// failures (spawn errors, I/O trouble, timeouts) are retried with
+/// backoff this many times in total before the typed error surfaces.
+const BUILD_ATTEMPTS: u32 = 3;
+
+/// Consecutive *infrastructure* build failures (timeouts, I/O, a
+/// vanished compiler — not source rejections) that trip a store's
+/// circuit breaker.
+const BREAKER_TRIP: u32 = 3;
+
+/// How long a tripped breaker short-circuits builds before letting one
+/// probe attempt through (half-open).
+const BREAKER_COOLDOWN: Duration = Duration::from_secs(10);
 
 /// Why a kernel could not be compiled, cached, or loaded.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -49,8 +93,25 @@ pub enum KernelCacheError {
     CompilerUnavailable { detail: String },
     /// `rustc` ran and rejected the kernel source.
     CompileFailed { stderr: String },
+    /// The `rustc` child exceeded the wall-clock build timeout and was
+    /// killed (and reaped).
+    Timeout { ms: u64 },
     /// Filesystem trouble around the cache directory.
     Io { detail: String },
+    /// An on-disk artifact failed checksum verification against its
+    /// sidecar (truncated, bit-rotted, or the sidecar is missing). The
+    /// artifact is evicted; the caller's build transparently rebuilds.
+    Corrupt { detail: String },
+    /// The artifact is on the store's quarantine list (it previously
+    /// failed differential validation or returned a bad ABI status)
+    /// and will not be rebuilt or re-loaded until the compiler
+    /// identity changes.
+    Quarantined { artifact: String },
+    /// The store's circuit breaker is open after repeated
+    /// infrastructure build failures; the build was short-circuited so
+    /// the caller can fall back to its interpreter without paying
+    /// `rustc` latency.
+    CircuitOpen { failures: u32 },
     /// The built artifact exists but the dynamic loader refused it.
     LoadFailed { detail: String },
     /// The library loaded but does not export the requested symbol.
@@ -68,7 +129,30 @@ impl std::fmt::Display for KernelCacheError {
             KernelCacheError::CompileFailed { stderr } => {
                 write!(f, "kernel compilation failed: {stderr}")
             }
+            KernelCacheError::Timeout { ms } => {
+                write!(
+                    f,
+                    "kernel compilation timed out after {ms} ms (rustc killed)"
+                )
+            }
             KernelCacheError::Io { detail } => write!(f, "kernel cache I/O error: {detail}"),
+            KernelCacheError::Corrupt { detail } => {
+                write!(f, "kernel artifact failed checksum verification: {detail}")
+            }
+            KernelCacheError::Quarantined { artifact } => {
+                write!(
+                    f,
+                    "kernel artifact {artifact} is quarantined (failed validation \
+                     or returned a bad ABI status under this compiler)"
+                )
+            }
+            KernelCacheError::CircuitOpen { failures } => {
+                write!(
+                    f,
+                    "kernel build circuit breaker open after {failures} consecutive \
+                     infrastructure failures; build short-circuited"
+                )
+            }
             KernelCacheError::LoadFailed { detail } => {
                 write!(f, "loading kernel artifact failed: {detail}")
             }
@@ -149,12 +233,26 @@ pub struct KernelCacheStats {
     pub compiles: u64,
     /// Failed `rustc` invocations (bad source or I/O).
     pub errors: u64,
+    /// Warm hits whose artifact failed checksum verification (evicted
+    /// and rebuilt).
+    pub corrupt: u64,
+    /// Artifacts placed on a quarantine list.
+    pub quarantined: u64,
+    /// Build attempts retried after a transient failure.
+    pub retries: u64,
+    /// Builds served by waiting on another in-flight build of the same
+    /// artifact instead of compiling (single-flight coalescing).
+    pub coalesced: u64,
 }
 
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static COMPILES: AtomicU64 = AtomicU64::new(0);
 static ERRORS: AtomicU64 = AtomicU64::new(0);
+static CORRUPT: AtomicU64 = AtomicU64::new(0);
+static QUARANTINED: AtomicU64 = AtomicU64::new(0);
+static RETRIES: AtomicU64 = AtomicU64::new(0);
+static COALESCED: AtomicU64 = AtomicU64::new(0);
 
 /// Process-lifetime artifact-cache totals (all [`KernelStore`]s).
 pub fn stats() -> KernelCacheStats {
@@ -163,6 +261,10 @@ pub fn stats() -> KernelCacheStats {
         misses: MISSES.load(Ordering::Relaxed),
         compiles: COMPILES.load(Ordering::Relaxed),
         errors: ERRORS.load(Ordering::Relaxed),
+        corrupt: CORRUPT.load(Ordering::Relaxed),
+        quarantined: QUARANTINED.load(Ordering::Relaxed),
+        retries: RETRIES.load(Ordering::Relaxed),
+        coalesced: COALESCED.load(Ordering::Relaxed),
     }
 }
 
@@ -172,6 +274,46 @@ pub fn stats_reset() {
     MISSES.store(0, Ordering::Relaxed);
     COMPILES.store(0, Ordering::Relaxed);
     ERRORS.store(0, Ordering::Relaxed);
+    CORRUPT.store(0, Ordering::Relaxed);
+    QUARANTINED.store(0, Ordering::Relaxed);
+    RETRIES.store(0, Ordering::Relaxed);
+    COALESCED.store(0, Ordering::Relaxed);
+}
+
+/// Artifacts whose checksum has verified clean this process (paths).
+/// Verification runs once per artifact per process; warm loads after
+/// the first skip the re-read, keeping the steady-state hit path at
+/// its original cost.
+fn verified() -> &'static Mutex<HashSet<PathBuf>> {
+    static V: OnceLock<Mutex<HashSet<PathBuf>>> = OnceLock::new();
+    V.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// One in-flight build per artifact path (single-flight coalescing).
+struct Flight {
+    state: Mutex<Option<Result<(), KernelCacheError>>>,
+    cv: Condvar,
+}
+
+fn flights() -> &'static Mutex<HashMap<PathBuf, Arc<Flight>>> {
+    static F: OnceLock<Mutex<HashMap<PathBuf, Arc<Flight>>>> = OnceLock::new();
+    F.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Per-directory circuit-breaker state (process-wide: stores are cheap
+/// value types, so the breaker must outlive any one instance).
+struct Breaker {
+    consecutive: u32,
+    open_until: Option<Instant>,
+}
+
+fn breakers() -> &'static Mutex<HashMap<PathBuf, Breaker>> {
+    static B: OnceLock<Mutex<HashMap<PathBuf, Breaker>>> = OnceLock::new();
+    B.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// A compiled artifact on disk, ready to [`Library::open`].
@@ -193,6 +335,7 @@ pub struct Artifact {
 #[derive(Clone, Debug)]
 pub struct KernelStore {
     dir: PathBuf,
+    timeout: Duration,
 }
 
 /// Optimization flags baked into every kernel build (and its cache
@@ -219,12 +362,25 @@ impl KernelStore {
         let dir = std::env::var_os(CACHE_DIR_ENV)
             .map(PathBuf::from)
             .unwrap_or_else(|| std::env::temp_dir().join("bernoulli-kernel-cache"));
-        KernelStore { dir }
+        KernelStore {
+            dir,
+            timeout: env_timeout(),
+        }
     }
 
     /// A store rooted at an explicit directory (created on first build).
     pub fn at(dir: impl Into<PathBuf>) -> KernelStore {
-        KernelStore { dir: dir.into() }
+        KernelStore {
+            dir: dir.into(),
+            timeout: env_timeout(),
+        }
+    }
+
+    /// Same store, with an explicit `rustc` wall-clock timeout (tests
+    /// use this instead of racing on the process environment).
+    pub fn with_timeout(mut self, timeout: Duration) -> KernelStore {
+        self.timeout = timeout;
+        self
     }
 
     /// The store's root directory.
@@ -253,30 +409,326 @@ impl KernelStore {
     }
 
     /// Returns the cached artifact for (key, source), compiling it
-    /// first when absent. Concurrent builders race benignly: each
-    /// compiles to a private temp file and the final `rename` is
-    /// atomic, so the winner's bytes are the ones every loader sees.
+    /// first when absent. Warm hits are verified against the checksum
+    /// sidecar (once per artifact per process); a corrupt artifact is
+    /// evicted and transparently rebuilt. Quarantined artifacts are
+    /// refused outright. Concurrent builders of the same artifact are
+    /// coalesced: one invokes `rustc`, the rest wait and share the
+    /// outcome (publication itself is an atomic `rename`, so even
+    /// cross-process races stay benign).
     pub fn get_or_build(&self, key: &str, source: &str) -> Result<Artifact, KernelCacheError> {
         let path = self.artifact_path(key, source)?;
-        if path.is_file() {
-            HITS.fetch_add(1, Ordering::Relaxed);
-            bernoulli_trace::counter!("kernel.cache_hits");
-            return Ok(Artifact {
-                path,
-                from_cache: true,
+        if self.is_quarantined(&path) {
+            QUARANTINED.fetch_add(1, Ordering::Relaxed);
+            bernoulli_trace::counter!("kernel.quarantine_refusals");
+            return Err(KernelCacheError::Quarantined {
+                artifact: path.display().to_string(),
             });
+        }
+        if path.is_file() {
+            match self.verify(&path) {
+                Ok(()) => {
+                    HITS.fetch_add(1, Ordering::Relaxed);
+                    bernoulli_trace::counter!("kernel.cache_hits");
+                    return Ok(Artifact {
+                        path,
+                        from_cache: true,
+                    });
+                }
+                Err(KernelCacheError::Corrupt { .. }) => {
+                    // Evicted by verify(); fall through to a rebuild.
+                }
+                Err(e) => return Err(e),
+            }
         }
         MISSES.fetch_add(1, Ordering::Relaxed);
         bernoulli_trace::counter!("kernel.cache_misses");
-        self.build(key, source, &path)?;
+        self.build_coalesced(key, source, &path)?;
         Ok(Artifact {
             path,
             from_cache: false,
         })
     }
 
+    /// Verifies an on-disk artifact against its checksum sidecar.
+    ///
+    /// Success is memoized per path for the life of the process, so the
+    /// steady-state warm-load path pays the artifact re-read exactly
+    /// once. On failure (missing sidecar, length or hash mismatch) the
+    /// artifact and its sidecars are evicted and a typed
+    /// [`KernelCacheError::Corrupt`] is returned.
+    pub fn verify(&self, path: &Path) -> Result<(), KernelCacheError> {
+        if lock(verified()).contains(path) {
+            return Ok(());
+        }
+        let detail = match check_sidecar(path) {
+            Ok(()) => {
+                lock(verified()).insert(path.to_path_buf());
+                return Ok(());
+            }
+            Err(d) => d,
+        };
+        CORRUPT.fetch_add(1, Ordering::Relaxed);
+        bernoulli_trace::counter!("kernel.corrupt_evictions");
+        evict(path);
+        Err(KernelCacheError::Corrupt { detail })
+    }
+
+    // --- quarantine -------------------------------------------------
+
+    fn quarantine_file(&self) -> PathBuf {
+        self.dir.join("quarantine.list")
+    }
+
+    /// The quarantine list's header line: a fingerprint of the compiler
+    /// identity. A list written under a different rustc is stale —
+    /// artifact hashes cover compiler identity, so the named artifacts
+    /// can never be produced again — and is ignored (then overwritten).
+    fn rustc_fingerprint() -> Option<String> {
+        let info = rustc_info().ok()?;
+        let mut h = Fnv::new();
+        h.write(info.version.as_bytes());
+        h.write(b"\x00");
+        h.write(info.triple.as_bytes());
+        Some(format!("rustc:{:016x}", h.finish()))
+    }
+
+    fn quarantine_stems(&self) -> Vec<String> {
+        let Some(fp) = Self::rustc_fingerprint() else {
+            return Vec::new();
+        };
+        let Ok(text) = std::fs::read_to_string(self.quarantine_file()) else {
+            return Vec::new();
+        };
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(fp.as_str()) {
+            return Vec::new(); // stale compiler identity
+        }
+        lines
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(String::from)
+            .collect()
+    }
+
+    /// True when the artifact is on this store's quarantine list under
+    /// the current compiler identity.
+    pub fn is_quarantined(&self, path: &Path) -> bool {
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            return false;
+        };
+        self.quarantine_stems().iter().any(|s| s == stem)
+    }
+
+    /// Quarantines an artifact: evicts it from disk and records it in
+    /// the store's persisted quarantine list so it is never rebuilt or
+    /// re-loaded until the compiler identity changes. Callers invoke
+    /// this when a *loaded* kernel misbehaves (failed differential
+    /// validation, bad ABI status) — checksum corruption is handled
+    /// automatically by [`KernelStore::verify`].
+    pub fn quarantine(&self, path: &Path) {
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            return;
+        };
+        let Some(fp) = Self::rustc_fingerprint() else {
+            return;
+        };
+        let mut stems = self.quarantine_stems();
+        if !stems.iter().any(|s| s == stem) {
+            stems.push(stem.to_string());
+            QUARANTINED.fetch_add(1, Ordering::Relaxed);
+            bernoulli_trace::counter!("kernel.quarantines");
+        }
+        let mut text = fp;
+        for s in &stems {
+            text.push('\n');
+            text.push_str(s);
+        }
+        text.push('\n');
+        let _ = std::fs::create_dir_all(&self.dir);
+        let _ = std::fs::write(self.quarantine_file(), text);
+        evict(path);
+        lock(verified()).remove(path);
+    }
+
+    /// Clears the store's quarantine list (test isolation).
+    pub fn clear_quarantine(&self) {
+        let _ = std::fs::remove_file(self.quarantine_file());
+    }
+
+    // --- circuit breaker --------------------------------------------
+
+    /// True when this store's circuit breaker is currently open.
+    pub fn breaker_tripped(&self) -> bool {
+        let mut map = lock(breakers());
+        match map.get_mut(&self.dir) {
+            Some(b) => match b.open_until {
+                Some(t) => Instant::now() < t,
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Resets this store's circuit breaker (test isolation).
+    pub fn breaker_reset(&self) {
+        lock(breakers()).remove(&self.dir);
+    }
+
+    /// Returns an error when the breaker is open. After the cooldown the
+    /// breaker goes half-open: exactly one build is let through as a
+    /// probe (the next failure re-trips, a success resets).
+    fn breaker_check(&self) -> Result<(), KernelCacheError> {
+        let mut map = lock(breakers());
+        let Some(b) = map.get_mut(&self.dir) else {
+            return Ok(());
+        };
+        if let Some(t) = b.open_until {
+            if Instant::now() < t {
+                return Err(KernelCacheError::CircuitOpen {
+                    failures: b.consecutive,
+                });
+            }
+            b.open_until = None; // half-open: admit one probe
+        }
+        Ok(())
+    }
+
+    fn breaker_failure(&self) {
+        let mut map = lock(breakers());
+        let b = map.entry(self.dir.clone()).or_insert(Breaker {
+            consecutive: 0,
+            open_until: None,
+        });
+        b.consecutive += 1;
+        if b.consecutive >= BREAKER_TRIP {
+            b.open_until = Some(Instant::now() + BREAKER_COOLDOWN);
+            bernoulli_trace::counter!("kernel.breaker_trips");
+        }
+    }
+
+    fn breaker_success(&self) {
+        lock(breakers()).remove(&self.dir);
+    }
+
+    // --- building ---------------------------------------------------
+
+    /// Single-flight wrapper around [`KernelStore::build`]: concurrent
+    /// builders of the same artifact path share one `rustc` run. The
+    /// leader publishes its outcome (typed error included) to every
+    /// waiter; a panicking leader publishes an `Io` error rather than
+    /// wedging followers.
+    fn build_coalesced(
+        &self,
+        key: &str,
+        source: &str,
+        path: &Path,
+    ) -> Result<(), KernelCacheError> {
+        let (flight, leader) = {
+            let mut map = lock(flights());
+            match map.get(path) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight {
+                        state: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    map.insert(path.to_path_buf(), Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if !leader {
+            COALESCED.fetch_add(1, Ordering::Relaxed);
+            bernoulli_trace::counter!("kernel.builds_coalesced");
+            let mut state = lock(&flight.state);
+            while state.is_none() {
+                state = flight.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+            return state.clone().expect("flight state set before notify");
+        }
+        // Leader. The guard guarantees followers are released (with an
+        // error) even if build() panics.
+        struct FlightGuard<'a> {
+            flight: &'a Flight,
+            path: &'a Path,
+            done: bool,
+        }
+        impl FlightGuard<'_> {
+            fn publish(&mut self, r: Result<(), KernelCacheError>) {
+                lock(flights()).remove(self.path);
+                *lock(&self.flight.state) = Some(r);
+                self.flight.cv.notify_all();
+                self.done = true;
+            }
+        }
+        impl Drop for FlightGuard<'_> {
+            fn drop(&mut self) {
+                if !self.done {
+                    self.publish(Err(KernelCacheError::Io {
+                        detail: "kernel build leader panicked".to_string(),
+                    }));
+                }
+            }
+        }
+        let mut guard = FlightGuard {
+            flight: &flight,
+            path,
+            done: false,
+        };
+        let result = self.build(key, source, path);
+        guard.publish(result.clone());
+        result
+    }
+
+    /// Builds with breaker short-circuit, bounded retry with backoff
+    /// for transient failures, and failure classification:
+    ///
+    /// - `CompileFailed` is a deterministic source rejection — no
+    ///   retry, and it does *not* count toward the breaker.
+    /// - `Timeout` / `Io` are transient infrastructure failures —
+    ///   retried with backoff, then counted toward the breaker.
+    /// - `CompilerUnavailable` is memoized by [`rustc_info`] and costs
+    ///   nothing to re-report — no retry, no breaker (the breaker
+    ///   exists to avoid paying `rustc` latency, which this path never
+    ///   does).
     fn build(&self, key: &str, source: &str, path: &Path) -> Result<(), KernelCacheError> {
+        self.breaker_check()?;
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let err = match self.build_once(key, source, path) {
+                Ok(()) => {
+                    self.breaker_success();
+                    return Ok(());
+                }
+                Err(e) => e,
+            };
+            let transient = matches!(
+                err,
+                KernelCacheError::Timeout { .. } | KernelCacheError::Io { .. }
+            );
+            if transient && attempt < BUILD_ATTEMPTS {
+                RETRIES.fetch_add(1, Ordering::Relaxed);
+                bernoulli_trace::counter!("kernel.build_retries");
+                std::thread::sleep(Duration::from_millis(10 * (1 << (attempt - 1))));
+                continue;
+            }
+            ERRORS.fetch_add(1, Ordering::Relaxed);
+            if transient {
+                self.breaker_failure();
+            }
+            return Err(err);
+        }
+    }
+
+    fn build_once(&self, key: &str, source: &str, path: &Path) -> Result<(), KernelCacheError> {
         bernoulli_trace::span!("kernel.compile");
+        if bernoulli_govern::faults::fail("kernel.rustc") {
+            return Err(KernelCacheError::Io {
+                detail: "injected fault at kernel.rustc (chaos test)".to_string(),
+            });
+        }
         let info = rustc_info()?;
         std::fs::create_dir_all(&self.dir).map_err(|e| KernelCacheError::Io {
             detail: format!("creating {:?}: {e}", self.dir),
@@ -294,29 +746,74 @@ impl KernelStore {
         std::fs::write(&src_path, source).map_err(|e| KernelCacheError::Io {
             detail: format!("writing {src_path:?}: {e}"),
         })?;
-        let out = Command::new(&info.binary)
+        let mut child = match Command::new(&info.binary)
             .args(RUSTC_FLAGS)
             .arg(format!("--crate-name={stem}"))
             .arg("-o")
             .arg(&tmp_out)
             .arg(&src_path)
-            .output();
-        let out = match out {
-            Ok(o) => o,
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+        {
+            Ok(c) => c,
             Err(e) => {
                 cleanup(&src_path);
-                ERRORS.fetch_add(1, Ordering::Relaxed);
                 return Err(KernelCacheError::CompilerUnavailable {
                     detail: format!("running {:?}: {e}", info.binary),
                 });
             }
         };
-        if !out.status.success() {
+        // Drain stderr on a helper thread so a chatty compiler can
+        // never deadlock against a full pipe while we poll for exit.
+        let stderr_pipe = child.stderr.take();
+        let drain = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            if let Some(mut pipe) = stderr_pipe {
+                use std::io::Read;
+                let _ = pipe.read_to_end(&mut buf);
+            }
+            buf
+        });
+        let deadline = Instant::now() + self.timeout;
+        let status = loop {
+            match child.try_wait() {
+                Ok(Some(status)) => break status,
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        // Kill and reap: wait() after kill() collects
+                        // the zombie even when the kill races exit.
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        let _ = drain.join();
+                        cleanup(&src_path);
+                        cleanup(&tmp_out);
+                        bernoulli_trace::counter!("kernel.build_timeouts");
+                        return Err(KernelCacheError::Timeout {
+                            ms: self.timeout.as_millis() as u64,
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    let _ = drain.join();
+                    cleanup(&src_path);
+                    cleanup(&tmp_out);
+                    return Err(KernelCacheError::Io {
+                        detail: format!("waiting on rustc: {e}"),
+                    });
+                }
+            }
+        };
+        let stderr_bytes = drain.join().unwrap_or_default();
+        if !status.success() {
             cleanup(&src_path);
             cleanup(&tmp_out);
-            ERRORS.fetch_add(1, Ordering::Relaxed);
             bernoulli_trace::counter!("kernel.compile_errors");
-            let mut stderr = String::from_utf8_lossy(&out.stderr).to_string();
+            let mut stderr = String::from_utf8_lossy(&stderr_bytes).to_string();
             const MAX: usize = 4000;
             if stderr.len() > MAX {
                 let mut cut = MAX;
@@ -328,6 +825,24 @@ impl KernelStore {
             }
             return Err(KernelCacheError::CompileFailed { stderr });
         }
+        // Checksum the built bytes and publish the sidecar *before* the
+        // artifact itself: a loader that sees the artifact always sees
+        // its sidecar too.
+        let bytes = std::fs::read(&tmp_out).map_err(|e| {
+            cleanup(&src_path);
+            cleanup(&tmp_out);
+            KernelCacheError::Io {
+                detail: format!("reading built artifact {tmp_out:?}: {e}"),
+            }
+        })?;
+        let sum = format!("{:016x} {}\n", content_hash(&bytes), bytes.len());
+        std::fs::write(sidecar_path(path), sum).map_err(|e| {
+            cleanup(&src_path);
+            cleanup(&tmp_out);
+            KernelCacheError::Io {
+                detail: format!("writing checksum sidecar for {path:?}: {e}"),
+            }
+        })?;
         // Keep the source next to the artifact for debuggability; the
         // rename publishes the artifact atomically.
         let _ = std::fs::rename(&src_path, path.with_extension("rs"));
@@ -339,10 +854,61 @@ impl KernelStore {
                 detail: format!("publishing {path:?}: {e}"),
             }
         })?;
+        lock(verified()).insert(path.to_path_buf());
         COMPILES.fetch_add(1, Ordering::Relaxed);
         bernoulli_trace::counter!("kernel.compiles");
         Ok(())
     }
+}
+
+/// The `rustc` wall-clock timeout from `BERNOULLI_RUSTC_TIMEOUT_MS`, or
+/// [`DEFAULT_BUILD_TIMEOUT`].
+fn env_timeout() -> Duration {
+    std::env::var(RUSTC_TIMEOUT_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(DEFAULT_BUILD_TIMEOUT)
+}
+
+/// The checksum sidecar next to an artifact: `<stem>.sum`, containing
+/// `"{fnv64:016x} {byte_len}\n"` over the artifact bytes.
+fn sidecar_path(path: &Path) -> PathBuf {
+    path.with_extension("sum")
+}
+
+/// Compares an artifact against its sidecar. `Err(detail)` on any
+/// mismatch (including an unreadable artifact or missing sidecar).
+fn check_sidecar(path: &Path) -> Result<(), String> {
+    let sum = std::fs::read_to_string(sidecar_path(path))
+        .map_err(|e| format!("{path:?}: missing/unreadable checksum sidecar: {e}"))?;
+    let mut parts = sum.split_whitespace();
+    let (Some(want_hash), Some(want_len)) = (parts.next(), parts.next()) else {
+        return Err(format!("{path:?}: malformed checksum sidecar {sum:?}"));
+    };
+    let bytes = std::fs::read(path).map_err(|e| format!("{path:?}: unreadable artifact: {e}"))?;
+    if want_len != bytes.len().to_string() {
+        return Err(format!(
+            "{path:?}: length mismatch (sidecar says {want_len}, artifact is {})",
+            bytes.len()
+        ));
+    }
+    let got = format!("{:016x}", content_hash(&bytes));
+    if want_hash != got {
+        return Err(format!(
+            "{path:?}: content hash mismatch (sidecar {want_hash}, artifact {got})"
+        ));
+    }
+    Ok(())
+}
+
+/// Removes an artifact and all its sidecars from disk.
+fn evict(path: &Path) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(sidecar_path(path));
+    let _ = std::fs::remove_file(path.with_extension("meta"));
+    let _ = std::fs::remove_file(path.with_extension("rs"));
+    lock(verified()).remove(path);
 }
 
 /// FNV-1a, 64-bit: tiny, stable across processes (unlike `DefaultHasher`,
@@ -428,6 +994,11 @@ impl Library {
     /// Opens a shared object with immediate symbol resolution.
     #[cfg(unix)]
     pub fn open(path: &Path) -> Result<Library, KernelCacheError> {
+        if bernoulli_govern::faults::fail("kernel.dlopen") {
+            return Err(KernelCacheError::LoadFailed {
+                detail: "injected fault at kernel.dlopen (chaos test)".to_string(),
+            });
+        }
         let cpath = std::ffi::CString::new(path.as_os_str().as_encoded_bytes()).map_err(|_| {
             KernelCacheError::LoadFailed {
                 detail: format!("path {path:?} contains a NUL byte"),
@@ -547,6 +1118,143 @@ mod tests {
             "{err:?}"
         );
         assert!(stats().errors > before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    const ADD_SRC: &str =
+        "#[no_mangle]\npub extern \"C\" fn kc_test_add2(a: i64, b: i64) -> i64 { a + b }\n";
+
+    #[test]
+    fn corrupt_artifact_is_evicted_and_rebuilt() {
+        let Ok(_) = rustc_info() else { return };
+        let dir = std::env::temp_dir().join(format!("bernoulli-kc-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = KernelStore::at(&dir);
+        let a = s.get_or_build("corrupt", ADD_SRC).unwrap();
+        assert!(!a.from_cache);
+        // Truncate the artifact behind the cache's back and clear the
+        // in-process verification memo (a fresh process would start
+        // with it empty).
+        std::fs::write(&a.path, b"garbage").unwrap();
+        lock(verified()).remove(&a.path);
+        let before = stats().corrupt;
+        let again = s.get_or_build("corrupt", ADD_SRC).unwrap();
+        assert!(
+            !again.from_cache,
+            "corrupt artifact must be rebuilt, not served"
+        );
+        assert!(stats().corrupt > before);
+        // The rebuilt artifact must verify and load.
+        s.verify(&again.path).unwrap();
+        let lib = Library::open(&again.path).unwrap();
+        assert!(lib.symbol("kc_test_add2").is_ok());
+        drop(lib);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_reports_typed_corrupt_error() {
+        let Ok(_) = rustc_info() else { return };
+        let dir = std::env::temp_dir().join(format!("bernoulli-kc-verify-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = KernelStore::at(&dir);
+        let a = s.get_or_build("verify", ADD_SRC).unwrap();
+        s.verify(&a.path).unwrap();
+        std::fs::write(&a.path, b"truncated").unwrap();
+        lock(verified()).remove(&a.path);
+        let err = s.verify(&a.path).expect_err("tampered artifact must fail");
+        assert!(matches!(err, KernelCacheError::Corrupt { .. }), "{err:?}");
+        assert!(!a.path.exists(), "corrupt artifact must be evicted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_blocks_rebuild_until_compiler_changes() {
+        let Ok(_) = rustc_info() else { return };
+        let dir = std::env::temp_dir().join(format!("bernoulli-kc-quar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = KernelStore::at(&dir);
+        let a = s.get_or_build("quar", ADD_SRC).unwrap();
+        s.quarantine(&a.path);
+        assert!(!a.path.exists(), "quarantined artifact must be evicted");
+        assert!(s.is_quarantined(&a.path));
+        let err = s
+            .get_or_build("quar", ADD_SRC)
+            .expect_err("quarantined artifact must not be rebuilt");
+        assert!(
+            matches!(err, KernelCacheError::Quarantined { .. }),
+            "{err:?}"
+        );
+        // A quarantine list written under a different compiler identity
+        // is stale and ignored.
+        let listing = std::fs::read_to_string(s.quarantine_file()).unwrap();
+        let stale = listing.replacen("rustc:", "rustc:0", 1);
+        std::fs::write(s.quarantine_file(), stale).unwrap();
+        assert!(!s.is_quarantined(&a.path));
+        let rebuilt = s.get_or_build("quar", ADD_SRC).unwrap();
+        assert!(!rebuilt.from_cache);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn build_timeout_kills_rustc_and_is_typed() {
+        let Ok(_) = rustc_info() else { return };
+        let dir = std::env::temp_dir().join(format!("bernoulli-kc-tmo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = KernelStore::at(&dir).with_timeout(Duration::from_millis(1));
+        s.breaker_reset();
+        let err = s
+            .get_or_build("tmo", ADD_SRC)
+            .expect_err("1 ms is not enough to build anything");
+        assert!(
+            matches!(err, KernelCacheError::Timeout { ms: 1 }),
+            "{err:?}"
+        );
+        // Timeouts are infrastructure failures: retried (BUILD_ATTEMPTS
+        // total), then counted toward the breaker, which trips after
+        // BREAKER_TRIP consecutive failures.
+        for _ in 1..BREAKER_TRIP {
+            let _ = s.get_or_build("tmo", ADD_SRC);
+        }
+        assert!(s.breaker_tripped());
+        let err = s
+            .get_or_build("tmo", ADD_SRC)
+            .expect_err("open breaker must short-circuit");
+        assert!(
+            matches!(err, KernelCacheError::CircuitOpen { .. }),
+            "{err:?}"
+        );
+        // A healthy store with the same directory recovers after reset.
+        s.breaker_reset();
+        let ok = KernelStore::at(&dir).get_or_build("tmo", ADD_SRC).unwrap();
+        assert!(!ok.from_cache);
+        s.breaker_reset();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_builds_of_one_artifact_coalesce() {
+        let Ok(_) = rustc_info() else { return };
+        let dir = std::env::temp_dir().join(format!("bernoulli-kc-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let compiles_before = stats().compiles;
+        let s = KernelStore::at(&dir);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let s = s.clone();
+                    scope.spawn(move || s.get_or_build("flight", ADD_SRC))
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap().unwrap();
+            }
+        });
+        assert_eq!(
+            stats().compiles - compiles_before,
+            1,
+            "8 concurrent builders must share exactly one rustc run"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

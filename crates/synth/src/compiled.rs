@@ -103,6 +103,10 @@ pub enum LoadError {
     /// Compiling, caching, or dynamically loading the artifact failed
     /// (no `rustc` on the host, a rejected build, a dlopen failure…).
     Cache(KernelCacheError),
+    /// The loaded kernel disagreed with the interpreter on the
+    /// deterministic probe instance (differential validation). The
+    /// artifact has been quarantined.
+    ValidationFailed { detail: String },
 }
 
 impl std::fmt::Display for LoadError {
@@ -116,6 +120,13 @@ impl std::fmt::Display for LoadError {
                 )
             }
             LoadError::Cache(e) => write!(f, "{e}"),
+            LoadError::ValidationFailed { detail } => {
+                write!(
+                    f,
+                    "kernel failed differential validation against the \
+                     interpreter (artifact quarantined): {detail}"
+                )
+            }
         }
     }
 }
@@ -125,7 +136,7 @@ impl std::error::Error for LoadError {
         match self {
             LoadError::Emit(e) => Some(e),
             LoadError::Cache(e) => Some(e),
-            LoadError::UnsupportedView { .. } => None,
+            LoadError::UnsupportedView { .. } | LoadError::ValidationFailed { .. } => None,
         }
     }
 }
@@ -837,6 +848,12 @@ pub struct LoadedKernel {
     from_cache: bool,
     /// Matrix whose rows the ranged entry splits, when present.
     outer_matrix: Option<String>,
+    /// True when the kernel passed differential validation against the
+    /// interpreter on the deterministic probe instance.
+    validated: bool,
+    /// The store the artifact came from — kept so a bad ABI status at
+    /// call time can quarantine the artifact behind it.
+    store: KernelStore,
 }
 
 impl std::fmt::Debug for LoadedKernel {
@@ -845,6 +862,7 @@ impl std::fmt::Debug for LoadedKernel {
             .field("artifact", &self.lib.path())
             .field("from_cache", &self.from_cache)
             .field("ranged", &self.ranged.is_some())
+            .field("validated", &self.validated)
             .finish()
     }
 }
@@ -859,6 +877,14 @@ impl LoadedKernel {
     /// run in this call).
     pub fn from_cache(&self) -> bool {
         self.from_cache
+    }
+
+    /// True when the kernel passed differential validation against the
+    /// interpreter (see [`KernelBackend::Validated`]). False when
+    /// validation was skipped — disabled, or the probe instance could
+    /// not be built for this signature.
+    pub fn validated(&self) -> bool {
+        self.validated
     }
 
     /// The shared object backing this kernel.
@@ -965,7 +991,15 @@ impl LoadedKernel {
             2 => Err(KernelCallError::Mismatch {
                 detail: "library rejected the operand arity (ABI drift?)".to_string(),
             }),
-            c => Err(KernelCallError::Abi { code: c }),
+            c => {
+                // An unknown nonzero status means the artifact and the
+                // host disagree about the ABI: quarantine it so it is
+                // never loaded again (callers re-serve through the
+                // interpreter on their next `backend` call).
+                self.store.quarantine(self.lib.path());
+                unvalidate(self.lib.path());
+                Err(KernelCallError::Abi { code: c })
+            }
         }
     }
 }
@@ -1084,21 +1118,254 @@ fn marshal(
 /// reason native loading was impossible.
 #[derive(Debug)]
 pub enum KernelBackend {
-    /// Runtime-compiled native code.
+    /// Runtime-compiled native code that *passed differential
+    /// validation*: before being served it reproduced the interpreter's
+    /// output bitwise on a deterministic probe instance.
+    Validated(LoadedKernel),
+    /// Runtime-compiled native code; validation was skipped (disabled,
+    /// or no probe instance exists for this signature).
     Compiled(LoadedKernel),
     /// Interpreter fallback; `reason` says why (no compiler on the
-    /// host, unsupported view, emission failure…).
+    /// host, unsupported view, emission failure, failed validation…).
     Interpreted { reason: LoadError },
 }
 
 impl KernelBackend {
-    /// True for the native path.
+    /// True for either native path (validated or not).
     pub fn is_compiled(&self) -> bool {
-        matches!(self, KernelBackend::Compiled(_))
+        matches!(
+            self,
+            KernelBackend::Validated(_) | KernelBackend::Compiled(_)
+        )
+    }
+
+    /// True only for native code that passed differential validation.
+    pub fn is_validated(&self) -> bool {
+        matches!(self, KernelBackend::Validated(_))
     }
 }
 
-/// Loads (building if needed) the native kernel for a compiled plan.
+// ---------------------------------------------------------------------
+// Differential validation
+// ---------------------------------------------------------------------
+
+/// Whether freshly loaded kernels are differentially validated against
+/// the interpreter before being served (on by default).
+static VALIDATION_ENABLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Enables/disables differential validation of loaded kernels
+/// (process-wide). Benchmarks use this to measure the validation
+/// overhead itself; everything else should leave it on.
+pub fn set_kernel_validation(enabled: bool) {
+    VALIDATION_ENABLED.store(enabled, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// True when differential validation of loaded kernels is enabled.
+pub fn kernel_validation_enabled() -> bool {
+    VALIDATION_ENABLED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Artifacts that already passed validation this process: warm loads
+/// of a validated artifact skip the probe entirely, so the steady-state
+/// load path pays validation exactly once per artifact.
+fn validated_memo() -> &'static std::sync::Mutex<std::collections::HashSet<std::path::PathBuf>> {
+    static M: std::sync::OnceLock<std::sync::Mutex<std::collections::HashSet<std::path::PathBuf>>> =
+        std::sync::OnceLock::new();
+    M.get_or_init(|| std::sync::Mutex::new(std::collections::HashSet::new()))
+}
+
+fn memo_contains(path: &std::path::Path) -> bool {
+    validated_memo()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .contains(path)
+}
+
+fn memo_insert(path: &std::path::Path) {
+    validated_memo()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(path.to_path_buf());
+}
+
+/// Forgets an artifact's validated status (it misbehaved after
+/// loading, or a benchmark wants to re-measure the probe cost).
+pub(crate) fn unvalidate(path: &std::path::Path) {
+    validated_memo()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(path);
+}
+
+/// Clears the process-wide validation memo (benchmark isolation).
+pub fn clear_kernel_validation_memo() {
+    validated_memo()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
+/// One owned operand of the probe instance; `arg` borrows it as a
+/// [`KernelArg`].
+enum ProbeOperand {
+    Csr(Csr<f64>),
+    Csc(Csc<f64>),
+    Coo(Coo<f64>),
+    Dia(Dia<f64>),
+    Ell(Ell<f64>),
+    Jad(Jad<f64>),
+    Sky(Sky<f64>),
+    Bsr(Bsr<f64>),
+    Vbr(Vbr<f64>),
+    In(Vec<f64>),
+    Out(Vec<f64>),
+}
+
+impl ProbeOperand {
+    fn arg(&mut self) -> KernelArg<'_> {
+        match self {
+            ProbeOperand::Csr(m) => KernelArg::Csr(m),
+            ProbeOperand::Csc(m) => KernelArg::Csc(m),
+            ProbeOperand::Coo(m) => KernelArg::Coo(m),
+            ProbeOperand::Dia(m) => KernelArg::Dia(m),
+            ProbeOperand::Ell(m) => KernelArg::Ell(m),
+            ProbeOperand::Jad(m) => KernelArg::Jad(m),
+            ProbeOperand::Sky(m) => KernelArg::Sky(m),
+            ProbeOperand::Bsr(m) => KernelArg::Bsr(m),
+            ProbeOperand::Vbr(m) => KernelArg::Vbr(m),
+            ProbeOperand::In(x) => KernelArg::In(x),
+            ProbeOperand::Out(y) => KernelArg::Out(y),
+        }
+    }
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    fn gcd(mut a: usize, mut b: usize) -> usize {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    }
+    a / gcd(a, b) * b
+}
+
+/// Builds the deterministic probe operands for a kernel signature, or
+/// `None` when some view has no probe construction (validation is then
+/// skipped, not failed). The matrix is n×n lower-triangular with a
+/// full nonzero diagonal — legal for every format including skyline —
+/// with n sized to divide evenly into any BSR block shape in the
+/// signature.
+fn probe_operands(sig: &KernelSig) -> Option<(i64, Vec<ProbeOperand>)> {
+    use bernoulli_formats::Triplets;
+    let mut n = 4usize;
+    for (_, spec) in &sig.args {
+        if let ArgSpec::View(v) = spec {
+            if let Some((r, c)) = crate::emit::parse_bsr(v) {
+                n = lcm(n, lcm(r, c));
+            }
+        }
+    }
+    let mut entries: Vec<(usize, usize, f64)> = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        entries.push((i, i, 1.0 + 0.125 * i as f64));
+        if i > 0 {
+            entries.push((i, i - 1, 0.5 + 0.0625 * i as f64));
+        }
+    }
+    let t = Triplets::<f64>::from_entries(n, n, &entries);
+    let mut ops = Vec::with_capacity(sig.args.len());
+    for (_, spec) in &sig.args {
+        let op = match spec {
+            ArgSpec::VecIn => ProbeOperand::In((0..n).map(|k| 1.0 + 0.25 * k as f64).collect()),
+            ArgSpec::VecOut => ProbeOperand::Out((0..n).map(|k| 0.5 * k as f64).collect()),
+            ArgSpec::View(v) => {
+                if let Some((r, c)) = crate::emit::parse_bsr(v) {
+                    ProbeOperand::Bsr(Bsr::from_triplets(&t, r, c))
+                } else {
+                    match v.as_str() {
+                        "csr" => ProbeOperand::Csr(Csr::from_triplets(&t)),
+                        "csc" => ProbeOperand::Csc(Csc::from_triplets(&t)),
+                        "coo" => ProbeOperand::Coo(Coo::from_triplets(&t)),
+                        "dia" => ProbeOperand::Dia(Dia::from_triplets(&t)),
+                        "ell" => ProbeOperand::Ell(Ell::from_triplets(&t)),
+                        "jad" => ProbeOperand::Jad(Jad::from_triplets(&t)),
+                        "sky" => ProbeOperand::Sky(Sky::from_triplets(&t)),
+                        "vbr" => {
+                            let pntr = [0, n / 2, n];
+                            ProbeOperand::Vbr(Vbr::from_triplets(&t, &pntr, &pntr))
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+        };
+        ops.push(op);
+    }
+    Some((n as i64, ops))
+}
+
+/// Runs the freshly loaded kernel against the interpreter on the probe
+/// instance. `Ok(true)`: validated (bitwise-identical outputs).
+/// `Ok(false)`: validation skipped — disabled, already validated this
+/// process, no probe for this signature, or the *interpreter* could not
+/// run the probe (then there is no reference to compare against).
+/// `Err`: the kernel disagreed or failed — the artifact is quarantined.
+fn validate_kernel(p: &Program, plan: &Plan, kernel: &LoadedKernel) -> Result<bool, LoadError> {
+    if !kernel_validation_enabled() {
+        return Ok(false);
+    }
+    if memo_contains(kernel.lib.path()) {
+        return Ok(true);
+    }
+    let Some((n, mut interp_ops)) = probe_operands(&kernel.sig) else {
+        return Ok(false);
+    };
+    let params = vec![n; kernel.sig.params.len()];
+    let mut interp_args: Vec<KernelArg<'_>> = interp_ops.iter_mut().map(|o| o.arg()).collect();
+    if interp_positional(p, plan, &params, &mut interp_args).is_err() {
+        return Ok(false);
+    }
+    drop(interp_args);
+    // Deterministic, so this re-derivation cannot fail after the first
+    // call succeeded — but degrade to "skipped" rather than assert.
+    let Some((_, mut kernel_ops)) = probe_operands(&kernel.sig) else {
+        return Ok(false);
+    };
+    let mut kernel_args: Vec<KernelArg<'_>> = kernel_ops.iter_mut().map(|o| o.arg()).collect();
+    let reject = |detail: String| {
+        kernel.store.quarantine(kernel.lib.path());
+        bernoulli_trace::counter!("kernel.validation_failures");
+        LoadError::ValidationFailed { detail }
+    };
+    if let Err(e) = kernel.run(&params, &mut kernel_args) {
+        return Err(reject(format!("probe call failed: {e}")));
+    }
+    drop(kernel_args);
+    for (i, (expect, got)) in interp_ops.iter().zip(kernel_ops.iter()).enumerate() {
+        let (ProbeOperand::Out(expect), ProbeOperand::Out(got)) = (expect, got) else {
+            continue;
+        };
+        let same = expect.len() == got.len()
+            && expect
+                .iter()
+                .zip(got)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !same {
+            return Err(reject(format!(
+                "output operand {:?} differs from the interpreter on the \
+                 {n}×{n} probe (expected {expect:?}, kernel wrote {got:?})",
+                kernel.sig.args[i].0
+            )));
+        }
+    }
+    memo_insert(kernel.lib.path());
+    bernoulli_trace::counter!("kernel.validations");
+    Ok(true)
+}
+
+/// Loads (building if needed) the native kernel for a compiled plan,
+/// then differentially validates it against the interpreter (unless
+/// disabled or already validated this process).
 pub(crate) fn load_kernel(
     p: &Program,
     plan: &Plan,
@@ -1132,14 +1399,18 @@ pub(crate) fn load_kernel(
         None
     };
     bernoulli_trace::counter!("kernel.loads");
-    Ok(LoadedKernel {
+    let mut kernel = LoadedKernel {
         lib: Arc::new(lib),
         entry,
         ranged,
         sig,
         from_cache,
         outer_matrix,
-    })
+        validated: false,
+        store: store.clone(),
+    };
+    kernel.validated = validate_kernel(p, plan, &kernel)?;
+    Ok(kernel)
 }
 
 /// Runs a plan through the interpreter with the *same positional
@@ -1316,5 +1587,68 @@ mod tests {
         let err = interp_positional(k.program(), k.plan(), &[3, 3], &mut args)
             .expect_err("missing output operand");
         assert!(matches!(err, SynthError::Plan(_)), "{err:?}");
+    }
+
+    /// An artifact whose entry returns an unknown nonzero status is an
+    /// ABI breach: the call must surface `KernelCallError::Abi`, the
+    /// artifact must land in the store's quarantine, and the store must
+    /// refuse to serve it again.
+    #[test]
+    fn abi_breach_quarantines_the_artifact() -> Result<(), KernelCacheError> {
+        if bernoulli_kernel_cache::rustc_info().is_err() {
+            return Ok(());
+        }
+        // A well-formed cdylib that honours the EntryV1 signature but
+        // reports a status code no host version understands.
+        const ROGUE: &str = "
+            #[no_mangle]
+            pub extern \"C\" fn bernoulli_kernel_v1(
+                _params: *const i64, _nparams: usize,
+                _dims: *const usize, _ndims: usize,
+                _slices: *const u8, _nslices: usize,
+            ) -> i32 { 7 }
+        ";
+        let dir = std::env::temp_dir().join(format!("bernoulli-abi-breach-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = KernelStore::at(&dir);
+        let Artifact { path, .. } = store.get_or_build("abi-breach-test", ROGUE)?;
+        let lib = Library::open(&path)?;
+        let entry: EntryV1 = unsafe { std::mem::transmute(lib.symbol(KERNEL_SYMBOL)?) };
+        let kernel = LoadedKernel {
+            lib: Arc::new(lib),
+            entry,
+            ranged: None,
+            sig: KernelSig {
+                params: Vec::new(),
+                args: Vec::new(),
+                ndims: 0,
+                nslices: 0,
+            },
+            from_cache: false,
+            outer_matrix: None,
+            validated: false,
+            store: store.clone(),
+        };
+        let outcome = kernel.run(&[], &mut []);
+        assert!(
+            matches!(outcome, Err(KernelCallError::Abi { code: 7 })),
+            "expected Abi {{ code: 7 }}, got {outcome:?}"
+        );
+        assert!(
+            store.is_quarantined(&path),
+            "a bad status must quarantine the artifact"
+        );
+        assert!(
+            !memo_contains(&path),
+            "quarantine must also drop the validation memo entry"
+        );
+        let refusal = store.get_or_build("abi-breach-test", ROGUE);
+        assert!(
+            matches!(refusal, Err(KernelCacheError::Quarantined { .. })),
+            "expected Quarantined refusal, got {refusal:?}"
+        );
+        store.clear_quarantine();
+        let _ = std::fs::remove_dir_all(&dir);
+        Ok(())
     }
 }

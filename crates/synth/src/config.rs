@@ -96,7 +96,7 @@ pub struct Config {
 }
 
 /// Errors produced while building configurations.
-#[derive(Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ConfigError(pub String);
 
 impl std::fmt::Display for ConfigError {

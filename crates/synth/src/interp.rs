@@ -12,7 +12,7 @@ use bernoulli_ir::ValueExpr;
 use std::collections::HashMap;
 
 /// Runtime error during plan execution.
-#[derive(Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PlanError(pub String);
 
 impl std::fmt::Display for PlanError {

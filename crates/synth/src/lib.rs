@@ -60,7 +60,8 @@ pub mod zero;
 
 pub use advise::{view_for_features, Advice, AdviceEntry, DEFAULT_ADVISOR_FORMATS};
 pub use compiled::{
-    KernelArg, KernelBackend, KernelCallError, KernelSig, LoadError, LoadedKernel, RawOut,
+    clear_kernel_validation_memo, kernel_validation_enabled, set_kernel_validation, KernelArg,
+    KernelBackend, KernelCallError, KernelSig, LoadError, LoadedKernel, RawOut,
 };
 pub use config::{Config, ConfigError, RefInst, StmtCopy};
 pub use cost::{cost_floor, WorkloadStats};

@@ -860,6 +860,12 @@ impl PersistentPlanCache {
     /// miss, a version mismatch, a key (hash) collision, or any parse
     /// failure. Never errors out: the persistent tier is advisory.
     pub(crate) fn load(&self, key: &str) -> Option<CachedSearch> {
+        if bernoulli_govern::faults::fail("persist.read") {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            *self.last_error.lock().unwrap_or_else(|p| p.into_inner()) =
+                Some("injected fault at persist.read (chaos test)".to_string());
+            return None;
+        }
         let text = match std::fs::read_to_string(self.path_for(key)) {
             Ok(t) => t,
             Err(_) => {

@@ -150,7 +150,7 @@ pub struct SearchReport {
 /// Every lower layer's typed error converges here via `From`, so the
 /// staged [`Session`](crate::session::Session) API can report any
 /// caller-triggerable failure as one recoverable type.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum SynthError {
     /// The input program is malformed: a syntax error or a semantic one
     /// (undeclared arrays, out-of-scope variables, arity mismatches).

@@ -29,6 +29,12 @@
 //!    against the request, not forgiven) plus the configured op
 //!    ceiling, so one adversarial program degrades itself instead of
 //!    the tenancy.
+//! 4. **Single-flight coalescing.** Concurrent compiles of the same
+//!    plan-cache key share one search (and hence one kernel build
+//!    downstream): the first request leads, the rest wait and receive
+//!    the leader's result — or its typed error — without re-searching.
+//!    Degraded results are never shared (each request's budget is its
+//!    own), and requests with plan caching disabled never coalesce.
 //!
 //! Determinism is preserved under concurrency: compiles taken through
 //! the service produce byte-identical plans and emitted source to the
@@ -37,7 +43,7 @@
 
 use crate::persist::{PersistStats, PersistentPlanCache};
 use crate::search::{
-    plan_cache_key, run_search, PlanCache, PlanCacheStats, SynthError, SynthOptions,
+    plan_cache_key, run_search, PlanCache, PlanCacheStats, SearchReport, SynthError, SynthOptions,
 };
 use crate::session::{bind_problem, BoundProblem, CompiledKernel, DepReport};
 use bernoulli_formats::view::FormatView;
@@ -45,7 +51,7 @@ use bernoulli_govern::Budget;
 use bernoulli_ir::{analyze, parse_program, Program};
 use bernoulli_polyhedra::PolyCaches;
 use bernoulli_pool::Pool;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -337,6 +343,28 @@ struct Counters {
     shed_deadline: AtomicU64,
     degraded: AtomicU64,
     peak_inflight: AtomicU64,
+    searches: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// The outcome a search leader publishes to its followers.
+#[derive(Clone)]
+enum FlightState {
+    /// The leader is still searching.
+    Pending,
+    /// The leader finished; followers take the shared (cloned) result.
+    Done(Result<SearchReport, SynthError>),
+    /// The leader's search degraded under *its own* budget — a
+    /// degraded result is never shared. Followers race to become the
+    /// next leader instead.
+    Retry,
+}
+
+/// One in-flight search per plan-cache key (single-flight coalescing):
+/// N concurrent compiles of the same key share one search.
+struct SearchFlight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
 }
 
 /// A point-in-time snapshot of a service's request accounting
@@ -363,6 +391,18 @@ pub struct ServiceStats {
     pub degraded: u64,
     /// High-water mark of concurrent in-flight compiles.
     pub peak_inflight: u64,
+    /// Genuine searches executed: `run_search` calls that neither hit
+    /// a plan-cache tier nor were coalesced onto another request's
+    /// in-flight search.
+    pub searches: u64,
+    /// Requests served by waiting on another request's in-flight
+    /// search of the same plan-cache key (single-flight coalescing)
+    /// instead of searching themselves.
+    pub coalesced: u64,
+    /// `rustc` kernel builds since this service was created
+    /// (process-wide kernel-cache compiles, baselined at
+    /// [`Service::new`]).
+    pub kernel_builds: u64,
 }
 
 /// A `Send + Sync` compile server: wrap in an `Arc`, share across
@@ -378,6 +418,11 @@ pub struct Service {
     persist: Option<PersistentPlanCache>,
     admission: Admission,
     counters: Counters,
+    /// In-flight searches by plan-cache key (single-flight coalescing).
+    flights: Mutex<HashMap<String, Arc<SearchFlight>>>,
+    /// Process-wide kernel-cache compile count when this service was
+    /// created; [`ServiceStats::kernel_builds`] is the delta.
+    kc_compiles_at_start: u64,
 }
 
 impl Service {
@@ -397,6 +442,8 @@ impl Service {
             persist,
             admission,
             counters: Counters::default(),
+            flights: Mutex::new(HashMap::new()),
+            kc_compiles_at_start: bernoulli_kernel_cache::stats().compiles,
         }
     }
 
@@ -563,26 +610,182 @@ impl Service {
             ServicePool::Owned(p) => opts.parallel.then_some(&**p),
             ServicePool::Shared => opts.parallel.then(Pool::global),
         };
-        let report = run_search(
-            problem.program(),
-            &views,
-            opts,
-            pool,
-            &self.plan_cache,
-            self.persist.as_ref(),
-        )?;
+        let cache_key = plan_cache_key(problem.program(), &views, opts);
+        let report = if opts.cache_plans {
+            self.search_coalesced(
+                &cache_key,
+                problem.program(),
+                &views,
+                opts,
+                pool,
+                absolute_deadline,
+            )?
+        } else {
+            // With plan caching off, requests for the same key are
+            // deliberately independent (load generators rely on this
+            // to measure genuine search throughput).
+            self.search_counted(problem.program(), &views, opts, pool)?
+        };
         if report.candidates.is_empty() {
             return Err(ServiceError::Synth(SynthError::NoLegalPlan {
                 reasons: report.reasons,
             }));
         }
-        let cache_key = plan_cache_key(problem.program(), &views, opts);
         Ok(CompiledKernel::from_parts(
             problem.program().clone(),
             problem.views().iter().cloned().collect(),
             report,
             cache_key,
         ))
+    }
+
+    /// Runs a search and counts it in [`ServiceStats::searches`] when
+    /// it was a genuine search (not served by a plan-cache tier).
+    fn search_counted(
+        &self,
+        p: &Program,
+        views: &[(&str, FormatView)],
+        opts: &SynthOptions,
+        pool: Option<&Pool>,
+    ) -> Result<SearchReport, SynthError> {
+        let report = run_search(
+            p,
+            views,
+            opts,
+            pool,
+            &self.plan_cache,
+            self.persist.as_ref(),
+        )?;
+        if !report.plan_cache_hit && !report.plan_cache_disk_hit {
+            self.counters.searches.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(report)
+    }
+
+    /// Single-flight search: concurrent requests for the same
+    /// plan-cache key share one search. The first request in becomes
+    /// the *leader* and searches; followers wait on the flight and
+    /// receive the leader's result — or its typed error — cloned.
+    /// A leader whose search *degraded* under its own budget keeps the
+    /// degraded result for itself but never publishes it: followers
+    /// are woken to race for leadership instead. A follower whose
+    /// deadline expires while waiting falls back to its own search, so
+    /// deadline accounting stays identical to the sequential path.
+    fn search_coalesced(
+        &self,
+        key: &str,
+        p: &Program,
+        views: &[(&str, FormatView)],
+        opts: &SynthOptions,
+        pool: Option<&Pool>,
+        deadline: Option<Instant>,
+    ) -> Result<SearchReport, SynthError> {
+        loop {
+            let (flight, leader) = {
+                let mut map = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+                match map.get(key) {
+                    Some(f) => (Arc::clone(f), false),
+                    None => {
+                        let f = Arc::new(SearchFlight {
+                            state: Mutex::new(FlightState::Pending),
+                            cv: Condvar::new(),
+                        });
+                        map.insert(key.to_string(), Arc::clone(&f));
+                        (f, true)
+                    }
+                }
+            };
+            if leader {
+                return self.lead_search(key, &flight, p, views, opts, pool);
+            }
+            let mut state = flight.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                match &*state {
+                    FlightState::Pending => {}
+                    FlightState::Done(shared) => {
+                        self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                        bernoulli_trace::counter!("service.searches_coalesced");
+                        return shared.clone();
+                    }
+                    FlightState::Retry => break,
+                }
+                match deadline {
+                    None => {
+                        state = flight.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                    }
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            // Waited out the deadline: search under our
+                            // own (expired) budget so the typed budget
+                            // error matches the sequential path.
+                            drop(state);
+                            return self.search_counted(p, views, opts, pool);
+                        }
+                        let (g, _) = flight
+                            .cv
+                            .wait_timeout(state, d - now)
+                            .unwrap_or_else(|e| e.into_inner());
+                        state = g;
+                    }
+                }
+            }
+            // Retry: the previous leader degraded. Race for leadership.
+        }
+    }
+
+    /// The leader half of [`search_coalesced`]: search, then publish.
+    /// The guard publishes `Retry` if the search panics, so followers
+    /// are never wedged on a dead flight.
+    fn lead_search(
+        &self,
+        key: &str,
+        flight: &Arc<SearchFlight>,
+        p: &Program,
+        views: &[(&str, FormatView)],
+        opts: &SynthOptions,
+        pool: Option<&Pool>,
+    ) -> Result<SearchReport, SynthError> {
+        struct Publish<'a> {
+            service: &'a Service,
+            key: &'a str,
+            flight: &'a SearchFlight,
+            done: bool,
+        }
+        impl Publish<'_> {
+            fn publish(&mut self, outcome: FlightState) {
+                self.service
+                    .flights
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(self.key);
+                *self.flight.state.lock().unwrap_or_else(|e| e.into_inner()) = outcome;
+                self.flight.cv.notify_all();
+                self.done = true;
+            }
+        }
+        impl Drop for Publish<'_> {
+            fn drop(&mut self) {
+                if !self.done {
+                    self.publish(FlightState::Retry);
+                }
+            }
+        }
+        let mut guard = Publish {
+            service: self,
+            key,
+            flight,
+            done: false,
+        };
+        let result = self.search_counted(p, views, opts, pool);
+        let outcome = match &result {
+            // A degraded result reflects *this* request's budget; it
+            // is never shared (followers re-search under their own).
+            Ok(r) if r.degraded => FlightState::Retry,
+            other => FlightState::Done(other.clone()),
+        };
+        guard.publish(outcome);
+        result
     }
 
     /// A point-in-time snapshot of the request accounting.
@@ -596,6 +799,11 @@ impl Service {
             shed_deadline: self.counters.shed_deadline.load(Ordering::Relaxed),
             degraded: self.counters.degraded.load(Ordering::Relaxed),
             peak_inflight: self.counters.peak_inflight.load(Ordering::Relaxed),
+            searches: self.counters.searches.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            kernel_builds: bernoulli_kernel_cache::stats()
+                .compiles
+                .saturating_sub(self.kc_compiles_at_start),
         }
     }
 

@@ -499,6 +499,7 @@ impl CompiledKernel {
     /// artifact store.
     pub fn backend_in(&self, store: &bernoulli_kernel_cache::KernelStore) -> KernelBackend {
         match self.load_in(store) {
+            Ok(k) if k.validated() => KernelBackend::Validated(k),
             Ok(k) => KernelBackend::Compiled(k),
             Err(reason) => KernelBackend::Interpreted { reason },
         }
@@ -516,7 +517,7 @@ impl CompiledKernel {
         args: &mut [KernelArg<'_>],
     ) -> Result<(), SynthError> {
         match backend {
-            KernelBackend::Compiled(k) => Ok(k.run(params, args)?),
+            KernelBackend::Validated(k) | KernelBackend::Compiled(k) => Ok(k.run(params, args)?),
             KernelBackend::Interpreted { .. } => {
                 crate::compiled::interp_positional(&self.program, self.plan(), params, args)
             }

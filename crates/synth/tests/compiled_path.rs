@@ -210,3 +210,110 @@ fn call_arity_is_checked() {
         "{err:?}"
     );
 }
+
+/// Tests below mutate or depend on the process-wide validation switch
+/// and memo; they serialize on this lock so the cargo test harness's
+/// thread pool cannot interleave them.
+static VALIDATION: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn fresh_load_passes_differential_validation() {
+    let _lock = VALIDATION.lock().unwrap_or_else(|e| e.into_inner());
+    if !rustc_available() {
+        eprintln!("SKIP fresh_load_passes_differential_validation: no rustc on host");
+        return;
+    }
+    let a = Csr::from_triplets(&triplets(16));
+    let k = compile_mvm(a.format_view());
+    let store = scratch_store("validate");
+    // A correct kernel must come back with `Validated` provenance: the
+    // differential probe against the interpreter ran and agreed.
+    let backend = k.backend_in(&store);
+    assert!(
+        matches!(backend, KernelBackend::Validated(_)),
+        "expected Validated provenance, got {backend:?}"
+    );
+    assert!(backend.is_validated() && backend.is_compiled());
+    // The memo makes the second load skip the probe yet keep the
+    // provenance.
+    let again = k.backend_in(&store);
+    assert!(again.is_validated(), "{again:?}");
+}
+
+#[test]
+fn validation_switch_downgrades_provenance_only() {
+    let _lock = VALIDATION.lock().unwrap_or_else(|e| e.into_inner());
+    if !rustc_available() {
+        eprintln!("SKIP validation_switch_downgrades_provenance_only: no rustc on host");
+        return;
+    }
+    let a = Csr::from_triplets(&triplets(12));
+    let k = compile_mvm(a.format_view());
+    let store = scratch_store("valswitch");
+    bernoulli_synth::set_kernel_validation(false);
+    bernoulli_synth::clear_kernel_validation_memo();
+    let backend = k.backend_in(&store);
+    bernoulli_synth::set_kernel_validation(true);
+    // Still a native kernel — just without the Validated badge.
+    assert!(
+        matches!(backend, KernelBackend::Compiled(_)),
+        "expected unvalidated Compiled provenance, got {backend:?}"
+    );
+    assert!(backend.is_compiled() && !backend.is_validated());
+}
+
+#[test]
+fn quarantined_artifact_is_refused_and_reserved_by_interpreter() {
+    let _lock = VALIDATION.lock().unwrap_or_else(|e| e.into_inner());
+    if !rustc_available() {
+        eprintln!("SKIP quarantined_artifact_is_refused_and_reserved_by_interpreter: no rustc");
+        return;
+    }
+    let n = 16;
+    let a = Csr::from_triplets(&triplets(n));
+    let k = compile_mvm(a.format_view());
+    let store = scratch_store("requarantine");
+    let loaded = k.load_in(&store).expect("loads");
+    let artifact = loaded.artifact_path().to_path_buf();
+    drop(loaded);
+
+    // Quarantine through the same public API the ABI-breach path uses.
+    store.quarantine(&artifact);
+    let backend = k.backend_in(&store);
+    match &backend {
+        KernelBackend::Interpreted {
+            reason:
+                bernoulli_synth::LoadError::Cache(bernoulli_synth::KernelCacheError::Quarantined {
+                    ..
+                }),
+        } => {}
+        other => panic!("expected Quarantined fallback, got {other:?}"),
+    }
+    // The degraded backend still serves correct answers.
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+    let mut y = vec![0.0; n];
+    let mut args = [
+        KernelArg::Csr(&a),
+        KernelArg::In(&x),
+        KernelArg::Out(&mut y),
+    ];
+    k.run_with(&backend, &[n as i64, n as i64], &mut args)
+        .expect("interpreter re-serve");
+    let mut y_ref = vec![0.0; n];
+    let mut args = [
+        KernelArg::Csr(&a),
+        KernelArg::In(&x),
+        KernelArg::Out(&mut y_ref),
+    ];
+    let interp = KernelBackend::Interpreted {
+        reason: bernoulli_synth::LoadError::Emit(bernoulli_synth::EmitError("forced".into())),
+    };
+    k.run_with(&interp, &[n as i64, n as i64], &mut args)
+        .expect("reference interpreter run");
+    assert_eq!(y, y_ref);
+
+    // Lifting the quarantine restores the native path.
+    store.clear_quarantine();
+    let healed = k.backend_in(&store);
+    assert!(healed.is_compiled(), "{healed:?}");
+}

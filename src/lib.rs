@@ -80,7 +80,8 @@ pub use bernoulli_synth::{
 // the unified compiled-or-interpreted runner, plus the on-disk artifact
 // cache behind it.
 pub use bernoulli_synth::{
-    kernel_cache_stats, kernel_cache_stats_reset, rustc_info, KernelArg, KernelBackend,
+    clear_kernel_validation_memo, kernel_cache_stats, kernel_cache_stats_reset,
+    kernel_validation_enabled, rustc_info, set_kernel_validation, KernelArg, KernelBackend,
     KernelCacheError, KernelCacheStats, KernelCallError, KernelStore, LoadError, LoadedKernel,
 };
 

@@ -1,7 +1,8 @@
 //! Mirror of the README "Embedding the compiler", "Running as a
-//! service", "Running synthesized kernels", "Blocked formats" and
-//! "Structure-aware selection" examples — keeps the documented
-//! snippets compiling and running as the API evolves.
+//! service", "Running synthesized kernels", "Blocked formats",
+//! "Structure-aware selection" and "Robustness & self-healing"
+//! examples — keeps the documented snippets compiling and running as
+//! the API evolves.
 
 use bernoulli::prelude::*;
 
@@ -179,4 +180,37 @@ fn advise() -> Result<(), bernoulli::Error> {
 #[test]
 fn readme_advisor_snippet_runs() {
     advise().unwrap();
+}
+
+// README "Robustness & self-healing" — identical to the documented
+// snippet. Must hold on hosts with and without a usable `rustc`: a
+// native backend carries the Validated provenance (or Compiled when
+// validation is off), and every failure mode is a typed reason plus
+// the interpreter.
+fn heal() -> Result<(), bernoulli::Error> {
+    let session = Session::new();
+    let t = Triplets::from_entries(3, 3, &[(0, 0, 2.0), (1, 2, 1.0), (2, 1, 4.0)]);
+    let a = Csr::from_triplets(&t);
+    let bound = session.bind(&kernels::mvm(), &[("A", a.format_view())])?;
+    let kernel = session.compile(&bound)?;
+
+    let store = KernelStore::at(std::env::temp_dir().join("bernoulli-readme-heal"));
+    match kernel.backend_in(&store) {
+        // Probed against the interpreter before being served.
+        KernelBackend::Validated(k) => assert!(k.validated()),
+        // Validation switched off (`set_kernel_validation(false)`) or
+        // no probe for this signature: still native, no badge.
+        KernelBackend::Compiled(_) => {}
+        // No rustc, a tripped breaker, a quarantined or corrupt
+        // artifact: a typed reason and the always-correct interpreter.
+        KernelBackend::Interpreted { reason } => {
+            eprintln!("interpreter fallback: {reason}");
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn readme_healing_snippet_runs() {
+    heal().unwrap();
 }
